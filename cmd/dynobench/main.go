@@ -1,0 +1,96 @@
+// Command dynobench regenerates the paper's evaluation tables and
+// figures (§6) on the simulated cluster and prints them in the paper's
+// layout.
+//
+// Usage:
+//
+//	dynobench -exp all
+//	dynobench -exp fig7 -scale 0.25
+//	dynobench -exp table1,fig6 -seed 2014
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dyno/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, ablations, all (comma-separated)")
+		scale = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
+		seed  = flag.Int64("seed", 2014, "data generation seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	type tableExp struct {
+		name string
+		run  func(experiments.Config) (*experiments.Table, error)
+	}
+	tables := []tableExp{
+		{"table1", experiments.Table1},
+		{"fig4", experiments.Figure4},
+		{"fig5", experiments.Figure5},
+		{"fig6", experiments.Figure6},
+		{"fig7", experiments.Figure7},
+		{"fig8", experiments.Figure8},
+	}
+	plans := map[string]func(experiments.Config) (*experiments.PlanEvolution, error){
+		"fig2": experiments.Figure2Plans,
+		"fig3": experiments.Figure3Plans,
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	ran := 0
+	if all || want["ablations"] {
+		ts, err := experiments.Ablations(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: ablations: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range ts {
+			fmt.Println(t)
+		}
+		ran++
+	}
+	for _, te := range tables {
+		if !all && !want[te.name] {
+			continue
+		}
+		t, err := te.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: %s: %v\n", te.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+		ran++
+	}
+	for name, run := range plans {
+		if !all && !want[name] {
+			continue
+		}
+		ev, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (%s plan evolution)\n%s\n", strings.ToUpper(name), ev.Query, ev)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "dynobench: nothing matched -exp=%s\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,149 @@
+// Command dynoql executes a query on the simulated cluster under one
+// of the paper's optimizer variants and shows what DYNO did: the pilot
+// runs, the plan chosen at each (re-)optimization point, the MapReduce
+// jobs with their virtual timings, and a sample of the result.
+//
+// Usage:
+//
+//	dynoql -query Q8p -variant DYNOPT -sf 100
+//	dynoql -sql "SELECT c.c_name FROM customer c LIMIT 5" -sf 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dyno/internal/baselines"
+	"dyno/internal/cluster"
+	"dyno/internal/coord"
+	"dyno/internal/core"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/hive"
+	"dyno/internal/jaql"
+	"dyno/internal/mapreduce"
+	"dyno/internal/optimizer"
+	"dyno/internal/tpch"
+)
+
+func main() {
+	var (
+		queryName = flag.String("query", "Q8p", "named evaluation query (Q2, Q7, Q8p, Q9p, Q10)")
+		sqlText   = flag.String("sql", "", "raw SQL (overrides -query)")
+		variant   = flag.String("variant", "DYNOPT", "BESTSTATIC | RELOPT | DYNOPT-SIMPLE | DYNOPT")
+		sf        = flag.Float64("sf", 100, "scale factor")
+		scale     = flag.Float64("scale", 0.25, "row-count multiplier")
+		seed      = flag.Int64("seed", 2014, "generation seed")
+		hiveMode  = flag.Bool("hive", false, "use the Hive runtime profile (distributed-cache broadcasts)")
+		strategy  = flag.String("strategy", "UNC-1", "leaf-job strategy: UNC-1 | UNC-2 | CHEAP-1 | CHEAP-2 | SO | MO")
+		showJobs  = flag.Bool("jobs", true, "print per-job virtual timings")
+		pushdown  = flag.Bool("pushdown", false, "enable projection pushdown")
+		dynJoin   = flag.Bool("dynamic-join", false, "enable the runtime repartition-to-broadcast switch")
+		combiner  = flag.Bool("combiner", false, "enable map-side partial aggregation for the grouping job")
+		maxRows   = flag.Int("rows", 10, "result rows to print")
+	)
+	flag.Parse()
+
+	sql := *sqlText
+	if sql == "" {
+		var err error
+		sql, err = tpch.QuerySQL(*queryName)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	ccfg := cluster.DefaultConfig()
+	fs := dfs.New(dfs.WithNodes(ccfg.Workers))
+	cat, err := tpch.Generate(fs, tpch.Config{SF: *sf, Scale: *scale, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	reg := expr.NewRegistry()
+	tpch.RegisterUDFs(reg, tpch.DefaultUDFParams())
+	env := &mapreduce.Env{FS: fs, Sim: cluster.New(ccfg), Coord: coord.NewService(), Reg: reg}
+	env.UseCombiner = *combiner
+	optCfg := optimizer.DefaultConfig(float64(ccfg.SlotMemory))
+	if *hiveMode {
+		hive.Configure(env)
+		optCfg.DCacheWorkers = ccfg.Workers
+	}
+
+	if *showJobs {
+		ready := map[string]float64{}
+		env.Sim.SetTrace(func(ev cluster.TraceEvent) {
+			switch ev.Kind {
+			case "job-ready":
+				ready[ev.Job] = ev.Time
+			case "job-done", "job-failed":
+				fmt.Printf("  job %-24s t=%8.1fs dur=%7.1fs %s\n",
+					ev.Job, ev.Time, ev.Time-ready[ev.Job], ev.Kind)
+			}
+		})
+	}
+
+	opts := core.DefaultOptions()
+	opts.K = 256
+	opts.KMVSize = 512
+	opts.ProjectionPushdown = *pushdown
+	opts.DynamicJoin = *dynJoin
+	opts.Strategy, err = parseStrategy(*strategy)
+	if err != nil {
+		fail(err)
+	}
+	eng, err := baselines.NewEngine(baselines.Variant(*variant), env, cat, optCfg, opts)
+	if err != nil {
+		fail(err)
+	}
+	res, err := eng.ExecuteSQL(sql)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("\n%s on SF=%g (%s profile)\n", *variant, *sf, profileName(*hiveMode))
+	if res.Pilot != nil {
+		fmt.Printf("pilot runs (%s): %d jobs, %d reused, %d inputs fully consumed, %.1fs\n",
+			res.Pilot.Mode, res.Pilot.Jobs, res.Pilot.Reused, res.Pilot.Consumed, res.PilotSec)
+	}
+	for i, it := range res.Evolution {
+		changed := ""
+		if it.PlanChanged {
+			changed = "   <-- plan changed"
+		}
+		fmt.Printf("\nplan%d (jobs: %v)%s\n%s", i+1, it.JobsRun, changed, it.Plan)
+	}
+	fmt.Printf("\ntotal %.1fs virtual  (pilot %.1fs, optimize %.2fs, %d jobs: %d map-only, %d map-reduce, %d switched, %d plan changes)\n",
+		res.TotalSec, res.PilotSec, res.OptimizeSec, res.Jobs, res.MapOnlyJobs, res.MapReduceJobs, res.SwitchedJobs, res.PlanChanges)
+	fmt.Printf("\n%d result rows:\n%s", len(res.Rows), jaql.FormatRows(res.Rows, *maxRows))
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "UNC-1":
+		return core.Uncertain{N: 1}, nil
+	case "UNC-2":
+		return core.Uncertain{N: 2}, nil
+	case "CHEAP-1":
+		return core.Cheap{N: 1}, nil
+	case "CHEAP-2":
+		return core.Cheap{N: 2}, nil
+	case "SO":
+		return core.One{}, nil
+	case "MO":
+		return core.All{}, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", s)
+}
+
+func profileName(hive bool) string {
+	if hive {
+		return "Hive"
+	}
+	return "Jaql"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dynoql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Planevolution reproduces Figures 2 and 3 of the paper: the static
+// relational optimizer's plan for Q8' and Q9' next to DYNO's plan after
+// the pilot runs and after each re-optimization point, showing how the
+// plan changes as intermediate results materialize.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dyno/internal/experiments"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "2", "2 (Q8' evolution) or 3 (Q9' plans)")
+		scale  = flag.Float64("scale", 0.25, "row-count multiplier")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+
+	var (
+		ev  *experiments.PlanEvolution
+		err error
+	)
+	switch *figure {
+	case "2":
+		ev, err = experiments.Figure2Plans(cfg)
+	case "3":
+		ev, err = experiments.Figure3Plans(cfg)
+	default:
+		log.Fatalf("unknown figure %q (want 2 or 3)", *figure)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure %s — %s\n\n%s", *figure, ev.Query, ev)
+}

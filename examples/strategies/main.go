@@ -1,0 +1,42 @@
+// Strategies compares the paper's §5.3 execution strategies — which
+// leaf MapReduce jobs to run first, and how many in parallel — on one
+// query, a miniature of Figure 5. UNC runs the most uncertain jobs
+// first to reach informative re-optimization points early; CHEAP runs
+// the cheapest; the SIMPLE variants never re-optimize.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"dyno/internal/experiments"
+)
+
+func main() {
+	var (
+		query = flag.String("query", "Q8p", "evaluation query (Q2, Q7, Q8p, Q9p, Q10)")
+		scale = flag.Float64("scale", 0.25, "row-count multiplier")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	times, err := experiments.Figure5Times(cfg, *query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := times["SIMPLE_SO"]
+	order := make([]string, 0, len(times))
+	for k := range times {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(a, b int) bool { return times[order[a]] < times[order[b]] })
+
+	fmt.Printf("execution strategies on %s (SF=300), relative to DYNOPT-SIMPLE_SO:\n\n", *query)
+	for _, name := range order {
+		fmt.Printf("  %-10s %8.1fs  %6.1f%%\n", name, times[name], 100*times[name]/base)
+	}
+	fmt.Printf("\nwinner: %s\n", order[0])
+}

@@ -1,0 +1,3 @@
+module dyno
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package baselines implements the paper's comparison systems (§6.1):
+//
+//   - RELOPT — a state-of-the-art static relational optimizer for a
+//     shared-nothing DBMS: it uses detailed pre-collected base-table
+//     statistics (including equi-depth histograms), estimates
+//     conjunctions under the independence assumption, and assumes
+//     selectivity 1 for UDFs it cannot see through. The resulting plan
+//     is executed statically.
+//   - BESTSTATICJAQL / BESTSTATICHIVE — the best hand-written left-deep
+//     plan: all non-cartesian FROM orders are tried and the fastest is
+//     kept, with join methods chosen by Jaql's static heuristic
+//     (broadcast only when the base file fits in memory, §2.2.2).
+package baselines
+
+import (
+	"sort"
+
+	"dyno/internal/data"
+)
+
+// Histogram is an equi-depth histogram over one column, the "more
+// detailed statistics" RELOPT has access to.
+type Histogram struct {
+	bounds []data.Value // bucket upper bounds, ascending
+	depth  float64      // rows per bucket
+	total  float64
+}
+
+// BuildHistogram constructs an equi-depth histogram with at most
+// `buckets` buckets from the observed values.
+func BuildHistogram(values []data.Value, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	vals := make([]data.Value, 0, len(values))
+	for _, v := range values {
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	sort.SliceStable(vals, func(a, b int) bool { return data.Compare(vals[a], vals[b]) < 0 })
+	h := &Histogram{total: float64(len(vals))}
+	if len(vals) == 0 {
+		return h
+	}
+	if buckets > len(vals) {
+		buckets = len(vals)
+	}
+	h.depth = float64(len(vals)) / float64(buckets)
+	for b := 1; b <= buckets; b++ {
+		idx := int(float64(b)*h.depth) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(vals) {
+			idx = len(vals) - 1
+		}
+		h.bounds = append(h.bounds, vals[idx])
+	}
+	return h
+}
+
+// FractionLE estimates the fraction of values ≤ v: the share of
+// buckets whose upper bound is ≤ v (each bucket holds an equal share
+// of rows).
+func (h *Histogram) FractionLE(v data.Value) float64 {
+	if h.total == 0 || len(h.bounds) == 0 {
+		return 0.5
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool {
+		return data.Compare(h.bounds[i], v) > 0
+	})
+	return float64(i) / float64(len(h.bounds))
+}
+
+// FractionLT estimates the fraction of values < v: the share of
+// buckets whose upper bound is strictly below v.
+func (h *Histogram) FractionLT(v data.Value) float64 {
+	if h.total == 0 || len(h.bounds) == 0 {
+		return 0.5
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool {
+		return data.Compare(h.bounds[i], v) >= 0
+	})
+	return float64(i) / float64(len(h.bounds))
+}
+
+// FractionGE estimates the fraction of values ≥ v.
+func (h *Histogram) FractionGE(v data.Value) float64 { return clamp01(1 - h.FractionLT(v)) }
+
+// FractionGT estimates the fraction of values > v.
+func (h *Histogram) FractionGT(v data.Value) float64 { return clamp01(1 - h.FractionLE(v)) }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,619 @@
+// Package cluster implements a deterministic discrete-event simulator of
+// the Hadoop cluster used in the paper's evaluation (15 nodes, 10 map and
+// 6 reduce slots per worker, 2 GB per slot, ~15 s MapReduce job startup).
+//
+// Jobs submit tasks; a FIFO scheduler assigns tasks to free map/reduce
+// slots on worker nodes; a virtual clock advances between task completion
+// events. Tasks execute *real* computation (their Run closure processes
+// actual records) and report resource usage, from which the simulator
+// derives the task's virtual duration. Because scheduling is
+// single-threaded and event times are deterministic, every run of the
+// same workload produces the same virtual timeline.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// TaskKind distinguishes map from reduce tasks; they consume different
+// slot types.
+type TaskKind int
+
+// The two slot/task kinds.
+const (
+	MapTask TaskKind = iota
+	ReduceTask
+)
+
+// String returns "map" or "reduce".
+func (k TaskKind) String() string {
+	if k == MapTask {
+		return "map"
+	}
+	return "reduce"
+}
+
+// Config describes the simulated cluster and its cost model. All
+// throughputs are bytes of *virtual* data per virtual second.
+type Config struct {
+	Workers              int     // worker nodes
+	MapSlotsPerWorker    int     // map slots per worker
+	ReduceSlotsPerWorker int     // reduce slots per worker
+	SlotMemory           int64   // memory per slot, bounds broadcast builds (Mmax)
+	JobStartup           float64 // seconds from submit until tasks can schedule
+	TaskOverhead         float64 // fixed per-task latency (JVM reuse, setup)
+	// ScanBps is the effective map-side scan rate per task, including
+	// decompression and record parsing (well below raw disk bandwidth,
+	// as on real Hadoop).
+	ScanBps float64
+	// BroadcastLoadBps is the effective rate at which tasks load
+	// broadcast build sides (replicated small files served from warm
+	// page cache overlap with probe scanning); 0 falls back to ScanBps.
+	BroadcastLoadBps float64
+	ShuffleBps       float64 // shuffle (sort+network) throughput
+	WriteBps         float64 // DFS write throughput
+	PerRecordCPU     float64 // CPU seconds charged per processed record
+
+	// FailEveryN injects deterministic task failures: every Nth
+	// dispatched task fails its first attempt (charging FailurePenalty
+	// seconds of slot time) and is re-queued, modelling the task
+	// retries MapReduce absorbs routinely. 0 disables injection.
+	FailEveryN     int
+	FailurePenalty float64
+
+	// Scheduler selects how free slots are shared among concurrent
+	// jobs.
+	Scheduler SchedulerKind
+}
+
+// SchedulerKind selects the job scheduler.
+type SchedulerKind int
+
+// The schedulers (the paper uses FIFO and names fair/capacity
+// scheduling as future experiments).
+const (
+	// FIFO gives all free slots to the earliest-submitted job first.
+	FIFO SchedulerKind = iota
+	// Fair hands slots to runnable jobs round-robin, one task at a
+	// time.
+	Fair
+)
+
+// DefaultConfig returns the paper's cluster: 14 workers with 10 map and 6
+// reduce slots each (140/84 total), 2 GB per slot, 15 s job startup.
+func DefaultConfig() Config {
+	return Config{
+		Workers:              14,
+		MapSlotsPerWorker:    10,
+		ReduceSlotsPerWorker: 6,
+		SlotMemory:           2 << 30,
+		JobStartup:           15,
+		TaskOverhead:         2,
+		ScanBps:              25 << 20,
+		BroadcastLoadBps:     100 << 20,
+		ShuffleBps:           12 << 20,
+		WriteBps:             25 << 20,
+		PerRecordCPU:         0,
+	}
+}
+
+// MapSlots returns the cluster-wide map slot count (the paper's m).
+func (c Config) MapSlots() int { return c.Workers * c.MapSlotsPerWorker }
+
+// ReduceSlots returns the cluster-wide reduce slot count.
+func (c Config) ReduceSlots() int { return c.Workers * c.ReduceSlotsPerWorker }
+
+// Usage reports the resources a task consumed; the simulator converts it
+// to a virtual duration.
+type Usage struct {
+	BytesRead     int64   // input scanned from DFS
+	BytesShuffled int64   // data sorted and moved through the shuffle
+	BytesWritten  int64   // output written to DFS
+	Records       int64   // records processed (charged PerRecordCPU each)
+	CPUSeconds    float64 // extra CPU time (UDF evaluation etc.)
+	ExtraLatency  float64 // additional fixed latency (e.g. broadcast build load)
+}
+
+// Add accumulates other into u.
+func (u *Usage) Add(other Usage) {
+	u.BytesRead += other.BytesRead
+	u.BytesShuffled += other.BytesShuffled
+	u.BytesWritten += other.BytesWritten
+	u.Records += other.Records
+	u.CPUSeconds += other.CPUSeconds
+	u.ExtraLatency += other.ExtraLatency
+}
+
+// TaskContext is passed to a task's Run closure when it is dispatched.
+type TaskContext struct {
+	Node        int     // worker node executing the task
+	FirstOnNode bool    // first task of this job on this node (distributed cache)
+	Now         float64 // virtual dispatch time
+}
+
+// Task is one schedulable unit of work.
+type Task struct {
+	Kind TaskKind
+	Name string
+	// Run performs the task's real computation and reports usage. A
+	// non-nil error fails the whole job (e.g. a broadcast build that
+	// exceeds slot memory).
+	Run func(tc TaskContext) (Usage, error)
+
+	usage      Usage
+	start, end float64
+	node       int
+	ran        bool
+	attempts   int
+}
+
+// Usage returns the resources the task reported (zero before it ran).
+func (t *Task) Usage() Usage { return t.usage }
+
+// Start returns the task's virtual start time.
+func (t *Task) Start() float64 { return t.start }
+
+// End returns the task's virtual completion time.
+func (t *Task) End() float64 { return t.end }
+
+// Node returns the worker the task ran on.
+func (t *Task) Node() int { return t.node }
+
+// Ran reports whether the task was dispatched (canceled tasks never run).
+func (t *Task) Ran() bool { return t.ran }
+
+// Attempts returns how many times the task was dispatched (more than
+// one under failure injection).
+func (t *Task) Attempts() int { return t.attempts }
+
+// Job is the unit of submission. The simulator drives it through Start
+// and TaskDone; a job completes when it has no pending or running tasks
+// left after a callback.
+type Job interface {
+	// Name identifies the job in traces.
+	Name() string
+	// Start is called once the job's startup latency elapses and
+	// returns its initial tasks. Returning no tasks completes the job
+	// immediately.
+	Start(sub *Submission) []*Task
+	// TaskDone is called after each task completes and may return
+	// follow-up tasks (e.g. the reduce phase once all maps finish).
+	TaskDone(sub *Submission, t *Task) []*Task
+}
+
+// Submission is the handle for a submitted job.
+type Submission struct {
+	sim       *Sim
+	job       Job
+	id        int
+	submitted float64
+	ready     float64
+	finished  float64
+	started   bool
+	done      bool
+	failed    bool
+	err       error
+	pending   []*Task
+	running   int
+	completed []*Task
+	nodesSeen map[int]bool
+	onDone    []func(*Submission)
+}
+
+// Job returns the submitted job.
+func (s *Submission) Job() Job { return s.job }
+
+// Done reports whether the job has completed (successfully or not).
+func (s *Submission) Done() bool { return s.done }
+
+// Err returns the job's failure, if any.
+func (s *Submission) Err() error { return s.err }
+
+// SubmitTime returns the virtual time the job was submitted.
+func (s *Submission) SubmitTime() float64 { return s.submitted }
+
+// FinishTime returns the virtual completion time (0 until done).
+func (s *Submission) FinishTime() float64 { return s.finished }
+
+// Duration returns the job's virtual makespan including startup.
+func (s *Submission) Duration() float64 { return s.finished - s.submitted }
+
+// Pending returns the number of queued, not-yet-dispatched tasks.
+func (s *Submission) Pending() int { return len(s.pending) }
+
+// Running returns the number of in-flight tasks.
+func (s *Submission) Running() int { return s.running }
+
+// CompletedTasks returns the tasks that ran, in completion order.
+func (s *Submission) CompletedTasks() []*Task { return s.completed }
+
+// CancelPending drops all queued tasks. Tasks already running finish
+// normally (the paper's pilot runs always finish started blocks to avoid
+// the inspection paradox).
+func (s *Submission) CancelPending() { s.pending = nil }
+
+// AddTasks queues additional tasks on a live job (used by pilot runs to
+// add sample splits on demand).
+func (s *Submission) AddTasks(ts []*Task) {
+	if s.done {
+		return
+	}
+	s.pending = append(s.pending, ts...)
+}
+
+// OnDone registers a callback fired when the job completes. Callbacks may
+// submit new jobs.
+func (s *Submission) OnDone(f func(*Submission)) {
+	if s.done {
+		f(s)
+		return
+	}
+	s.onDone = append(s.onDone, f)
+}
+
+// event is a scheduled occurrence in virtual time.
+type event struct {
+	time float64
+	seq  int64
+	kind eventKind
+	sub  *Submission
+	task *Task
+}
+
+type eventKind int
+
+const (
+	evJobReady eventKind = iota
+	evTaskDone
+	evTaskRetry
+)
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the cluster simulator. It is not safe for concurrent use; the
+// engine drives it from a single goroutine.
+type Sim struct {
+	cfg        Config
+	now        float64
+	seq        int64
+	events     eventHeap
+	subs       []*Submission // FIFO order
+	mapFree    []int         // free map slots per worker
+	reduceFree []int         // free reduce slots per worker
+	trace      func(TraceEvent)
+	dispatched int64 // tasks dispatched, for failure injection
+}
+
+// TraceEvent describes a scheduling occurrence, for timeline displays.
+type TraceEvent struct {
+	Time float64
+	Job  string
+	Task string
+	Kind string // "start", "finish", "job-ready", "job-done", "job-failed"
+	Node int
+}
+
+// New returns a simulator for the given cluster.
+func New(cfg Config) *Sim {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MapSlotsPerWorker <= 0 {
+		cfg.MapSlotsPerWorker = 1
+	}
+	if cfg.ReduceSlotsPerWorker <= 0 {
+		cfg.ReduceSlotsPerWorker = 1
+	}
+	s := &Sim{cfg: cfg}
+	s.mapFree = make([]int, cfg.Workers)
+	s.reduceFree = make([]int, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		s.mapFree[i] = cfg.MapSlotsPerWorker
+		s.reduceFree[i] = cfg.ReduceSlotsPerWorker
+	}
+	return s
+}
+
+// Config returns the simulator's cluster configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Advance moves the virtual clock forward by d seconds, charging
+// client-side work (optimizer calls, statistics merging) to the timeline.
+func (s *Sim) Advance(d float64) {
+	if d > 0 {
+		s.now += d
+	}
+}
+
+// SetTrace installs a callback receiving scheduling events.
+func (s *Sim) SetTrace(f func(TraceEvent)) { s.trace = f }
+
+func (s *Sim) emit(ev TraceEvent) {
+	if s.trace != nil {
+		s.trace(ev)
+	}
+}
+
+// Submit enqueues a job. Its tasks become schedulable after the
+// configured job startup latency.
+func (s *Sim) Submit(j Job) *Submission {
+	sub := &Submission{
+		sim:       s,
+		job:       j,
+		id:        len(s.subs),
+		submitted: s.now,
+		ready:     s.now + s.cfg.JobStartup,
+		nodesSeen: make(map[int]bool),
+	}
+	s.subs = append(s.subs, sub)
+	s.push(&event{time: sub.ready, kind: evJobReady, sub: sub})
+	return sub
+}
+
+func (s *Sim) push(e *event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+}
+
+// Run advances the simulation until no events remain. It returns the
+// first job failure encountered, if any (all jobs still run to
+// completion of their in-flight tasks).
+func (s *Sim) Run() error {
+	var firstErr error
+	for {
+		s.dispatch()
+		if len(s.events) == 0 {
+			break
+		}
+		e := heap.Pop(&s.events).(*event)
+		if e.time < s.now {
+			// Client-side Advance may have moved past queued events;
+			// they complete "now".
+			e.time = s.now
+		}
+		s.now = e.time
+		switch e.kind {
+		case evJobReady:
+			s.handleJobReady(e.sub)
+		case evTaskDone:
+			s.handleTaskDone(e.sub, e.task)
+		case evTaskRetry:
+			s.handleTaskRetry(e.sub, e.task)
+		}
+		if firstErr == nil && e.sub.err != nil {
+			firstErr = e.sub.err
+		}
+	}
+	return firstErr
+}
+
+func (s *Sim) handleJobReady(sub *Submission) {
+	sub.started = true
+	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Kind: "job-ready"})
+	tasks := sub.job.Start(sub)
+	sub.pending = append(sub.pending, tasks...)
+	s.maybeComplete(sub)
+}
+
+// handleTaskRetry releases the failed attempt's slot and re-queues the
+// task.
+func (s *Sim) handleTaskRetry(sub *Submission, t *Task) {
+	if t.Kind == MapTask {
+		s.mapFree[t.node]++
+	} else {
+		s.reduceFree[t.node]++
+	}
+	sub.running--
+	if !sub.failed {
+		sub.pending = append(sub.pending, t)
+	}
+	s.maybeComplete(sub)
+}
+
+func (s *Sim) handleTaskDone(sub *Submission, t *Task) {
+	// Free the slot.
+	if t.Kind == MapTask {
+		s.mapFree[t.node]++
+	} else {
+		s.reduceFree[t.node]++
+	}
+	sub.running--
+	sub.completed = append(sub.completed, t)
+	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "finish", Node: t.node})
+	if sub.failed {
+		s.maybeComplete(sub)
+		return
+	}
+	more := sub.job.TaskDone(sub, t)
+	sub.pending = append(sub.pending, more...)
+	s.maybeComplete(sub)
+}
+
+func (s *Sim) maybeComplete(sub *Submission) {
+	if sub.done || !sub.started {
+		return
+	}
+	if len(sub.pending) == 0 && sub.running == 0 {
+		sub.done = true
+		sub.finished = s.now
+		kind := "job-done"
+		if sub.failed {
+			kind = "job-failed"
+		}
+		s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Kind: kind})
+		cbs := sub.onDone
+		sub.onDone = nil
+		for _, cb := range cbs {
+			cb(sub)
+		}
+	}
+}
+
+// dispatch assigns queued tasks to free slots until no further
+// assignment is possible. Under FIFO the earliest job drains first;
+// under Fair each slot goes to the runnable job with the fewest
+// running tasks, so concurrent jobs share the cluster evenly.
+func (s *Sim) dispatch() {
+	if s.cfg.Scheduler == Fair {
+		s.dispatchFair()
+		return
+	}
+	for {
+		assigned := false
+		for _, sub := range s.subs {
+			if !sub.started || sub.done {
+				continue
+			}
+			for len(sub.pending) > 0 {
+				t := sub.pending[0]
+				node := s.pickNode(t.Kind)
+				if node < 0 {
+					break
+				}
+				sub.pending = sub.pending[1:]
+				s.startTask(sub, t, node)
+				assigned = true
+			}
+		}
+		if !assigned {
+			return
+		}
+	}
+}
+
+func (s *Sim) dispatchFair() {
+	for {
+		var pick *Submission
+		for _, sub := range s.subs {
+			if !sub.started || sub.done || len(sub.pending) == 0 {
+				continue
+			}
+			if s.pickNode(sub.pending[0].Kind) < 0 {
+				continue
+			}
+			if pick == nil || sub.running < pick.running {
+				pick = sub
+			}
+		}
+		if pick == nil {
+			return
+		}
+		t := pick.pending[0]
+		pick.pending = pick.pending[1:]
+		s.startTask(pick, t, s.pickNode(t.Kind))
+	}
+}
+
+// pickNode returns the worker with the most free slots of the given
+// kind, or -1 when none are free.
+func (s *Sim) pickNode(kind TaskKind) int {
+	free := s.mapFree
+	if kind == ReduceTask {
+		free = s.reduceFree
+	}
+	best, bestFree := -1, 0
+	for i, f := range free {
+		if f > bestFree {
+			best, bestFree = i, f
+		}
+	}
+	return best
+}
+
+func (s *Sim) startTask(sub *Submission, t *Task, node int) {
+	if t.Kind == MapTask {
+		s.mapFree[node]--
+	} else {
+		s.reduceFree[node]--
+	}
+	s.dispatched++
+	// Deterministic failure injection: the task's first attempt burns
+	// the penalty and is re-queued; the completion event releases the
+	// slot like any other task.
+	if s.cfg.FailEveryN > 0 && t.attempts == 0 && s.dispatched%int64(s.cfg.FailEveryN) == 0 {
+		t.attempts++
+		t.node = node
+		sub.running++
+		s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "attempt-failed", Node: node})
+		penalty := s.cfg.FailurePenalty
+		if penalty <= 0 {
+			penalty = s.cfg.TaskOverhead
+		}
+		s.push(&event{time: s.now + penalty, kind: evTaskRetry, sub: sub, task: t})
+		return
+	}
+	t.attempts++
+	first := !sub.nodesSeen[node]
+	sub.nodesSeen[node] = true
+	t.node = node
+	t.start = s.now
+	t.ran = true
+	sub.running++
+	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "start", Node: node})
+
+	usage, err := t.Run(TaskContext{Node: node, FirstOnNode: first, Now: s.now})
+	t.usage = usage
+	if err != nil && !sub.failed {
+		sub.failed = true
+		sub.err = fmt.Errorf("cluster: job %s task %s: %w", sub.job.Name(), t.Name, err)
+		sub.pending = nil
+	}
+	d := s.duration(usage)
+	t.end = s.now + d
+	s.push(&event{time: t.end, kind: evTaskDone, sub: sub, task: t})
+}
+
+// duration converts reported usage to virtual seconds.
+func (s *Sim) duration(u Usage) float64 {
+	d := s.cfg.TaskOverhead + u.ExtraLatency + u.CPUSeconds
+	if s.cfg.ScanBps > 0 {
+		d += float64(u.BytesRead) / s.cfg.ScanBps
+	}
+	if s.cfg.ShuffleBps > 0 {
+		d += float64(u.BytesShuffled) / s.cfg.ShuffleBps
+	}
+	if s.cfg.WriteBps > 0 {
+		d += float64(u.BytesWritten) / s.cfg.WriteBps
+	}
+	d += float64(u.Records) * s.cfg.PerRecordCPU
+	if d < 0 || math.IsNaN(d) {
+		d = 0
+	}
+	return d
+}
+
+// Quiesce reports whether all submitted jobs have completed.
+func (s *Sim) Quiesce() bool {
+	for _, sub := range s.subs {
+		if !sub.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Jobs returns all submissions in submit order.
+func (s *Sim) Jobs() []*Submission { return s.subs }

@@ -1,0 +1,96 @@
+// Package coord is the in-process stand-in for the ZooKeeper service DYNO
+// uses on a real cluster. It provides the two primitives the paper relies
+// on: shared atomic counters (the global pilot-run output counter that map
+// tasks increment and consult, §4.2) and an ephemeral registry where
+// finished tasks publish the locations of their partial statistics files
+// for the client to merge (§5.4).
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Service is a named collection of counters and registry entries. The
+// zero value is not usable; use NewService.
+type Service struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	registry map[string][]string
+}
+
+// NewService returns an empty coordination service.
+func NewService() *Service {
+	return &Service{
+		counters: make(map[string]int64),
+		registry: make(map[string][]string),
+	}
+}
+
+// Add atomically adds delta to the named counter and returns the new
+// value. Counters spring into existence at zero.
+func (s *Service) Add(name string, delta int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters[name] += delta
+	return s.counters[name]
+}
+
+// Get returns the current value of the named counter.
+func (s *Service) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Reset deletes the named counter.
+func (s *Service) Reset(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.counters, name)
+}
+
+// Publish appends an entry (e.g. a statistics-file URL) under a key.
+func (s *Service) Publish(key, entry string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registry[key] = append(s.registry[key], entry)
+}
+
+// Entries returns a sorted copy of the entries published under key.
+func (s *Service) Entries(key string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.registry[key]))
+	copy(out, s.registry[key])
+	sort.Strings(out)
+	return out
+}
+
+// Clear removes all entries published under key.
+func (s *Service) Clear(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.registry, key)
+}
+
+// CounterNames returns the sorted names of live counters (for tests and
+// debugging).
+func (s *Service) CounterNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String summarizes the service state.
+func (s *Service) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("coord{counters=%d, keys=%d}", len(s.counters), len(s.registry))
+}

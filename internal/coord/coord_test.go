@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterAddGet(t *testing.T) {
+	s := NewService()
+	if got := s.Get("c"); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	if got := s.Add("c", 5); got != 5 {
+		t.Fatalf("Add = %d, want 5", got)
+	}
+	if got := s.Add("c", 3); got != 8 {
+		t.Fatalf("Add = %d, want 8", got)
+	}
+	if got := s.Get("c"); got != 8 {
+		t.Fatalf("Get = %d, want 8", got)
+	}
+	s.Reset("c")
+	if got := s.Get("c"); got != 0 {
+		t.Fatalf("after Reset = %d, want 0", got)
+	}
+}
+
+func TestCountersAreIndependent(t *testing.T) {
+	s := NewService()
+	s.Add("a", 1)
+	s.Add("b", 2)
+	if s.Get("a") != 1 || s.Get("b") != 2 {
+		t.Error("counters interfere")
+	}
+	names := s.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("CounterNames = %v", names)
+	}
+}
+
+func TestRegistryPublishEntries(t *testing.T) {
+	s := NewService()
+	s.Publish("job1/stats", "node3/file-b")
+	s.Publish("job1/stats", "node1/file-a")
+	got := s.Entries("job1/stats")
+	if len(got) != 2 || got[0] != "node1/file-a" || got[1] != "node3/file-b" {
+		t.Errorf("Entries = %v (want sorted)", got)
+	}
+	if e := s.Entries("other"); len(e) != 0 {
+		t.Errorf("unknown key entries = %v", e)
+	}
+	s.Clear("job1/stats")
+	if e := s.Entries("job1/stats"); len(e) != 0 {
+		t.Errorf("after Clear = %v", e)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	s := NewService()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("n"); got != 1600 {
+		t.Errorf("concurrent adds = %d, want 1600", got)
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	s := NewService()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Publish("k", fmt.Sprintf("entry-%d", i))
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.Entries("k")); got != 8 {
+		t.Errorf("entries = %d, want 8", got)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := NewService()
+	s.Add("a", 1)
+	s.Publish("k", "v")
+	if got := s.String(); got != "coord{counters=1, keys=1}" {
+		t.Errorf("String = %q", got)
+	}
+}

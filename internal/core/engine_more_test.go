@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dyno/internal/plan"
+	"dyno/internal/stats"
+)
+
+func TestDynamicJoinThroughEngine(t *testing.T) {
+	sql := `SELECT r.id FROM r, s, u WHERE r.sid = s.id AND s.uid = u.id`
+	f := newFixture()
+	opts := smallOpts()
+	opts.Reoptimize = false
+	opts.Strategy = All{}
+	opts.DynamicJoin = true
+	e := f.engine(opts)
+	// Force a repartition-only static plan so the runtime switch has
+	// something to convert.
+	e.Opt.DisableBroadcast = true
+	res, err := e.ExecuteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, f, sql, res.Rows)
+	if res.SwitchedJobs == 0 {
+		t.Error("expected at least one repartition job to switch to broadcast")
+	}
+	if res.MapOnlyJobs < res.SwitchedJobs {
+		t.Error("switched jobs must count as map-only")
+	}
+}
+
+func TestDynamicJoinFasterOnConservativePlan(t *testing.T) {
+	sql := `SELECT r.id FROM r, s, u WHERE r.sid = s.id AND s.uid = u.id`
+	times := map[bool]float64{}
+	for _, dyn := range []bool{false, true} {
+		f := newFixture()
+		opts := smallOpts()
+		opts.Reoptimize = false
+		opts.Strategy = All{}
+		opts.DynamicJoin = dyn
+		e := f.engine(opts)
+		e.Opt.DisableBroadcast = true
+		res, err := e.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[dyn] = res.TotalSec
+	}
+	if times[true] >= times[false] {
+		t.Errorf("dynamic join (%v) should beat pure repartition (%v)", times[true], times[false])
+	}
+}
+
+func TestAliasKeyCanonical(t *testing.T) {
+	if aliasKey([]string{"b", "a"}) != "a,b" {
+		t.Errorf("aliasKey = %q", aliasKey([]string{"b", "a"}))
+	}
+	if aliasKey(nil) != "" {
+		t.Error("empty alias key")
+	}
+}
+
+func mkTestRel(name string, aliases ...string) *plan.Rel {
+	return &plan.Rel{Name: name, Aliases: aliases, Stats: stats.TableStats{Card: 1, AvgRecSize: 1}}
+}
+
+func TestPlanSigCollapsesExecuted(t *testing.T) {
+	a, b, c := mkTestRel("a", "a"), mkTestRel("b", "b"), mkTestRel("c", "c")
+	inner := &plan.Join{Method: plan.Repartition, Left: &plan.Scan{Rel: a}, Right: &plan.Scan{Rel: b}}
+	root := &plan.Join{Method: plan.BroadcastJoin, Left: inner, Right: &plan.Scan{Rel: c}}
+	executed := map[string]*plan.Rel{}
+	full := planSig(root, executed)
+	if !strings.Contains(full, "⋈r({a},{b})") {
+		t.Errorf("full sig = %q", full)
+	}
+	executed["a,b"] = mkTestRel("t1", "a", "b")
+	collapsed := planSig(root, executed)
+	if strings.Contains(collapsed, "⋈r") || !strings.Contains(collapsed, "{a,b}") {
+		t.Errorf("collapsed sig = %q", collapsed)
+	}
+	// Different method on the remainder changes the signature.
+	root2 := &plan.Join{Method: plan.Repartition, Left: inner, Right: &plan.Scan{Rel: c}}
+	if planSig(root2, executed) == collapsed {
+		t.Error("method change should change the signature")
+	}
+}
+
+func TestPruneExecutedSubstitutesScans(t *testing.T) {
+	a, b, c := mkTestRel("a", "a"), mkTestRel("b", "b"), mkTestRel("c", "c")
+	inner := &plan.Join{Method: plan.BroadcastJoin, Left: &plan.Scan{Rel: a}, Right: &plan.Scan{Rel: b}, Chained: true}
+	root := &plan.Join{Method: plan.BroadcastJoin, Left: inner, Right: &plan.Scan{Rel: c}}
+	t1 := mkTestRel("t1", "a", "b")
+	pruned := pruneExecuted(root, map[string]*plan.Rel{"a,b": t1})
+	pj, ok := pruned.(*plan.Join)
+	if !ok {
+		t.Fatalf("pruned root = %T", pruned)
+	}
+	sc, ok := pj.Left.(*plan.Scan)
+	if !ok || sc.Rel != t1 {
+		t.Errorf("left should be the materialized scan, got %v", pj.Left)
+	}
+	// Original tree untouched.
+	if _, ok := root.Left.(*plan.Join); !ok {
+		t.Error("pruneExecuted mutated the original tree")
+	}
+}
+
+func TestFullyExecutedPlanPrunesToScan(t *testing.T) {
+	a, b := mkTestRel("a", "a"), mkTestRel("b", "b")
+	root := &plan.Join{Method: plan.Repartition, Left: &plan.Scan{Rel: a}, Right: &plan.Scan{Rel: b}}
+	t1 := mkTestRel("t1", "a", "b")
+	pruned := pruneExecuted(root, map[string]*plan.Rel{"a,b": t1})
+	if sc, ok := pruned.(*plan.Scan); !ok || sc.Rel != t1 {
+		t.Errorf("fully executed plan should prune to a scan: %v", pruned)
+	}
+}
+
+func TestEmptyResultQuery(t *testing.T) {
+	f := newFixture()
+	e := f.engine(smallOpts())
+	res, err := e.ExecuteSQL("SELECT r.id FROM r, s WHERE r.sid = s.id AND r.zip = 11111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(res.Rows))
+	}
+}
+
+func TestPilotModeString(t *testing.T) {
+	if PilotST.String() != "PILR_ST" || PilotMT.String() != "PILR_MT" {
+		t.Error("PilotMode strings broken")
+	}
+}
+
+func TestProjectionPushdownMatchesOracleAndShrinksOutput(t *testing.T) {
+	sql := `SELECT r.id, u.name FROM r, s, u
+		WHERE r.sid = s.id AND s.uid = u.id AND sentpositive(r)`
+	sizes := map[bool]int64{}
+	for _, push := range []bool{false, true} {
+		f := newFixture()
+		opts := smallOpts()
+		opts.ProjectionPushdown = push
+		e := f.engine(opts)
+		res, err := e.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOracle(t, f, sql, res.Rows)
+		// Sum the materialized intermediate volumes.
+		var total int64
+		for _, name := range f.env.FS.List() {
+			if len(name) > 3 && name[:4] == "tmp/" {
+				file, _ := f.env.FS.Open(name)
+				total += file.Size()
+			}
+		}
+		sizes[push] = total
+	}
+	if sizes[true] >= sizes[false] {
+		t.Errorf("pushdown intermediates (%d) should be smaller than without (%d)",
+			sizes[true], sizes[false])
+	}
+}
+
+func TestProjectionPushdownWithWholeRecordUDF(t *testing.T) {
+	// checkpair takes whole records: pruning must keep them intact.
+	sql := `SELECT r.id FROM r, s, u
+		WHERE r.sid = s.id AND s.uid = u.id AND checkpair(r, s)`
+	f := newFixture()
+	opts := smallOpts()
+	opts.ProjectionPushdown = true
+	e := f.engine(opts)
+	res, err := e.ExecuteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, f, sql, res.Rows)
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dyno/internal/cluster"
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/mapreduce"
+	"dyno/internal/plan"
+	"dyno/internal/stats"
+)
+
+// PilotMode selects between the paper's two PILR implementations
+// (§4.2).
+type PilotMode int
+
+// The two pilot-run execution modes.
+const (
+	// PilotST submits one leaf job after another, each over all splits
+	// with early termination via the shared output counter.
+	PilotST PilotMode = iota
+	// PilotMT submits all leaf jobs at once over m/|R| random splits
+	// each, adding splits on demand — amortizing job startup and
+	// making pilot cost independent of data size.
+	PilotMT
+)
+
+// String names the mode.
+func (m PilotMode) String() string {
+	if m == PilotST {
+		return "PILR_ST"
+	}
+	return "PILR_MT"
+}
+
+// PilotReport summarizes one PILR invocation.
+type PilotReport struct {
+	Mode     PilotMode
+	Duration float64 // virtual seconds spent in pilot runs
+	Jobs     int     // pilot jobs actually executed
+	Reused   int     // leaves whose statistics came from the metastore
+	Consumed int     // leaves whose whole input was consumed (output reusable)
+}
+
+// pilotRuns implements Algorithm 1 (PILR): for every base relation of
+// the block, execute its leaf expression over a sample until k records
+// are produced, collect statistics, and attach them to the relation.
+func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotReport, error) {
+	report := &PilotReport{Mode: e.Options.PilotMode}
+	start := e.Env.Sim.Now()
+
+	type pilotJob struct {
+		rel *plan.Rel
+		sig string
+		run *pilotRun
+	}
+	var jobs []*pilotJob
+	for _, rel := range block.Rels {
+		if !rel.IsBase() {
+			continue
+		}
+		sig := rel.Leaf.Signature()
+		if e.Options.ReuseStats {
+			if ts, ok := e.Store.Get(sig); ok {
+				rel.Stats = ts
+				report.Reused++
+				continue
+			}
+		}
+		jobs = append(jobs, &pilotJob{rel: rel, sig: sig})
+	}
+
+	switch e.Options.PilotMode {
+	case PilotST:
+		// One leaf expression at a time (lines 4-8 of Algorithm 1,
+		// first implementation).
+		for _, pj := range jobs {
+			run, err := e.submitPilot(pj.rel, queryName, block, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.Env.Sim.Run(); err != nil {
+				return nil, err
+			}
+			pj.run = run
+		}
+	case PilotMT:
+		// All leaf jobs together over m/|R| random splits each.
+		m := e.Env.Sim.Config().MapSlots()
+		per := m / maxInt(len(jobs), 1)
+		if per < 1 {
+			per = 1
+		}
+		for _, pj := range jobs {
+			run, err := e.submitPilot(pj.rel, queryName, block, samplePlanFor(pj.rel, per, e.rng))
+			if err != nil {
+				return nil, err
+			}
+			pj.run = run
+		}
+		if err := e.Env.Sim.Run(); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, pj := range jobs {
+		if pj.run == nil {
+			continue
+		}
+		report.Jobs++
+		ts, whole, out, err := pj.run.finish()
+		if err != nil {
+			return nil, err
+		}
+		pj.rel.Stats = ts
+		e.Store.Put(pj.sig, ts)
+		if whole {
+			report.Consumed++
+			// §4.1: the filtered output is complete — reuse it as the
+			// materialized leaf during the real execution.
+			e.Prepared[pj.sig] = out
+		}
+		// Client-side merge of the per-task statistics files.
+		e.Env.Sim.Advance(e.Options.StatsMergeTime)
+	}
+	report.Duration = e.Env.Sim.Now() - start
+	return report, nil
+}
+
+// sampleSpec describes the split sampling for one pilot job.
+type sampleSpec struct {
+	initial []int
+	reserve []int
+}
+
+// samplePlanFor draws `per` random initial splits (reservoir-style)
+// and queues the rest in random order for on-demand addition.
+func samplePlanFor(rel *plan.Rel, per int, rng *rand.Rand) *sampleSpec {
+	n := rel.File.NumBlocks()
+	perm := rng.Perm(maxInt(n, 1))
+	if n == 0 {
+		return &sampleSpec{}
+	}
+	if per > n {
+		per = n
+	}
+	return &sampleSpec{initial: perm[:per], reserve: perm[per:]}
+}
+
+// pilotRun tracks a submitted pilot job until statistics extraction.
+type pilotRun struct {
+	rel *plan.Rel
+	job *mapreduce.Job
+	sub *cluster.Submission
+}
+
+// submitPilot builds and submits the leaf-expression job for one
+// relation. A nil sample runs over all splits (ST mode).
+func (e *Engine) submitPilot(rel *plan.Rel, queryName string, block *plan.JoinBlock, sample *sampleSpec) (*pilotRun, error) {
+	leaf := rel.Leaf
+	statsPaths := joinColumnsFor(block, leaf.Alias)
+	spec := mapreduce.Spec{
+		Name:   fmt.Sprintf("pilot/%s/%s", queryName, leaf.Alias),
+		Output: fmt.Sprintf("pilot/%s/%s", queryName, leaf.Alias),
+		Inputs: []mapreduce.Input{{
+			File: rel.File,
+			Map:  pilotMap(leaf),
+		}},
+		CollectStats:         statsPaths,
+		KMVSize:              e.Options.KMVSize,
+		StopAfter:            e.Options.K,
+		FinishIfFractionDone: e.Options.FinishFraction,
+	}
+	if sample != nil {
+		spec.Inputs[0].Splits = sample.initial
+		spec.MoreSplits = [][]int{sample.reserve}
+	}
+	job, sub, err := mapreduce.Submit(e.Env, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &pilotRun{rel: rel, job: job, sub: sub}, nil
+}
+
+// pilotMap wraps and filters base records: the leaf expression lexp_R.
+func pilotMap(leaf *plan.Leaf) mapreduce.MapFunc {
+	return func(mc *mapreduce.MapCtx, rec data.Value) {
+		row := data.Object(data.Field{Name: leaf.Alias, Value: rec})
+		if leaf.Pred != nil && !leaf.Pred.Eval(mc.ExprCtx(), row).Truthy() {
+			return
+		}
+		mc.Emit(row)
+	}
+}
+
+// finish extracts extrapolated statistics from a completed pilot run.
+func (p *pilotRun) finish() (stats.TableStats, bool, *dfs.File, error) {
+	if err := p.sub.Err(); err != nil {
+		return stats.TableStats{}, false, nil, err
+	}
+	res, err := p.job.Result()
+	if err != nil {
+		return stats.TableStats{}, false, nil, err
+	}
+	if res.WholeInput {
+		// Every record was observed: statistics are exact.
+		return res.Stats.Exact(), true, res.Output, nil
+	}
+	// |R|ε = size(R) / avg input record size measured over the sample
+	// (§4.3); the filtered cardinality estimate is then
+	// selectivity · |R|ε via Extrapolate.
+	part := res.Stats
+	totalInput := float64(part.InRecords)
+	var sampleBytes int64
+	for _, t := range p.sub.CompletedTasks() {
+		sampleBytes += t.Usage().BytesRead
+	}
+	if part.InRecords > 0 && sampleBytes > 0 {
+		avgIn := float64(sampleBytes) / float64(part.InRecords)
+		totalInput = float64(p.rel.File.Size()) / avgIn
+	}
+	return part.Extrapolate(totalInput), false, res.Output, nil
+}
+
+// joinColumnsFor returns the block's join columns belonging to the
+// alias (the only attributes pilot runs keep statistics for, §4.3).
+func joinColumnsFor(block *plan.JoinBlock, alias string) []data.Path {
+	// Always non-nil: pilot runs need at least the table-level
+	// statistics (cardinality, record size) even when the relation has
+	// no join columns.
+	out := []data.Path{}
+	seen := map[string]bool{}
+	for _, p := range block.JoinPreds {
+		l, r, ok := expr.EquiJoinCols(p)
+		if !ok {
+			continue
+		}
+		for _, c := range []data.Path{l, r} {
+			if c.Head() == alias && !seen[c.String()] {
+				seen[c.String()] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

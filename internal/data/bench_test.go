@@ -1,0 +1,46 @@
+package data
+
+import "testing"
+
+func benchValue() Value {
+	return Object(
+		Field{Name: "l_orderkey", Value: Int(123456)},
+		Field{Name: "l_partkey", Value: Int(789)},
+		Field{Name: "l_extendedprice", Value: Double(4520.25)},
+		Field{Name: "l_returnflag", Value: String("R")},
+		Field{Name: "tags", Value: Array(String("a"), String("b"))},
+	)
+}
+
+func BenchmarkHash64(b *testing.B) {
+	v := benchValue()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash64(v)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	x, y := benchValue(), benchValue()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compare(x, y)
+	}
+}
+
+func BenchmarkEncodedSize(b *testing.B) {
+	v := benchValue()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.EncodedSize()
+	}
+}
+
+func BenchmarkPathEval(b *testing.B) {
+	row := Object(Field{Name: "l", Value: benchValue()})
+	p := MustParsePath("l.l_orderkey")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Eval(row)
+	}
+}

@@ -1,0 +1,476 @@
+// Package data implements the semistructured value model used throughout
+// DYNO. Values are immutable, JSON-like trees: null, bool, int, double,
+// string, array, and object. Objects keep their fields sorted by name so
+// that encoding, comparison, and hashing are deterministic.
+//
+// Rows flowing through the engine are objects keyed by relation alias,
+// e.g. {"rs": {...restaurant...}, "rv": {...review...}}, which makes
+// path expressions such as rs.addr[0].zip uniform across base-table and
+// post-join records.
+package data
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds, ordered so that Compare can totally order values of
+// different kinds (null < bool < numbers < string < array < object).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindDouble
+	KindString
+	KindArray
+	KindObject
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindArray:
+		return "array"
+	case KindObject:
+		return "object"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Field is a single named member of an object value.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Value is an immutable semistructured datum. The zero Value is null.
+type Value struct {
+	kind   Kind
+	b      bool
+	i      int64
+	f      float64
+	s      string
+	arr    []Value
+	fields []Field // sorted by Name
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Double returns a floating-point value.
+func Double(f float64) Value { return Value{kind: KindDouble, f: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Array returns an array value holding the given elements. The slice is
+// retained; callers must not mutate it afterwards.
+func Array(elems ...Value) Value { return Value{kind: KindArray, arr: elems} }
+
+// Object returns an object value from the given fields. Fields are sorted
+// by name; a duplicate name keeps the last occurrence.
+func Object(fields ...Field) Value {
+	fs := make([]Field, len(fields))
+	copy(fs, fields)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+	// Deduplicate, keeping the last write for each name.
+	out := fs[:0]
+	for i := 0; i < len(fs); i++ {
+		if len(out) > 0 && out[len(out)-1].Name == fs[i].Name {
+			out[len(out)-1] = fs[i]
+		} else {
+			out = append(out, fs[i])
+		}
+	}
+	return Value{kind: KindObject, fields: out}
+}
+
+// ObjectFromMap builds an object value from a map.
+func ObjectFromMap(m map[string]Value) Value {
+	fs := make([]Field, 0, len(m))
+	for k, v := range m {
+		fs = append(fs, Field{Name: k, Value: v})
+	}
+	return Object(fs...)
+}
+
+// Kind reports the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload. It is false for non-bool values.
+func (v Value) Bool() bool { return v.kind == KindBool && v.b }
+
+// Int returns the integer payload, converting doubles by truncation.
+// It is 0 for non-numeric values.
+func (v Value) Int() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindDouble:
+		return int64(v.f)
+	default:
+		return 0
+	}
+}
+
+// Float returns the numeric payload as float64. It is 0 for non-numeric
+// values.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindDouble:
+		return v.f
+	default:
+		return 0
+	}
+}
+
+// Str returns the string payload. It is "" for non-string values.
+func (v Value) Str() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return ""
+}
+
+// IsNumeric reports whether the value is an int or a double.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindDouble }
+
+// Len returns the number of elements (arrays) or fields (objects),
+// and 0 for everything else.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindArray:
+		return len(v.arr)
+	case KindObject:
+		return len(v.fields)
+	default:
+		return 0
+	}
+}
+
+// Index returns the i-th array element. Out-of-range indexes and
+// non-arrays yield null.
+func (v Value) Index(i int) Value {
+	if v.kind != KindArray || i < 0 || i >= len(v.arr) {
+		return Null()
+	}
+	return v.arr[i]
+}
+
+// Elems returns the array elements. Callers must not mutate the slice.
+func (v Value) Elems() []Value {
+	if v.kind != KindArray {
+		return nil
+	}
+	return v.arr
+}
+
+// Field returns the named object field and whether it exists.
+func (v Value) Field(name string) (Value, bool) {
+	if v.kind != KindObject {
+		return Null(), false
+	}
+	i := sort.Search(len(v.fields), func(i int) bool { return v.fields[i].Name >= name })
+	if i < len(v.fields) && v.fields[i].Name == name {
+		return v.fields[i].Value, true
+	}
+	return Null(), false
+}
+
+// FieldOr returns the named field or null when absent.
+func (v Value) FieldOr(name string) Value {
+	f, _ := v.Field(name)
+	return f
+}
+
+// Fields returns the object's fields in name order. Callers must not
+// mutate the slice.
+func (v Value) Fields() []Field {
+	if v.kind != KindObject {
+		return nil
+	}
+	return v.fields
+}
+
+// With returns a copy of an object value with the named field set.
+// Calling With on a non-object returns a fresh single-field object.
+func (v Value) With(name string, val Value) Value {
+	if v.kind != KindObject {
+		return Object(Field{Name: name, Value: val})
+	}
+	fs := make([]Field, 0, len(v.fields)+1)
+	fs = append(fs, v.fields...)
+	fs = append(fs, Field{Name: name, Value: val})
+	return Object(fs...)
+}
+
+// MergeObjects returns an object containing the fields of a and b.
+// On a name clash b wins. Non-object inputs contribute nothing.
+func MergeObjects(a, b Value) Value {
+	fs := make([]Field, 0, a.Len()+b.Len())
+	fs = append(fs, a.Fields()...)
+	fs = append(fs, b.Fields()...)
+	return Object(fs...)
+}
+
+// Compare totally orders two values: first by kind class (numbers compare
+// across int/double), then by payload. It returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	ca, cb := kindClass(a.kind), kindClass(b.kind)
+	if ca != cb {
+		if ca < cb {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		if a.b == b.b {
+			return 0
+		}
+		if !a.b {
+			return -1
+		}
+		return 1
+	case KindInt, KindDouble:
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindArray:
+		n := min(len(a.arr), len(b.arr))
+		for i := 0; i < n; i++ {
+			if c := Compare(a.arr[i], b.arr[i]); c != 0 {
+				return c
+			}
+		}
+		return len(a.arr) - len(b.arr)
+	case KindObject:
+		n := min(len(a.fields), len(b.fields))
+		for i := 0; i < n; i++ {
+			if c := strings.Compare(a.fields[i].Name, b.fields[i].Name); c != 0 {
+				return c
+			}
+			if c := Compare(a.fields[i].Value, b.fields[i].Value); c != 0 {
+				return c
+			}
+		}
+		return len(a.fields) - len(b.fields)
+	}
+	return 0
+}
+
+// kindClass groups int and double so they compare as numbers.
+func kindClass(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindDouble:
+		return 2
+	case KindString:
+		return 3
+	case KindArray:
+		return 4
+	case KindObject:
+		return 5
+	}
+	return 6
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash64 returns a 64-bit FNV-1a hash of the value. Values that compare
+// equal hash equal (ints and integral doubles included).
+func Hash64(v Value) uint64 {
+	h := fnv.New64a()
+	hashInto(h, v)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func hashInto(h hasher, v Value) {
+	var tag [1]byte
+	switch v.kind {
+	case KindNull:
+		tag[0] = 0
+		h.Write(tag[:])
+	case KindBool:
+		tag[0] = 1
+		h.Write(tag[:])
+		if v.b {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	case KindInt, KindDouble:
+		// Hash numbers by their float64 image so 2 and 2.0 collide,
+		// matching Compare's cross-kind equality.
+		tag[0] = 2
+		h.Write(tag[:])
+		bits := math.Float64bits(v.Float())
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	case KindString:
+		tag[0] = 3
+		h.Write(tag[:])
+		h.Write([]byte(v.s))
+	case KindArray:
+		tag[0] = 4
+		h.Write(tag[:])
+		for _, e := range v.arr {
+			hashInto(h, e)
+		}
+	case KindObject:
+		tag[0] = 5
+		h.Write(tag[:])
+		for _, f := range v.fields {
+			h.Write([]byte(f.Name))
+			hashInto(h, f.Value)
+		}
+	}
+}
+
+// EncodedSize estimates the on-disk size of the value in bytes, matching
+// the JSON-lines encoding used by the simulated DFS. The simulator and
+// the optimizer's cost model both consume this estimate.
+func (v Value) EncodedSize() int64 {
+	switch v.kind {
+	case KindNull:
+		return 4
+	case KindBool:
+		if v.b {
+			return 4
+		}
+		return 5
+	case KindInt:
+		return int64(len(strconv.FormatInt(v.i, 10)))
+	case KindDouble:
+		return int64(len(strconv.FormatFloat(v.f, 'g', -1, 64)))
+	case KindString:
+		return int64(len(v.s)) + 2
+	case KindArray:
+		var n int64 = 2
+		for i, e := range v.arr {
+			if i > 0 {
+				n++
+			}
+			n += e.EncodedSize()
+		}
+		return n
+	case KindObject:
+		var n int64 = 2
+		for i, f := range v.fields {
+			if i > 0 {
+				n++
+			}
+			n += int64(len(f.Name)) + 3 + f.Value.EncodedSize()
+		}
+		return n
+	}
+	return 0
+}
+
+// String renders the value as compact JSON-ish text.
+func (v Value) String() string {
+	var sb strings.Builder
+	v.writeTo(&sb)
+	return sb.String()
+}
+
+func (v Value) writeTo(sb *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		sb.WriteString("null")
+	case KindBool:
+		sb.WriteString(strconv.FormatBool(v.b))
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindDouble:
+		sb.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+	case KindString:
+		sb.WriteString(strconv.Quote(v.s))
+	case KindArray:
+		sb.WriteByte('[')
+		for i, e := range v.arr {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			e.writeTo(sb)
+		}
+		sb.WriteByte(']')
+	case KindObject:
+		sb.WriteByte('{')
+		for i, f := range v.fields {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Quote(f.Name))
+			sb.WriteByte(':')
+			f.Value.writeTo(sb)
+		}
+		sb.WriteByte('}')
+	}
+}
+
+// Truthy reports whether the value should be treated as true in a filter
+// position: boolean true, or any non-null non-false value is falsy except
+// booleans; only Bool(true) is truthy, matching SQL-ish predicate
+// semantics where predicates evaluate to booleans.
+func (v Value) Truthy() bool { return v.kind == KindBool && v.b }

@@ -1,0 +1,359 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int",
+		KindDouble: "double", KindString: "string", KindArray: "array",
+		KindObject: "object", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != KindNull {
+		t.Fatalf("zero Value is %v, want null", v.Kind())
+	}
+}
+
+func TestScalarAccessors(t *testing.T) {
+	if !Bool(true).Bool() || Bool(false).Bool() {
+		t.Error("Bool accessor broken")
+	}
+	if Int(42).Int() != 42 {
+		t.Error("Int accessor broken")
+	}
+	if Double(2.5).Float() != 2.5 {
+		t.Error("Double accessor broken")
+	}
+	if Double(2.9).Int() != 2 {
+		t.Error("Double→Int should truncate")
+	}
+	if Int(7).Float() != 7.0 {
+		t.Error("Int→Float broken")
+	}
+	if String("x").Str() != "x" {
+		t.Error("Str accessor broken")
+	}
+	// Cross-kind accessors return zero values.
+	if String("x").Int() != 0 || Int(1).Str() != "" || Null().Bool() {
+		t.Error("cross-kind accessors should return zero values")
+	}
+}
+
+func TestObjectFieldLookup(t *testing.T) {
+	o := Object(
+		Field{"zeta", Int(1)},
+		Field{"alpha", Int(2)},
+		Field{"mid", Int(3)},
+	)
+	if got := o.FieldOr("alpha").Int(); got != 2 {
+		t.Errorf("alpha = %d, want 2", got)
+	}
+	if got := o.FieldOr("zeta").Int(); got != 1 {
+		t.Errorf("zeta = %d, want 1", got)
+	}
+	if _, ok := o.Field("missing"); ok {
+		t.Error("missing field reported present")
+	}
+	// Fields are sorted.
+	fs := o.Fields()
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].Name >= fs[i].Name {
+			t.Errorf("fields not sorted: %q >= %q", fs[i-1].Name, fs[i].Name)
+		}
+	}
+}
+
+func TestObjectDuplicateKeepsLast(t *testing.T) {
+	o := Object(Field{"a", Int(1)}, Field{"a", Int(2)})
+	if o.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", o.Len())
+	}
+	if got := o.FieldOr("a").Int(); got != 2 {
+		t.Errorf("a = %d, want 2 (last write wins)", got)
+	}
+}
+
+func TestObjectFromMap(t *testing.T) {
+	o := ObjectFromMap(map[string]Value{"b": Int(2), "a": Int(1)})
+	if o.Fields()[0].Name != "a" || o.Fields()[1].Name != "b" {
+		t.Errorf("ObjectFromMap not sorted: %v", o)
+	}
+}
+
+func TestArrayIndexing(t *testing.T) {
+	a := Array(Int(10), Int(20), Int(30))
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if a.Index(1).Int() != 20 {
+		t.Error("Index(1) wrong")
+	}
+	if !a.Index(-1).IsNull() || !a.Index(3).IsNull() {
+		t.Error("out-of-range index should be null")
+	}
+	if !Int(5).Index(0).IsNull() {
+		t.Error("indexing a scalar should be null")
+	}
+}
+
+func TestWith(t *testing.T) {
+	o := Object(Field{"a", Int(1)})
+	o2 := o.With("b", Int(2))
+	if o2.Len() != 2 || o2.FieldOr("b").Int() != 2 {
+		t.Errorf("With add failed: %v", o2)
+	}
+	if o.Len() != 1 {
+		t.Error("With mutated receiver")
+	}
+	o3 := o.With("a", Int(9))
+	if o3.FieldOr("a").Int() != 9 {
+		t.Error("With overwrite failed")
+	}
+	s := Int(3).With("x", Int(1))
+	if s.Kind() != KindObject || s.FieldOr("x").Int() != 1 {
+		t.Error("With on non-object should create object")
+	}
+}
+
+func TestMergeObjects(t *testing.T) {
+	a := Object(Field{"x", Int(1)}, Field{"y", Int(2)})
+	b := Object(Field{"y", Int(9)}, Field{"z", Int(3)})
+	m := MergeObjects(a, b)
+	if m.FieldOr("x").Int() != 1 || m.FieldOr("y").Int() != 9 || m.FieldOr("z").Int() != 3 {
+		t.Errorf("merge wrong: %v", m)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ordered := []Value{
+		Null(),
+		Bool(false), Bool(true),
+		Int(-5), Int(0), Double(0.5), Int(1), Double(1.5),
+		String(""), String("a"), String("b"),
+		Array(), Array(Int(1)), Array(Int(1), Int(2)), Array(Int(2)),
+		Object(), Object(Field{"a", Int(1)}),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			c := Compare(ordered[i], ordered[j])
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want <0", ordered[i], ordered[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want >0", ordered[i], ordered[j], c)
+			case i == j && c != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", ordered[i], ordered[j], c)
+			}
+		}
+	}
+}
+
+func TestCompareCrossNumeric(t *testing.T) {
+	if Compare(Int(2), Double(2.0)) != 0 {
+		t.Error("2 and 2.0 should compare equal")
+	}
+	if Compare(Int(2), Double(2.5)) != -1 {
+		t.Error("2 < 2.5")
+	}
+	if Compare(Double(3.5), Int(3)) != 1 {
+		t.Error("3.5 > 3")
+	}
+}
+
+func TestHashEqualValuesCollide(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(2), Double(2.0)},
+		{Object(Field{"a", Int(1)}, Field{"b", Int(2)}), Object(Field{"b", Int(2)}, Field{"a", Int(1)})},
+		{Array(String("x")), Array(String("x"))},
+	}
+	for _, p := range pairs {
+		if Hash64(p[0]) != Hash64(p[1]) {
+			t.Errorf("Hash64(%v) != Hash64(%v) for equal values", p[0], p[1])
+		}
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	vals := []Value{
+		Null(), Bool(false), Bool(true), Int(0), Int(1), String("0"),
+		String(""), Array(), Object(), Array(Int(1), Int(2)),
+		Array(Array(Int(1)), Int(2)),
+	}
+	seen := map[uint64]Value{}
+	for _, v := range vals {
+		h := Hash64(v)
+		if prev, ok := seen[h]; ok && !Equal(prev, v) {
+			t.Errorf("hash collision between %v and %v", prev, v)
+		}
+		seen[h] = v
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if !Bool(true).Truthy() {
+		t.Error("true should be truthy")
+	}
+	for _, v := range []Value{Bool(false), Null(), Int(1), String("true"), Array(Int(1))} {
+		if v.Truthy() {
+			t.Errorf("%v should not be truthy", v)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	v := Object(
+		Field{"name", String("joe's")},
+		Field{"ids", Array(Int(1), Int(2))},
+		Field{"rate", Double(4.5)},
+		Field{"none", Null()},
+	)
+	got := v.String()
+	want := `{"ids":[1,2],"name":"joe's","none":null,"rate":4.5}`
+	if got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+}
+
+func TestEncodedSizeTracksString(t *testing.T) {
+	vals := []Value{
+		Int(12345), Double(1.25), String("hello"), Bool(true), Null(),
+		Array(Int(1), String("ab")),
+		Object(Field{"k", Int(1)}),
+	}
+	for _, v := range vals {
+		sz := v.EncodedSize()
+		if sz <= 0 {
+			t.Errorf("EncodedSize(%v) = %d, want > 0", v, sz)
+		}
+		// The estimate should be within 2x of the real JSON length.
+		real := int64(len(v.String()))
+		if sz > 2*real+4 || real > 2*sz+4 {
+			t.Errorf("EncodedSize(%v) = %d far from JSON len %d", v, sz, real)
+		}
+	}
+}
+
+// randomValue builds an arbitrary value for property tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(7)
+	if depth <= 0 && k >= 5 {
+		k = r.Intn(5)
+	}
+	switch k {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63n(1000) - 500)
+	case 3:
+		return Double(float64(r.Int63n(1000))/7.0 - 50)
+	case 4:
+		letters := []byte("abcdefgh")
+		n := r.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return String(string(b))
+	case 5:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		return Array(elems...)
+	default:
+		n := r.Intn(4)
+		fields := make([]Field, n)
+		for i := range fields {
+			fields[i] = Field{Name: string(rune('a' + r.Intn(5))), Value: randomValue(r, depth-1)}
+		}
+		return Object(fields...)
+	}
+}
+
+func TestPropertyCompareReflexiveAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r, 3), randomValue(r, 3)
+		if Compare(a, a) != 0 || Compare(b, b) != 0 {
+			return false
+		}
+		cab, cba := Compare(a, b), Compare(b, a)
+		return sign(cab) == -sign(cba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(r, 2), randomValue(r, 2), randomValue(r, 2)
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		b := EncodeJSON(v)
+		got, err := DecodeJSON(b)
+		if err != nil {
+			t.Logf("decode %s: %v", b, err)
+			return false
+		}
+		return Equal(v, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEqualImpliesEqualHash(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		b := EncodeJSON(v)
+		w, err := DecodeJSON(b)
+		if err != nil {
+			return false
+		}
+		return Hash64(v) == Hash64(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

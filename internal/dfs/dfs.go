@@ -1,0 +1,263 @@
+// Package dfs implements the simulated distributed filesystem that plays
+// the role of HDFS in this reproduction. Files are append-only sequences
+// of fixed-capacity blocks ("splits"); each block stores decoded records
+// plus the byte size they would occupy as JSON lines on disk.
+//
+// Byte accounting is virtual: the filesystem applies a configurable
+// ByteScale multiplier so that a laptop-sized dataset presents the byte
+// volumes of the paper's 100 GB–1 TB TPC-H instances. Everything
+// downstream — split counts, shuffle volumes, the optimizer's memory
+// checks against Mmax — therefore operates at paper scale while the
+// actual records remain small enough to process in memory.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dyno/internal/data"
+)
+
+// DefaultBlockSize is the virtual HDFS block size (128 MB), matching the
+// paper's cluster configuration.
+const DefaultBlockSize = 128 << 20
+
+// FS is a simulated distributed filesystem. It is safe for concurrent
+// use.
+type FS struct {
+	mu        sync.Mutex
+	blockSize int64
+	byteScale float64
+	files     map[string]*File
+	nodes     int
+	nextNode  int
+}
+
+// Option configures an FS.
+type Option func(*FS)
+
+// WithBlockSize sets the virtual block size in bytes.
+func WithBlockSize(n int64) Option {
+	return func(f *FS) { f.blockSize = n }
+}
+
+// WithNodes sets the number of datanodes used for block placement.
+func WithNodes(n int) Option {
+	return func(f *FS) { f.nodes = n }
+}
+
+// New returns an empty filesystem with ByteScale 1.
+func New(opts ...Option) *FS {
+	fs := &FS{
+		blockSize: DefaultBlockSize,
+		byteScale: 1,
+		files:     make(map[string]*File),
+		nodes:     1,
+	}
+	for _, o := range opts {
+		o(fs)
+	}
+	if fs.nodes < 1 {
+		fs.nodes = 1
+	}
+	return fs
+}
+
+// SetByteScale sets the multiplier applied to raw encoded record sizes.
+// It affects subsequently written and already stored blocks alike, since
+// scaling is applied at read time.
+func (fs *FS) SetByteScale(s float64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if s <= 0 {
+		s = 1
+	}
+	fs.byteScale = s
+}
+
+// ByteScale returns the current byte-scale multiplier.
+func (fs *FS) ByteScale() float64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.byteScale
+}
+
+// BlockSize returns the virtual block size.
+func (fs *FS) BlockSize() int64 { return fs.blockSize }
+
+// Block is one split of a file: a run of records placed on a node.
+type Block struct {
+	Node     int
+	rawBytes int64
+	records  []data.Value
+}
+
+// Records returns the block's records. Callers must not mutate the
+// slice.
+func (b *Block) Records() []data.Value { return b.records }
+
+// NumRecords returns the number of records in the block.
+func (b *Block) NumRecords() int { return len(b.records) }
+
+// File is a named sequence of blocks.
+type File struct {
+	fs     *FS
+	name   string
+	blocks []*Block
+}
+
+// Name returns the file's path.
+func (f *File) Name() string { return f.name }
+
+// NumBlocks returns the number of blocks (splits).
+func (f *File) NumBlocks() int { return len(f.blocks) }
+
+// Block returns the i-th block.
+func (f *File) Block(i int) *Block { return f.blocks[i] }
+
+// Blocks returns all blocks. Callers must not mutate the slice.
+func (f *File) Blocks() []*Block { return f.blocks }
+
+// Size returns the file's virtual size in bytes.
+func (f *File) Size() int64 {
+	var raw int64
+	for _, b := range f.blocks {
+		raw += b.rawBytes
+	}
+	return int64(float64(raw) * f.fs.ByteScale())
+}
+
+// BlockSizeBytes returns the virtual size of the i-th block.
+func (f *File) BlockSizeBytes(i int) int64 {
+	return int64(float64(f.blocks[i].rawBytes) * f.fs.ByteScale())
+}
+
+// NumRecords returns the total record count.
+func (f *File) NumRecords() int64 {
+	var n int64
+	for _, b := range f.blocks {
+		n += int64(len(b.records))
+	}
+	return n
+}
+
+// AllRecords returns every record in block order. It copies the slice
+// headers, not the records.
+func (f *File) AllRecords() []data.Value {
+	out := make([]data.Value, 0, f.NumRecords())
+	for _, b := range f.blocks {
+		out = append(out, b.records...)
+	}
+	return out
+}
+
+// AvgRecordSize returns the mean virtual record size in bytes, or 0 for
+// an empty file.
+func (f *File) AvgRecordSize() float64 {
+	n := f.NumRecords()
+	if n == 0 {
+		return 0
+	}
+	return float64(f.Size()) / float64(n)
+}
+
+// Writer appends records to a file, cutting blocks at the virtual block
+// size.
+type Writer struct {
+	fs   *FS
+	file *File
+	cur  *Block
+}
+
+// Create creates (or truncates) a file and returns a writer for it.
+func (fs *FS) Create(name string) *Writer {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &File{fs: fs, name: name}
+	fs.files[name] = f
+	return &Writer{fs: fs, file: f}
+}
+
+// Append writes one record.
+func (w *Writer) Append(rec data.Value) {
+	raw := rec.EncodedSize() + 1 // +1 for the newline in JSON-lines
+	w.fs.mu.Lock()
+	scale := w.fs.byteScale
+	blockCap := w.fs.blockSize
+	if w.cur == nil || float64(w.cur.rawBytes+raw)*scale > float64(blockCap) && len(w.cur.records) > 0 {
+		w.cur = &Block{Node: w.fs.nextNode}
+		w.fs.nextNode = (w.fs.nextNode + 1) % w.fs.nodes
+		w.file.blocks = append(w.file.blocks, w.cur)
+	}
+	w.cur.rawBytes += raw
+	w.cur.records = append(w.cur.records, rec)
+	w.fs.mu.Unlock()
+}
+
+// AppendAll writes all records.
+func (w *Writer) AppendAll(recs []data.Value) {
+	for _, r := range recs {
+		w.Append(r)
+	}
+}
+
+// Close finalizes the file and returns it. An empty file has zero
+// blocks.
+func (w *Writer) Close() *File {
+	return w.file
+}
+
+// Open returns the named file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether the named file exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Remove deletes the named file; removing a missing file is an error.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns the sorted names of all files.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalSize returns the virtual size of all files.
+func (fs *FS) TotalSize() int64 {
+	var total int64
+	for _, name := range fs.List() {
+		f, err := fs.Open(name)
+		if err == nil {
+			total += f.Size()
+		}
+	}
+	return total
+}

@@ -1,0 +1,349 @@
+package jaql
+
+import (
+	"fmt"
+
+	"dyno/internal/cluster"
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/mapreduce"
+	"dyno/internal/plan"
+	"dyno/internal/stats"
+)
+
+// ExecOpts configures the execution of one unit.
+type ExecOpts struct {
+	// StatsPaths lists the attributes to collect output statistics for
+	// (the join columns still needed by the unexecuted remainder,
+	// §5.4). Nil disables collection.
+	StatsPaths []data.Path
+	KMVSize    int
+	OutputPath string
+	// Prune, when non-nil, is applied to every row a job emits or
+	// shuffles (projection pushdown: rows carry only the fields the
+	// query references). Build with NewPruner.
+	Prune func(data.Value) data.Value
+	// SwitchMmax, when positive, enables the dynamic join operator the
+	// paper plans as future work (§8): a repartition join whose
+	// smaller input is already materialized and actually fits within
+	// this budget is converted to a broadcast join at submit time,
+	// without waiting for a re-optimization point. Inputs whose true
+	// size is unknown (unfiltered base files with predicates) are
+	// judged by their file size, so the conversion is always safe.
+	SwitchMmax float64
+}
+
+// Run is a submitted unit execution.
+type Run struct {
+	Unit *Unit
+	Job  *mapreduce.Job
+	Sub  *cluster.Submission
+}
+
+// SubmitUnit translates a ready unit into a MapReduce job and submits
+// it to the cluster.
+func SubmitUnit(env *mapreduce.Env, u *Unit, opts ExecOpts) (*Run, error) {
+	if u.Done() {
+		return nil, fmt.Errorf("jaql: unit %s already executed", u.Name)
+	}
+	if !u.Ready() {
+		return nil, fmt.Errorf("jaql: unit %s has unexecuted dependencies", u.Name)
+	}
+	spec, err := buildSpec(env, u, opts)
+	if err != nil {
+		return nil, err
+	}
+	job, sub, err := mapreduce.Submit(env, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Unit: u, Job: job, Sub: sub}, nil
+}
+
+// Finalize turns a completed run into the unit's output relation. The
+// relation's statistics come from the job's online statistics
+// collection (exact, since the whole input was processed).
+func (r *Run) Finalize(relName string) (*plan.Rel, error) {
+	if r.Sub.Err() != nil {
+		return nil, r.Sub.Err()
+	}
+	res, err := r.Job.Result()
+	if err != nil {
+		return nil, err
+	}
+	rel := &plan.Rel{
+		Name:        relName,
+		Aliases:     append([]string(nil), r.Unit.Aliases...),
+		File:        res.Output,
+		Uncertainty: r.Unit.Uncertainty,
+	}
+	if res.Stats != nil {
+		rel.Stats = res.Stats.Exact()
+	} else {
+		rel.Stats = stats.TableStats{
+			Card:       float64(res.OutRecords),
+			AvgRecSize: avgSize(res),
+		}
+	}
+	r.Unit.OutRel = rel
+	r.Unit.Result = res
+	return rel, nil
+}
+
+func avgSize(res *mapreduce.Result) float64 {
+	if res.OutRecords == 0 {
+		return 0
+	}
+	return float64(res.OutputVirtual) / float64(res.OutRecords)
+}
+
+// buildSpec assembles the MapReduce spec for a unit.
+func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, error) {
+	out := opts.OutputPath
+	if out == "" {
+		out = "tmp/" + u.Name
+	}
+	spec := mapreduce.Spec{
+		Name:         u.Name,
+		Output:       out,
+		CollectStats: opts.StatsPaths,
+		KMVSize:      opts.KMVSize,
+	}
+	prune := opts.Prune
+	switch u.Kind {
+	case UnitScan:
+		file, err := u.Probe.file()
+		if err != nil {
+			return spec, err
+		}
+		spec.Inputs = []mapreduce.Input{{File: file, Map: scanMap(u.Probe, prune)}}
+	case UnitRepartition:
+		j := u.Chain[0]
+		lf, err := u.Probe.file()
+		if err != nil {
+			return spec, err
+		}
+		rf, err := u.Right.file()
+		if err != nil {
+			return spec, err
+		}
+		if opts.SwitchMmax > 0 {
+			// Dynamic join operator: now that both inputs exist as
+			// files, re-check whether one side truly fits in memory.
+			probe, build := u.Probe, u.Right
+			pf, bf := lf, rf
+			if float64(pf.Size()) < float64(bf.Size()) {
+				probe, build = build, probe
+				pf, bf = bf, pf
+			}
+			if float64(bf.Size()) <= opts.SwitchMmax {
+				u.Switched = true
+				return broadcastSpec(spec, probe, pf, []buildStep{{src: build, join: j}}, prune)
+			}
+		}
+		// Size the reduce phase from the estimated shuffle volume (both
+		// filtered inputs are shuffled in full), the way stats-driven
+		// engines do, rather than from raw input bytes.
+		spec.NumReducers = reducersFor(env, j.Left.Bytes()+j.Right.Bytes())
+		lKeys := probeKeyPaths(j, u.Probe.aliases())
+		rKeys := probeKeyPaths(j, u.Right.aliases())
+		spec.Inputs = []mapreduce.Input{
+			{File: lf, Map: shuffleMap(u.Probe, lKeys, "L", prune)},
+			{File: rf, Map: shuffleMap(u.Right, rKeys, "R", prune)},
+		}
+		residual := expr.Conjoin(j.Residual)
+		spec.Reduce = func(rc *mapreduce.ReduceCtx, key data.Value, group []mapreduce.Tagged) {
+			var ls, rs []data.Value
+			for _, g := range group {
+				if g.Tag == "L" {
+					ls = append(ls, g.Rec)
+				} else {
+					rs = append(rs, g.Rec)
+				}
+			}
+			for _, l := range ls {
+				for _, r := range rs {
+					merged := data.MergeObjects(l, r)
+					if residual != nil && !residual.Eval(rc.ExprCtx(), merged).Truthy() {
+						continue
+					}
+					if prune != nil {
+						merged = prune(merged)
+					}
+					rc.Emit(merged)
+				}
+			}
+		}
+	case UnitBroadcastChain:
+		pf, err := u.Probe.file()
+		if err != nil {
+			return spec, err
+		}
+		steps := make([]buildStep, len(u.Chain))
+		for i, m := range u.Chain {
+			steps[i] = buildStep{src: u.Builds[i], join: m}
+		}
+		return broadcastSpec(spec, u.Probe, pf, steps, prune)
+	}
+	return spec, nil
+}
+
+// buildStep pairs a broadcast build source with the join it serves.
+type buildStep struct {
+	src  Source
+	join *plan.Join
+}
+
+// broadcastSpec assembles a map-only hash-join job: the probe input
+// streams through the chain of builds, merging and applying each
+// join's residual filters inline.
+func broadcastSpec(spec mapreduce.Spec, probe Source, probeFile *dfs.File, steps []buildStep, prune func(data.Value) data.Value) (mapreduce.Spec, error) {
+	type probeStep struct {
+		name     string
+		keys     []data.Path
+		residual expr.Expr
+	}
+	plans := make([]probeStep, len(steps))
+	probeAliases := append([]string(nil), probe.aliases()...)
+	for i, st := range steps {
+		name := fmt.Sprintf("b%d", i)
+		bf, err := st.src.file()
+		if err != nil {
+			return spec, err
+		}
+		spec.Broadcasts = append(spec.Broadcasts, mapreduce.Broadcast{
+			Name:     name,
+			File:     bf,
+			KeyPaths: probeKeyPaths(st.join, st.src.aliases()),
+			Wrap:     st.src.Wrap,
+			Filter:   st.src.Filter,
+		})
+		plans[i] = probeStep{
+			name:     name,
+			keys:     probeKeyPaths(st.join, probeAliases),
+			residual: expr.Conjoin(st.join.Residual),
+		}
+		probeAliases = append(probeAliases, st.src.aliases()...)
+	}
+	spec.Inputs = []mapreduce.Input{{File: probeFile, Map: func(mc *mapreduce.MapCtx, rec data.Value) {
+		row := wrapFilter(mc.ExprCtx(), probe, rec)
+		if row.IsNull() {
+			return
+		}
+		if prune != nil {
+			row = prune(row)
+		}
+		rows := []data.Value{row}
+		for _, st := range plans {
+			ht := mc.Build(st.name)
+			var next []data.Value
+			for _, r := range rows {
+				key := mapreduce.CompositeKey(r, st.keys)
+				for _, m := range ht.Probe(key) {
+					merged := data.MergeObjects(r, m)
+					if st.residual != nil && !st.residual.Eval(mc.ExprCtx(), merged).Truthy() {
+						continue
+					}
+					next = append(next, merged)
+				}
+			}
+			rows = next
+			if len(rows) == 0 {
+				return
+			}
+		}
+		for _, r := range rows {
+			if prune != nil {
+				r = prune(r)
+			}
+			mc.Emit(r)
+		}
+	}}}
+	return spec, nil
+}
+
+// reducersFor converts an estimated shuffle volume to a reduce-task
+// count, bounded by twice the cluster's reduce slots.
+func reducersFor(env *mapreduce.Env, shuffleBytes float64) int {
+	per := float64(env.BytesPerReducer)
+	if per <= 0 {
+		per = mapreduce.DefaultBytesPerReducer
+	}
+	n := int(shuffleBytes / per)
+	if n < 1 {
+		n = 1
+	}
+	if max := env.Sim.Config().ReduceSlots() * 2; n > max && max > 0 {
+		n = max
+	}
+	return n
+}
+
+// wrapFilter applies a source's alias wrapping and inline filter; it
+// returns null when the row is filtered out.
+func wrapFilter(ectx *expr.Ctx, s Source, rec data.Value) data.Value {
+	row := rec
+	if s.Wrap != "" {
+		row = data.Object(data.Field{Name: s.Wrap, Value: rec})
+	}
+	if s.Filter != nil && !s.Filter.Eval(ectx, row).Truthy() {
+		return data.Null()
+	}
+	return row
+}
+
+// scanMap emits wrapped, filtered rows.
+func scanMap(s Source, prune func(data.Value) data.Value) mapreduce.MapFunc {
+	return func(mc *mapreduce.MapCtx, rec data.Value) {
+		if row := wrapFilter(mc.ExprCtx(), s, rec); !row.IsNull() {
+			if prune != nil {
+				row = prune(row)
+			}
+			mc.Emit(row)
+		}
+	}
+}
+
+// shuffleMap emits wrapped, filtered rows keyed for a repartition join.
+func shuffleMap(s Source, keys []data.Path, tag string, prune func(data.Value) data.Value) mapreduce.MapFunc {
+	return func(mc *mapreduce.MapCtx, rec data.Value) {
+		row := wrapFilter(mc.ExprCtx(), s, rec)
+		if row.IsNull() {
+			return
+		}
+		if prune != nil {
+			row = prune(row)
+		}
+		mc.EmitKV(mapreduce.CompositeKey(row, keys), tag, row)
+	}
+}
+
+// NewPruner builds a row transform for projection pushdown: every
+// alias sub-record keeps only its live fields (a nil set keeps the
+// whole record).
+func NewPruner(live map[string]map[string]bool) func(data.Value) data.Value {
+	if live == nil {
+		return nil
+	}
+	return func(row data.Value) data.Value {
+		fields := row.Fields()
+		out := make([]data.Field, 0, len(fields))
+		for _, f := range fields {
+			set, known := live[f.Name]
+			if !known || set == nil {
+				out = append(out, f)
+				continue
+			}
+			inner := f.Value.Fields()
+			kept := make([]data.Field, 0, len(set))
+			for _, g := range inner {
+				if set[g.Name] {
+					kept = append(kept, g)
+				}
+			}
+			out = append(out, data.Field{Name: f.Name, Value: data.Object(kept...)})
+		}
+		return data.Object(out...)
+	}
+}

@@ -1,0 +1,115 @@
+package jaql
+
+import (
+	"fmt"
+
+	"dyno/internal/data"
+	"dyno/internal/expr"
+	"dyno/internal/mapreduce"
+	"dyno/internal/plan"
+	"dyno/internal/rowops"
+	"dyno/internal/sqlparse"
+)
+
+// QueryResult is the final output of a query.
+type QueryResult struct {
+	Rows []data.Value
+	// AggregateJob reports whether a grouping MapReduce job ran.
+	AggregateJob bool
+}
+
+// FinishQuery executes the operators the cost-based optimizer does not
+// consider (§5.1 "Executing the whole query"): grouping/aggregation as
+// a MapReduce job over the join result, then client-side ordering,
+// limiting, and projection (Jaql evaluates non-parallelized parts on
+// the client).
+func FinishQuery(env *mapreduce.Env, q *sqlparse.Query, final *plan.Rel, outPath string) (*QueryResult, error) {
+	res := &QueryResult{}
+	rows := final.File.AllRecords()
+	if q.HasAggregates() || len(q.GroupBy) > 0 {
+		agg, err := runAggregateJob(env, q, final, outPath)
+		if err != nil {
+			return nil, err
+		}
+		rows = agg
+		res.AggregateJob = true
+	} else {
+		projected := make([]data.Value, 0, len(rows))
+		ectx := &expr.Ctx{Reg: env.Reg}
+		for _, row := range rows {
+			projected = append(projected, rowops.Project(ectx, q.Select, row))
+		}
+		if ectx.Err != nil {
+			return nil, ectx.Err
+		}
+		rows = projected
+	}
+	if len(q.OrderBy) > 0 {
+		rowops.Sort(rows, q.OrderBy)
+	}
+	if q.Limit >= 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// runAggregateJob groups the join output and computes the aggregates
+// in a MapReduce job.
+func runAggregateJob(env *mapreduce.Env, q *sqlparse.Query, final *plan.Rel, outPath string) ([]data.Value, error) {
+	if outPath == "" {
+		outPath = "tmp/aggregate"
+	}
+	spec := mapreduce.Spec{
+		Name:   outPath,
+		Output: outPath,
+		Inputs: []mapreduce.Input{{File: final.File, Map: func(mc *mapreduce.MapCtx, rec data.Value) {
+			mc.EmitKV(rowops.GroupKey(mc.ExprCtx(), q.GroupBy, rec), "", rec)
+		}}},
+	}
+	if env.UseCombiner {
+		// Map-side partial aggregation: the combiner folds each map
+		// task's rows per group into one mergeable partial, and the
+		// reducer merges partials.
+		spec.Combine = func(rc *mapreduce.ReduceCtx, key data.Value, group []mapreduce.Tagged) {
+			rows := make([]data.Value, len(group))
+			for i, g := range group {
+				rows[i] = g.Rec
+			}
+			rc.Emit(rowops.PartialAggregate(rc.ExprCtx(), q.Select, rows))
+		}
+		spec.Reduce = func(rc *mapreduce.ReduceCtx, key data.Value, group []mapreduce.Tagged) {
+			partials := make([]data.Value, len(group))
+			for i, g := range group {
+				partials[i] = g.Rec
+			}
+			rc.Emit(rowops.MergeAggregates(q.Select, partials))
+		}
+	} else {
+		spec.Reduce = func(rc *mapreduce.ReduceCtx, key data.Value, group []mapreduce.Tagged) {
+			rows := make([]data.Value, len(group))
+			for i, g := range group {
+				rows[i] = g.Rec
+			}
+			rc.Emit(rowops.AggregateGroup(rc.ExprCtx(), q.Select, rows))
+		}
+	}
+	result, err := mapreduce.Run(env, spec)
+	if err != nil {
+		return nil, err
+	}
+	return result.Output.AllRecords(), nil
+}
+
+// FormatRows renders result rows for display.
+func FormatRows(rows []data.Value, max int) string {
+	out := ""
+	for i, r := range rows {
+		if max > 0 && i >= max {
+			out += fmt.Sprintf("... (%d more rows)\n", len(rows)-max)
+			break
+		}
+		out += r.String() + "\n"
+	}
+	return out
+}

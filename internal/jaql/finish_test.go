@@ -1,0 +1,141 @@
+package jaql
+
+import (
+	"testing"
+
+	"dyno/internal/cluster"
+	"dyno/internal/data"
+	"dyno/internal/mapreduce"
+	"dyno/internal/plan"
+	"dyno/internal/sqlparse"
+	"dyno/internal/stats"
+)
+
+// finalRel materializes rows as a relation for FinishQuery tests.
+func finalRel(env *mapreduce.Env, rows []data.Value) *plan.Rel {
+	w := env.FS.Create("final-input")
+	w.AppendAll(rows)
+	f := w.Close()
+	return &plan.Rel{
+		Name:    "result",
+		Aliases: []string{"a"},
+		File:    f,
+		Stats:   stats.TableStats{Card: float64(len(rows))},
+	}
+}
+
+func joinedRows(n int) []data.Value {
+	out := make([]data.Value, n)
+	for i := range out {
+		out[i] = data.Object(data.Field{Name: "a", Value: data.Object(
+			data.Field{Name: "id", Value: data.Int(int64(i))},
+			data.Field{Name: "g", Value: data.Int(int64(i % 3))},
+		)})
+	}
+	return out
+}
+
+func TestFinishQueryLimitZero(t *testing.T) {
+	env := testEnv()
+	q := sqlparse.MustParse("SELECT a.id FROM t a LIMIT 0")
+	res, err := FinishQuery(env, q, finalRel(env, joinedRows(10)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(res.Rows))
+	}
+}
+
+func TestFinishQueryAggregateOverEmpty(t *testing.T) {
+	env := testEnv()
+	q := sqlparse.MustParse("SELECT a.g, count(*) FROM t a GROUP BY a.g")
+	res, err := FinishQuery(env, q, finalRel(env, nil), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("aggregate over empty = %v", res.Rows)
+	}
+	if !res.AggregateJob {
+		t.Error("aggregate job flag missing")
+	}
+}
+
+func TestFinishQueryAggregateDefaultOutPath(t *testing.T) {
+	env := testEnv()
+	q := sqlparse.MustParse("SELECT a.g, count(*) AS n FROM t a GROUP BY a.g")
+	res, err := FinishQuery(env, q, finalRel(env, joinedRows(9)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.FieldOr("n").Int() != 3 {
+			t.Errorf("group size = %v", r.FieldOr("n"))
+		}
+	}
+}
+
+func TestReducersForBounds(t *testing.T) {
+	env := testEnv() // 4 reduce slots → cap 8
+	if got := reducersFor(env, 0); got != 1 {
+		t.Errorf("zero shuffle reducers = %d", got)
+	}
+	env.BytesPerReducer = 100
+	if got := reducersFor(env, 350); got != 3 {
+		t.Errorf("350B/100B = %d, want 3", got)
+	}
+	if got := reducersFor(env, 1e9); got != env.Sim.Config().ReduceSlots()*2 {
+		t.Errorf("huge shuffle should cap at 2x slots: %d", got)
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	if UnitScan.String() != "scan" || UnitRepartition.String() != "repartition" ||
+		UnitBroadcastChain.String() != "broadcast-chain" {
+		t.Error("UnitKind strings broken")
+	}
+}
+
+func TestFinishQueryCombinerMatchesPlain(t *testing.T) {
+	q := sqlparse.MustParse(`SELECT a.g, count(*) AS n, sum(a.id) AS s, avg(a.id) AS av,
+		min(a.id) AS mn, max(a.id) AS mx FROM t a GROUP BY a.g ORDER BY a.g`)
+	rows := joinedRows(300)
+	var plain, combined []data.Value
+	var plainShuffle, combinedShuffle int64
+	for _, useCombiner := range []bool{false, true} {
+		env := testEnv()
+		env.UseCombiner = useCombiner
+		var shuffled int64
+		env.Sim.SetTrace(func(ev cluster.TraceEvent) {})
+		res, err := FinishQuery(env, q, finalRel(env, rows), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sub := range env.Sim.Jobs() {
+			for _, task := range sub.CompletedTasks() {
+				shuffled += task.Usage().BytesShuffled
+			}
+		}
+		if useCombiner {
+			combined, combinedShuffle = res.Rows, shuffled
+		} else {
+			plain, plainShuffle = res.Rows, shuffled
+		}
+	}
+	if len(plain) != len(combined) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain), len(combined))
+	}
+	for i := range plain {
+		if !data.Equal(plain[i], combined[i]) {
+			t.Fatalf("row %d differs:\n plain    %v\n combined %v", i, plain[i], combined[i])
+		}
+	}
+	if combinedShuffle >= plainShuffle {
+		t.Errorf("combiner shuffle (%d) should undercut plain shuffle (%d)",
+			combinedShuffle, plainShuffle)
+	}
+}

@@ -1,0 +1,800 @@
+// Package mapreduce implements the MapReduce execution engine over the
+// simulated cluster and DFS. It provides the three job shapes DYNO
+// needs:
+//
+//   - map-only jobs (scans with local predicates/UDFs, broadcast hash
+//     joins and broadcast-join chains, pilot runs with early termination
+//     and on-demand split sampling),
+//   - map-reduce jobs (repartition joins, group-by, order-by),
+//   - statistics collection in either phase, published per task through
+//     the coordination service and merged by the client (§5.4).
+//
+// Jobs always materialize their output to the DFS — the natural
+// re-optimization checkpoints the paper exploits.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dyno/internal/cluster"
+	"dyno/internal/coord"
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/stats"
+)
+
+// ErrBroadcastOOM is returned when a broadcast build side does not fit
+// in a task slot's memory. In Jaql this aborts the query (§2.2.1: "the
+// execution of the join, and hence the query fails due to an out of
+// memory error").
+var ErrBroadcastOOM = errors.New("mapreduce: broadcast build side exceeds slot memory")
+
+// DefaultBytesPerReducer sizes reduce tasks from job input volume in
+// the spirit of Hive's bytes-per-reducer default, set to 256 MB so that
+// jobs whose shuffle volume approaches their input volume still get
+// adequate reduce parallelism on the simulated cluster.
+const DefaultBytesPerReducer = 256 << 20
+
+// Env bundles the shared services a job runs against.
+type Env struct {
+	FS    *dfs.FS
+	Sim   *cluster.Sim
+	Coord *coord.Service
+	Reg   *expr.Registry
+	// DistributedCache enables Hive-0.12-style broadcast builds: the
+	// build side is loaded once per node instead of once per task
+	// (§6.6).
+	DistributedCache bool
+	// BytesPerReducer controls reduce-task sizing; 0 means the Hive
+	// default.
+	BytesPerReducer int64
+	// UseCombiner enables map-side partial aggregation for the
+	// grouping job the compiler schedules after the join block. Off by
+	// default to keep the evaluation's published numbers stable.
+	UseCombiner bool
+}
+
+// VirtualSize returns the virtual on-disk size of a record.
+func (e *Env) VirtualSize(rec data.Value) int64 {
+	return int64(float64(rec.EncodedSize()+1) * e.FS.ByteScale())
+}
+
+// MapCtx is handed to map functions for emitting output.
+type MapCtx struct {
+	job    *Job
+	task   *mapTaskState
+	ectx   *expr.Ctx
+	builds map[string]*HashTable
+}
+
+// ExprCtx returns the expression evaluation context (UDF registry plus
+// accumulated CPU cost).
+func (mc *MapCtx) ExprCtx() *expr.Ctx { return mc.ectx }
+
+// Build returns the broadcast hash table registered under the given
+// name, or nil.
+func (mc *MapCtx) Build(name string) *HashTable { return mc.builds[name] }
+
+// Emit writes a record to the job's (map-only) output.
+func (mc *MapCtx) Emit(rec data.Value) {
+	mc.task.outRows = append(mc.task.outRows, rec)
+}
+
+// EmitKV routes a record through the shuffle, keyed for the reduce
+// phase.
+func (mc *MapCtx) EmitKV(key data.Value, tag string, rec data.Value) {
+	p := int(data.Hash64(key) % uint64(mc.job.numReducers))
+	mc.task.buckets[p] = append(mc.task.buckets[p], kvPair{key: key, tag: tag, rec: rec})
+}
+
+// MapFunc processes one input record.
+type MapFunc func(mc *MapCtx, rec data.Value)
+
+// ReduceCtx is handed to reduce functions for emitting output.
+type ReduceCtx struct {
+	task *reduceTaskState
+	ectx *expr.Ctx
+}
+
+// ExprCtx returns the expression evaluation context.
+func (rc *ReduceCtx) ExprCtx() *expr.Ctx { return rc.ectx }
+
+// Emit writes a record to the job's output.
+func (rc *ReduceCtx) Emit(rec data.Value) {
+	rc.task.outRows = append(rc.task.outRows, rec)
+}
+
+// Tagged is one shuffled record with its input tag (repartition joins
+// tag records with the side they came from).
+type Tagged struct {
+	Tag string
+	Rec data.Value
+}
+
+// ReduceFunc processes all records sharing a key.
+type ReduceFunc func(rc *ReduceCtx, key data.Value, group []Tagged)
+
+// Input is one mapped input of a job.
+type Input struct {
+	File *dfs.File
+	// Splits selects block indexes to process; nil means all.
+	Splits []int
+	Map    MapFunc
+}
+
+// Broadcast declares a build side loaded into every map task (or once
+// per node with the distributed cache).
+//
+// When Wrap is set, raw base-table records are wrapped as {Wrap: rec}
+// before keying, so path expressions see the same row shape as scans.
+// When Filter is set, it is applied while building — the Jaql pattern of
+// filtering the small side during hash-table construction. The one-time
+// cost of scanning the unfiltered file and evaluating the filter is
+// charged once per job (the engine materializes the filtered build and
+// distributes that); tasks then pay only for loading the filtered
+// table. Pilot runs that consumed their whole input make this free by
+// supplying the already-filtered file (§4.1's output-reuse
+// optimization).
+type Broadcast struct {
+	Name     string
+	File     *dfs.File
+	KeyPaths []data.Path // build-side join key columns over the (wrapped) rows
+	Wrap     string      // alias to wrap raw records with; "" = rows are stored pre-wrapped
+	Filter   expr.Expr   // optional predicate applied during the build
+}
+
+// HashTable is an in-memory build side keyed by join key hash.
+type HashTable struct {
+	buckets    map[uint64][]data.Value
+	keyPaths   []data.Path
+	rows       int
+	builtBytes int64   // virtual size of the retained (filtered) rows
+	prepBytes  int64   // one-time scan volume to produce the build
+	prepCPU    float64 // one-time UDF cost to produce the build
+}
+
+// buildHashTable indexes a broadcast side, wrapping and filtering as
+// declared.
+func buildHashTable(env *Env, b Broadcast) (*HashTable, error) {
+	ht := &HashTable{buckets: make(map[uint64][]data.Value), keyPaths: b.KeyPaths}
+	ectx := &expr.Ctx{Reg: env.Reg}
+	for _, blk := range b.File.Blocks() {
+		for _, rec := range blk.Records() {
+			row := rec
+			if b.Wrap != "" {
+				row = data.Object(data.Field{Name: b.Wrap, Value: rec})
+			}
+			if b.Filter != nil && !b.Filter.Eval(ectx, row).Truthy() {
+				continue
+			}
+			k := CompositeKey(row, b.KeyPaths)
+			ht.buckets[data.Hash64(k)] = append(ht.buckets[data.Hash64(k)], row)
+			ht.rows++
+			ht.builtBytes += env.VirtualSize(row)
+		}
+	}
+	if ectx.Err != nil {
+		return nil, ectx.Err
+	}
+	if b.Filter != nil {
+		ht.prepBytes = b.File.Size()
+		ht.prepCPU = ectx.CPUSeconds
+	}
+	return ht, nil
+}
+
+// Probe returns the build rows whose key equals k.
+func (h *HashTable) Probe(k data.Value) []data.Value {
+	cands := h.buckets[data.Hash64(k)]
+	if len(cands) == 0 {
+		return nil
+	}
+	out := cands[:0:0]
+	for _, r := range cands {
+		if data.Equal(CompositeKey(r, h.keyPaths), k) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CompositeKey evaluates the key columns over a row. A single path
+// yields the bare value; multiple paths yield an array, so single- and
+// multi-column join keys hash consistently on both sides.
+func CompositeKey(row data.Value, paths []data.Path) data.Value {
+	if len(paths) == 1 {
+		return paths[0].Eval(row)
+	}
+	vals := make([]data.Value, len(paths))
+	for i, p := range paths {
+		vals[i] = p.Eval(row)
+	}
+	return data.Array(vals...)
+}
+
+// Rows returns the build side's row count.
+func (h *HashTable) Rows() int { return h.rows }
+
+// Spec describes a job.
+type Spec struct {
+	Name   string
+	Inputs []Input
+	Reduce ReduceFunc // nil for map-only jobs
+	// Combine, when set, runs on each map task's shuffle buckets
+	// before they leave the task (the classic MapReduce combiner):
+	// rows sharing a key are folded into the rows Combine emits,
+	// shrinking the shuffle. The reducer must accept combiner output.
+	Combine     ReduceFunc
+	Output      string // DFS path for the materialized result
+	NumReducers int    // 0: sized from input bytes like Hive
+
+	// Broadcasts are build sides for map-side hash joins.
+	Broadcasts []Broadcast
+
+	// CollectStats lists attribute paths to track on the output; nil
+	// disables statistics collection for the job.
+	CollectStats []data.Path
+	KMVSize      int
+
+	// StopAfter > 0 enables pilot-run early termination: once the
+	// job-wide output counter reaches the value, queued tasks are
+	// canceled (running tasks always finish their split).
+	StopAfter int64
+	// MoreSplits holds reserve splits per input, added on demand when
+	// the initial sample is exhausted before StopAfter is reached
+	// (PILR_MT's dynamic split addition).
+	MoreSplits [][]int
+	// FinishIfFractionDone keeps the job running to completion when at
+	// least this fraction of splits has already been processed once
+	// StopAfter triggers (§4.1's selective-predicate optimization). 0
+	// disables.
+	FinishIfFractionDone float64
+}
+
+type kvPair struct {
+	key data.Value
+	tag string
+	rec data.Value
+}
+
+type mapTaskState struct {
+	inputIdx  int
+	splitIdx  int
+	seq       int // submission order, for deterministic output assembly
+	outRows   []data.Value
+	buckets   [][]kvPair
+	collector *stats.Collector
+}
+
+type reduceTaskState struct {
+	partition int
+	outRows   []data.Value
+	collector *stats.Collector
+}
+
+// Result summarizes a finished job.
+type Result struct {
+	Output        *dfs.File
+	Stats         *stats.Partial
+	InRecords     int64
+	OutRecords    int64
+	MapTasks      int
+	ReduceTasks   int
+	SplitsTotal   int
+	SplitsRun     int
+	WholeInput    bool // every split of every input was processed
+	OutputVirtual int64
+}
+
+// Job implements cluster.Job for a Spec.
+type Job struct {
+	env  *Env
+	spec Spec
+
+	numReducers int
+	builds      map[string]*HashTable
+	buildBytes  int64
+
+	mapStates    []*mapTaskState
+	reduceStates []*reduceTaskState
+	mapsPending  int
+	mapsDone     int
+	reducePhase  bool
+	splitsTotal  int
+	seq          int
+	reserve      [][]int // remaining on-demand splits per input
+	counterName  string
+	buildErr     error
+	prepLatency  float64
+	prepCharged  bool
+
+	result *Result
+	err    error
+	done   bool
+}
+
+// NewJob validates a spec and returns a job ready to submit.
+func NewJob(env *Env, spec Spec) (*Job, error) {
+	if env == nil || env.FS == nil || env.Sim == nil || env.Coord == nil {
+		return nil, errors.New("mapreduce: incomplete environment")
+	}
+	if spec.Name == "" {
+		return nil, errors.New("mapreduce: job needs a name")
+	}
+	if len(spec.Inputs) == 0 {
+		return nil, errors.New("mapreduce: job needs at least one input")
+	}
+	if spec.Output == "" {
+		return nil, errors.New("mapreduce: job needs an output path")
+	}
+	if len(spec.MoreSplits) > 0 && len(spec.MoreSplits) != len(spec.Inputs) {
+		return nil, errors.New("mapreduce: MoreSplits must align with Inputs")
+	}
+	j := &Job{env: env, spec: spec, counterName: "job/" + spec.Name + "/out"}
+	j.numReducers = spec.NumReducers
+	if j.numReducers <= 0 {
+		j.numReducers = j.defaultReducers()
+	}
+	if len(spec.MoreSplits) > 0 {
+		j.reserve = make([][]int, len(spec.MoreSplits))
+		for i, s := range spec.MoreSplits {
+			j.reserve[i] = append([]int(nil), s...)
+		}
+	}
+	return j, nil
+}
+
+func (j *Job) defaultReducers() int {
+	per := j.env.BytesPerReducer
+	if per <= 0 {
+		per = DefaultBytesPerReducer
+	}
+	var in int64
+	for _, input := range j.spec.Inputs {
+		in += input.File.Size()
+	}
+	n := int(in / per)
+	if n < 1 {
+		n = 1
+	}
+	if max := j.env.Sim.Config().ReduceSlots() * 2; n > max && max > 0 {
+		n = max
+	}
+	return n
+}
+
+// Name implements cluster.Job.
+func (j *Job) Name() string { return j.spec.Name }
+
+// Start implements cluster.Job: loads broadcast sides and creates one
+// map task per selected split.
+func (j *Job) Start(sub *cluster.Submission) []*cluster.Task {
+	j.env.Coord.Reset(j.counterName)
+	// Build broadcast hash tables once in-process; virtual load cost is
+	// charged per task (or per node with the distributed cache), and
+	// the one-time filtered-build preparation on the first task.
+	j.builds = make(map[string]*HashTable, len(j.spec.Broadcasts))
+	for _, b := range j.spec.Broadcasts {
+		ht, err := buildHashTable(j.env, b)
+		if err != nil {
+			j.buildErr = err
+			break
+		}
+		j.builds[b.Name] = ht
+		j.buildBytes += ht.builtBytes
+		// Producing a filtered build is a parallel map-only stage of
+		// its own: one extra job startup plus a cluster-wide scan of
+		// the unfiltered input.
+		if ht.prepBytes > 0 {
+			slots := float64(j.env.Sim.Config().MapSlots())
+			if slots < 1 {
+				slots = 1
+			}
+			j.prepLatency += j.env.Sim.Config().JobStartup +
+				float64(ht.prepBytes)/(scanBps(j.env)*slots) + ht.prepCPU/slots
+		}
+	}
+	var tasks []*cluster.Task
+	for i, input := range j.spec.Inputs {
+		splits := input.Splits
+		if splits == nil {
+			splits = make([]int, input.File.NumBlocks())
+			for s := range splits {
+				splits[s] = s
+			}
+		}
+		j.splitsTotal += input.File.NumBlocks()
+		for _, s := range splits {
+			tasks = append(tasks, j.newMapTask(i, s))
+		}
+	}
+	if len(j.spec.MoreSplits) == 0 {
+		// Without a reserve pool the denominator for WholeInput is the
+		// splits actually requested.
+		j.splitsTotal = len(tasks)
+	}
+	j.mapsPending = len(tasks)
+	if len(tasks) == 0 {
+		// Empty inputs (e.g. a fully filtered intermediate): the job
+		// completes immediately but must still materialize its (empty)
+		// output and result.
+		j.finish(sub)
+	}
+	return tasks
+}
+
+func (j *Job) newMapTask(inputIdx, splitIdx int) *cluster.Task {
+	st := &mapTaskState{inputIdx: inputIdx, splitIdx: splitIdx, seq: j.seq}
+	j.seq++
+	if j.spec.Reduce != nil {
+		st.buckets = make([][]kvPair, j.numReducers)
+	}
+	if j.spec.CollectStats != nil {
+		st.collector = stats.NewCollector(j.spec.CollectStats, j.spec.KMVSize)
+	}
+	j.mapStates = append(j.mapStates, st)
+	input := j.spec.Inputs[inputIdx]
+	name := fmt.Sprintf("%s-m%d", j.spec.Name, st.seq)
+	return &cluster.Task{
+		Kind: cluster.MapTask,
+		Name: name,
+		Run: func(tc cluster.TaskContext) (cluster.Usage, error) {
+			return j.runMap(st, input, tc)
+		},
+	}
+}
+
+func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (cluster.Usage, error) {
+	var u cluster.Usage
+	if j.buildErr != nil {
+		return u, j.buildErr
+	}
+	// Broadcast build load: check memory and charge load latency.
+	if len(j.spec.Broadcasts) > 0 {
+		if j.buildBytes > j.env.Sim.Config().SlotMemory {
+			return u, fmt.Errorf("%w: build %d bytes > slot memory %d",
+				ErrBroadcastOOM, j.buildBytes, j.env.Sim.Config().SlotMemory)
+		}
+		if !j.prepCharged {
+			// One-time cost of producing the filtered build sides.
+			j.prepCharged = true
+			u.ExtraLatency += j.prepLatency
+		}
+		if rate := broadcastBps(j.env); rate > 0 {
+			if j.env.DistributedCache && !tc.FirstOnNode {
+				// Build already resident on this node.
+			} else {
+				u.ExtraLatency += float64(j.buildBytes) / rate
+			}
+		}
+	}
+	block := input.File.Block(st.splitIdx)
+	u.BytesRead += input.File.BlockSizeBytes(st.splitIdx)
+	ectx := &expr.Ctx{Reg: j.env.Reg}
+	mc := &MapCtx{job: j, task: st, ectx: ectx, builds: j.builds}
+	for _, rec := range block.Records() {
+		if st.collector != nil {
+			st.collector.ObserveInput()
+		}
+		input.Map(mc, rec)
+	}
+	u.Records += int64(block.NumRecords())
+	u.CPUSeconds += ectx.CPUSeconds
+	if ectx.Err != nil {
+		return u, ectx.Err
+	}
+	// Map-side combining before the shuffle.
+	if j.spec.Combine != nil && j.spec.Reduce != nil {
+		if cerr := j.combineBuckets(st, ectx); cerr != nil {
+			return u, cerr
+		}
+		u.CPUSeconds += ectx.CPUSeconds
+	}
+	// Charge output volume and update the shared output counter.
+	var emitted int64
+	if j.spec.Reduce == nil {
+		for _, rec := range st.outRows {
+			sz := j.env.VirtualSize(rec)
+			u.BytesWritten += sz
+			if st.collector != nil {
+				st.collector.ObserveOutput(rec, sz)
+			}
+		}
+		emitted = int64(len(st.outRows))
+	} else {
+		for _, bucket := range st.buckets {
+			for _, kv := range bucket {
+				u.BytesShuffled += j.env.VirtualSize(kv.rec)
+			}
+			emitted += int64(len(bucket))
+		}
+	}
+	if emitted > 0 {
+		j.env.Coord.Add(j.counterName, emitted)
+	}
+	return u, nil
+}
+
+// combineBuckets folds each map bucket's rows per key through the
+// combiner.
+func (j *Job) combineBuckets(st *mapTaskState, ectx *expr.Ctx) error {
+	for p, bucket := range st.buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		sort.SliceStable(bucket, func(a, b int) bool {
+			return data.Compare(bucket[a].key, bucket[b].key) < 0
+		})
+		cst := &reduceTaskState{partition: p}
+		rc := &ReduceCtx{task: cst, ectx: ectx}
+		var combined []kvPair
+		for lo := 0; lo < len(bucket); {
+			hi := lo + 1
+			for hi < len(bucket) && data.Equal(bucket[hi].key, bucket[lo].key) {
+				hi++
+			}
+			group := make([]Tagged, hi-lo)
+			for i := lo; i < hi; i++ {
+				group[i-lo] = Tagged{Tag: bucket[i].tag, Rec: bucket[i].rec}
+			}
+			cst.outRows = cst.outRows[:0]
+			j.spec.Combine(rc, bucket[lo].key, group)
+			for _, rec := range cst.outRows {
+				combined = append(combined, kvPair{key: bucket[lo].key, rec: rec})
+			}
+			lo = hi
+		}
+		st.buckets[p] = combined
+	}
+	return ectx.Err
+}
+
+// TaskDone implements cluster.Job.
+func (j *Job) TaskDone(sub *cluster.Submission, t *cluster.Task) []*cluster.Task {
+	if t.Kind == cluster.ReduceTask {
+		if sub.Pending() == 0 && sub.Running() == 0 {
+			j.finish(sub)
+		}
+		return nil
+	}
+	j.mapsDone++
+	// Pilot-run early termination.
+	if j.spec.StopAfter > 0 && j.env.Coord.Get(j.counterName) >= j.spec.StopAfter {
+		frac := float64(j.mapsDone) / float64(maxInt(j.splitsTotal, 1))
+		if j.spec.FinishIfFractionDone > 0 && frac >= j.spec.FinishIfFractionDone {
+			// Close to completion: let the job finish so its output is
+			// reusable for the real query.
+		} else {
+			sub.CancelPending()
+		}
+	}
+	if sub.Pending() == 0 && sub.Running() == 0 {
+		// Map phase drained: add reserve splits if the sample target is
+		// unmet, otherwise move to the reduce phase or finish.
+		if j.spec.StopAfter > 0 && j.env.Coord.Get(j.counterName) < j.spec.StopAfter {
+			if more := j.takeReserve(); len(more) > 0 {
+				return more
+			}
+		}
+		if j.spec.Reduce != nil {
+			return j.makeReduceTasks()
+		}
+		j.finish(sub)
+	}
+	return nil
+}
+
+// takeReserve pops the next wave of on-demand sample splits. The batch
+// is sized from the observed output rate (the situation-aware adaptive
+// sampling of Vernica et al. the paper adopts): enough splits to reach
+// the k-record target at the rate seen so far, with 25% headroom, so a
+// selective filter converges in one or two extra waves.
+func (j *Job) takeReserve() []*cluster.Task {
+	batch := j.mapsDone
+	if batch < 1 {
+		batch = 1
+	}
+	if emitted := j.env.Coord.Get(j.counterName); emitted > 0 && j.mapsDone > 0 {
+		rate := float64(emitted) / float64(j.mapsDone)
+		missing := float64(j.spec.StopAfter) - float64(emitted)
+		if missing > 0 && rate > 0 {
+			batch = int(missing/rate*1.25) + 1
+		}
+	}
+	var tasks []*cluster.Task
+	for i := range j.reserve {
+		take := batch
+		if take > len(j.reserve[i]) {
+			take = len(j.reserve[i])
+		}
+		for _, s := range j.reserve[i][:take] {
+			tasks = append(tasks, j.newMapTask(i, s))
+		}
+		j.reserve[i] = j.reserve[i][take:]
+	}
+	return tasks
+}
+
+func (j *Job) makeReduceTasks() []*cluster.Task {
+	j.reducePhase = true
+	tasks := make([]*cluster.Task, j.numReducers)
+	for p := 0; p < j.numReducers; p++ {
+		st := &reduceTaskState{partition: p}
+		if j.spec.CollectStats != nil {
+			st.collector = stats.NewCollector(j.spec.CollectStats, j.spec.KMVSize)
+		}
+		j.reduceStates = append(j.reduceStates, st)
+		p := p
+		tasks[p] = &cluster.Task{
+			Kind: cluster.ReduceTask,
+			Name: fmt.Sprintf("%s-r%d", j.spec.Name, p),
+			Run: func(tc cluster.TaskContext) (cluster.Usage, error) {
+				return j.runReduce(st, p)
+			},
+		}
+	}
+	return tasks
+}
+
+func (j *Job) runReduce(st *reduceTaskState, partition int) (cluster.Usage, error) {
+	var u cluster.Usage
+	// Gather this partition's pairs from all map tasks in submission
+	// order, then sort by key for grouping.
+	var pairs []kvPair
+	for _, ms := range j.mapStates {
+		if partition < len(ms.buckets) {
+			bucket := ms.buckets[partition]
+			pairs = append(pairs, bucket...)
+			for _, kv := range bucket {
+				u.BytesShuffled += j.env.VirtualSize(kv.rec)
+			}
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		return data.Compare(pairs[a].key, pairs[b].key) < 0
+	})
+	ectx := &expr.Ctx{Reg: j.env.Reg}
+	rc := &ReduceCtx{task: st, ectx: ectx}
+	for lo := 0; lo < len(pairs); {
+		hi := lo + 1
+		for hi < len(pairs) && data.Equal(pairs[hi].key, pairs[lo].key) {
+			hi++
+		}
+		group := make([]Tagged, hi-lo)
+		for i := lo; i < hi; i++ {
+			group[i-lo] = Tagged{Tag: pairs[i].tag, Rec: pairs[i].rec}
+		}
+		j.spec.Reduce(rc, pairs[lo].key, group)
+		lo = hi
+	}
+	u.Records += int64(len(pairs))
+	u.CPUSeconds += ectx.CPUSeconds
+	if ectx.Err != nil {
+		return u, ectx.Err
+	}
+	for _, rec := range st.outRows {
+		sz := j.env.VirtualSize(rec)
+		u.BytesWritten += sz
+		if st.collector != nil {
+			st.collector.ObserveOutput(rec, sz)
+		}
+	}
+	return u, nil
+}
+
+// finish assembles the output file and merged statistics.
+func (j *Job) finish(sub *cluster.Submission) {
+	if j.done {
+		return
+	}
+	j.done = true
+	res := &Result{
+		MapTasks:    j.mapsDone,
+		ReduceTasks: len(j.reduceStates),
+		SplitsTotal: j.splitsTotal,
+		SplitsRun:   j.mapsDone,
+	}
+	res.WholeInput = res.SplitsRun >= res.SplitsTotal
+	w := j.env.FS.Create(j.spec.Output)
+	var parts []*stats.Partial
+	if j.spec.Reduce == nil {
+		// Deterministic map-only output: submission order.
+		states := append([]*mapTaskState(nil), j.mapStates...)
+		sort.Slice(states, func(a, b int) bool { return states[a].seq < states[b].seq })
+		for _, st := range states {
+			w.AppendAll(st.outRows)
+			res.OutRecords += int64(len(st.outRows))
+			if st.collector != nil {
+				parts = append(parts, st.collector.Partial())
+				// Stage the per-task partial location the way real tasks
+				// publish their statistics file URLs.
+				j.env.Coord.Publish("stats/"+j.spec.Name, fmt.Sprintf("task-m%d", st.seq))
+			}
+		}
+	} else {
+		for _, st := range j.mapStates {
+			if st.collector != nil {
+				res.InRecords += st.collector.Partial().InRecords
+			}
+		}
+		for _, st := range j.reduceStates {
+			w.AppendAll(st.outRows)
+			res.OutRecords += int64(len(st.outRows))
+			if st.collector != nil {
+				parts = append(parts, st.collector.Partial())
+				j.env.Coord.Publish("stats/"+j.spec.Name, fmt.Sprintf("task-r%d", st.partition))
+			}
+		}
+	}
+	if j.spec.Reduce == nil {
+		for _, st := range j.mapStates {
+			if st.collector != nil {
+				res.InRecords += st.collector.Partial().InRecords
+			}
+		}
+	}
+	res.Output = w.Close()
+	res.OutputVirtual = res.Output.Size()
+	if len(parts) > 0 {
+		res.Stats = stats.MergePartials(parts)
+	}
+	j.result = res
+}
+
+// Result returns the job's outcome after it completed.
+func (j *Job) Result() (*Result, error) {
+	if j.err != nil {
+		return nil, j.err
+	}
+	if j.result == nil {
+		return nil, errors.New("mapreduce: job has not completed")
+	}
+	return j.result, nil
+}
+
+// Submit creates the job, submits it, and returns the submission handle
+// together with the job for result retrieval.
+func Submit(env *Env, spec Spec) (*Job, *cluster.Submission, error) {
+	j, err := NewJob(env, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub := env.Sim.Submit(j)
+	return j, sub, nil
+}
+
+// Run submits the job and drives the simulator until quiescent,
+// returning the job result.
+func Run(env *Env, spec Spec) (*Result, error) {
+	j, sub, err := Submit(env, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Sim.Run(); err != nil {
+		return nil, err
+	}
+	if sub.Err() != nil {
+		return nil, sub.Err()
+	}
+	return j.Result()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func scanBps(env *Env) float64 { return env.Sim.Config().ScanBps }
+
+// broadcastBps is the build-side load rate, defaulting to ScanBps.
+func broadcastBps(env *Env) float64 {
+	if r := env.Sim.Config().BroadcastLoadBps; r > 0 {
+		return r
+	}
+	return env.Sim.Config().ScanBps
+}

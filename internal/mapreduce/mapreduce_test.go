@@ -1,0 +1,686 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dyno/internal/cluster"
+	"dyno/internal/coord"
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+)
+
+// testEnv builds an environment with tiny blocks so jobs have several
+// splits.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	cfg := cluster.Config{
+		Workers:              2,
+		MapSlotsPerWorker:    2,
+		ReduceSlotsPerWorker: 2,
+		SlotMemory:           100_000,
+		JobStartup:           10,
+		TaskOverhead:         1,
+		ScanBps:              10_000,
+		ShuffleBps:           5_000,
+		WriteBps:             10_000,
+	}
+	return &Env{
+		FS:    dfs.New(dfs.WithBlockSize(600), dfs.WithNodes(2)),
+		Sim:   cluster.New(cfg),
+		Coord: coord.NewService(),
+		Reg:   expr.NewRegistry(),
+	}
+}
+
+// writeTable stores n rows {alias: {id, grp, pad}} and returns the file.
+func writeTable(env *Env, name, alias string, n int) *dfs.File {
+	w := env.FS.Create(name)
+	for i := 0; i < n; i++ {
+		w.Append(data.Object(data.Field{Name: alias, Value: data.Object(
+			data.Field{Name: "id", Value: data.Int(int64(i))},
+			data.Field{Name: "grp", Value: data.Int(int64(i % 10))},
+			data.Field{Name: "pad", Value: data.String("xxxxxxxxxxxxxxxxxxxxxxxx")},
+		)}))
+	}
+	return w.Close()
+}
+
+func identityMap(mc *MapCtx, rec data.Value) { mc.Emit(rec) }
+
+func TestMapOnlyFilterJob(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 200)
+	pred := &expr.Cmp{Op: expr.LT, L: expr.NewCol("a.id"), R: expr.NewLit(data.Int(50))}
+	res, err := Run(env, Spec{
+		Name: "filter",
+		Inputs: []Input{{File: f, Map: func(mc *MapCtx, rec data.Value) {
+			if pred.Eval(mc.ExprCtx(), rec).Truthy() {
+				mc.Emit(rec)
+			}
+		}}},
+		Output:       "out",
+		CollectStats: []data.Path{data.MustParsePath("a.id")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutRecords != 50 || res.InRecords != 200 {
+		t.Errorf("in=%d out=%d", res.InRecords, res.OutRecords)
+	}
+	if res.Output.NumRecords() != 50 {
+		t.Errorf("output file has %d records", res.Output.NumRecords())
+	}
+	if !res.WholeInput {
+		t.Error("whole input should have been consumed")
+	}
+	if res.Stats == nil || res.Stats.Selectivity() != 0.25 {
+		t.Errorf("stats selectivity = %v", res.Stats.Selectivity())
+	}
+	col, ok := res.Stats.Exact().Col("a.id")
+	if !ok || col.Max.Int() != 49 {
+		t.Errorf("col stats = %+v ok=%v", col, ok)
+	}
+	// Deterministic output order: ids ascending (split order).
+	recs := res.Output.AllRecords()
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].FieldOr("a").FieldOr("id").Int() > recs[i].FieldOr("a").FieldOr("id").Int() {
+			t.Fatal("output order not deterministic by split")
+		}
+	}
+}
+
+func TestRepartitionJoin(t *testing.T) {
+	env := testEnv(t)
+	left := writeTable(env, "l", "l", 60)
+	right := writeTable(env, "r", "r", 30)
+	keyL := data.MustParsePath("l.grp")
+	keyR := data.MustParsePath("r.grp")
+	res, err := Run(env, Spec{
+		Name: "join",
+		Inputs: []Input{
+			{File: left, Map: func(mc *MapCtx, rec data.Value) {
+				mc.EmitKV(keyL.Eval(rec), "L", rec)
+			}},
+			{File: right, Map: func(mc *MapCtx, rec data.Value) {
+				mc.EmitKV(keyR.Eval(rec), "R", rec)
+			}},
+		},
+		Reduce: func(rc *ReduceCtx, key data.Value, group []Tagged) {
+			var ls, rs []data.Value
+			for _, g := range group {
+				if g.Tag == "L" {
+					ls = append(ls, g.Rec)
+				} else {
+					rs = append(rs, g.Rec)
+				}
+			}
+			for _, l := range ls {
+				for _, r := range rs {
+					rc.Emit(data.MergeObjects(l, r))
+				}
+			}
+		},
+		Output:      "joined",
+		NumReducers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 left rows × 3 right matches per group (30 rows / 10 groups).
+	if res.OutRecords != 180 {
+		t.Errorf("join output = %d, want 180", res.OutRecords)
+	}
+	if res.ReduceTasks != 3 {
+		t.Errorf("reducers = %d", res.ReduceTasks)
+	}
+	// Verify a joined row carries both sides.
+	rec := res.Output.AllRecords()[0]
+	if rec.FieldOr("l").IsNull() || rec.FieldOr("r").IsNull() {
+		t.Errorf("joined record missing side: %v", rec)
+	}
+	lg := rec.FieldOr("l").FieldOr("grp").Int()
+	rg := rec.FieldOr("r").FieldOr("grp").Int()
+	if lg != rg {
+		t.Errorf("join key mismatch: %d vs %d", lg, rg)
+	}
+}
+
+func TestBroadcastJoin(t *testing.T) {
+	env := testEnv(t)
+	big := writeTable(env, "big", "b", 100)
+	small := writeTable(env, "small", "s", 10) // ids 0..9 = b.grp domain
+	res, err := Run(env, Spec{
+		Name: "bjoin",
+		Inputs: []Input{{File: big, Map: func(mc *MapCtx, rec data.Value) {
+			ht := mc.Build("s")
+			for _, m := range ht.Probe(rec.FieldOr("b").FieldOr("grp")) {
+				mc.Emit(data.MergeObjects(rec, m))
+			}
+		}}},
+		Broadcasts: []Broadcast{{Name: "s", File: small, KeyPaths: []data.Path{data.MustParsePath("s.id")}}},
+		Output:     "bjoined",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutRecords != 100 {
+		t.Errorf("broadcast join output = %d, want 100", res.OutRecords)
+	}
+	if res.ReduceTasks != 0 {
+		t.Error("broadcast join must be map-only")
+	}
+}
+
+func TestBroadcastOOM(t *testing.T) {
+	env := testEnv(t)
+	env.Sim = cluster.New(cluster.Config{
+		Workers: 1, MapSlotsPerWorker: 1, ReduceSlotsPerWorker: 1,
+		SlotMemory: 10, // tiny
+		JobStartup: 1, TaskOverhead: 1, ScanBps: 1000, ShuffleBps: 1000, WriteBps: 1000,
+	})
+	big := writeTable(env, "big", "b", 20)
+	small := writeTable(env, "small", "s", 10)
+	_, err := Run(env, Spec{
+		Name:   "oom",
+		Inputs: []Input{{File: big, Map: identityMap}},
+		Broadcasts: []Broadcast{
+			{Name: "s", File: small, KeyPaths: []data.Path{data.MustParsePath("s.id")}},
+		},
+		Output: "x",
+	})
+	if err == nil || !errors.Is(err, ErrBroadcastOOM) {
+		t.Fatalf("err = %v, want ErrBroadcastOOM", err)
+	}
+}
+
+func TestDistributedCacheReducesLatency(t *testing.T) {
+	durations := make([]float64, 2)
+	for i, dc := range []bool{false, true} {
+		env := testEnv(t)
+		env.DistributedCache = dc
+		big := writeTable(env, "big", "b", 400)
+		small := writeTable(env, "small", "s", 10)
+		j, sub, err := Submit(env, Spec{
+			Name:   "dc",
+			Inputs: []Input{{File: big, Map: identityMap}},
+			Broadcasts: []Broadcast{
+				{Name: "s", File: small, KeyPaths: []data.Path{data.MustParsePath("s.id")}},
+			},
+			Output: "x",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Result(); err != nil {
+			t.Fatal(err)
+		}
+		durations[i] = sub.Duration()
+	}
+	if durations[1] >= durations[0] {
+		t.Errorf("distributed cache %v should beat per-task load %v", durations[1], durations[0])
+	}
+}
+
+func TestPilotEarlyTermination(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 2000)
+	res, err := Run(env, Spec{
+		Name:      "pilot-st",
+		Inputs:    []Input{{File: f, Map: identityMap}},
+		Output:    "sample",
+		StopAfter: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitsRun >= res.SplitsTotal {
+		t.Errorf("ran %d/%d splits; early termination failed", res.SplitsRun, res.SplitsTotal)
+	}
+	if res.OutRecords < 40 {
+		t.Errorf("emitted %d records, want >= 40", res.OutRecords)
+	}
+	if res.WholeInput {
+		t.Error("WholeInput should be false")
+	}
+}
+
+func TestPilotOnDemandSplits(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 2000)
+	total := f.NumBlocks()
+	if total < 6 {
+		t.Fatalf("need several blocks, got %d", total)
+	}
+	// Very selective filter: initial 2 splits cannot yield 40 records,
+	// so reserve splits must be pulled in.
+	var reserve []int
+	for s := 2; s < total; s++ {
+		reserve = append(reserve, s)
+	}
+	emitted := 0
+	res, err := Run(env, Spec{
+		Name: "pilot-mt",
+		Inputs: []Input{{File: f, Splits: []int{0, 1}, Map: func(mc *MapCtx, rec data.Value) {
+			if rec.FieldOr("a").FieldOr("id").Int()%10 == 0 {
+				emitted++
+				mc.Emit(rec)
+			}
+		}}},
+		Output:     "sample",
+		StopAfter:  40,
+		MoreSplits: [][]int{reserve},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitsRun <= 2 {
+		t.Errorf("ran only %d splits; reserve splits not added", res.SplitsRun)
+	}
+	if res.OutRecords < 40 {
+		t.Errorf("emitted %d, want >= 40", res.OutRecords)
+	}
+}
+
+func TestPilotFinishThreshold(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 300)
+	res, err := Run(env, Spec{
+		Name:                 "pilot-finish",
+		Inputs:               []Input{{File: f, Map: identityMap}},
+		Output:               "sample",
+		StopAfter:            5,
+		FinishIfFractionDone: 0.01, // effectively always finish
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WholeInput {
+		t.Errorf("FinishIfFractionDone should let the job complete (%d/%d)", res.SplitsRun, res.SplitsTotal)
+	}
+}
+
+func TestReduceStatsCollected(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 100)
+	key := data.MustParsePath("a.grp")
+	res, err := Run(env, Spec{
+		Name:   "grp",
+		Inputs: []Input{{File: f, Map: func(mc *MapCtx, rec data.Value) { mc.EmitKV(key.Eval(rec), "", rec) }}},
+		Reduce: func(rc *ReduceCtx, k data.Value, group []Tagged) {
+			rc.Emit(data.Object(
+				data.Field{Name: "g", Value: data.Object(
+					data.Field{Name: "grp", Value: k},
+					data.Field{Name: "cnt", Value: data.Int(int64(len(group)))},
+				)},
+			))
+		},
+		Output:       "agg",
+		NumReducers:  2,
+		CollectStats: []data.Path{data.MustParsePath("g.grp")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutRecords != 10 {
+		t.Errorf("groups = %d, want 10", res.OutRecords)
+	}
+	ts := res.Stats.Exact()
+	if ts.Card != 10 {
+		t.Errorf("stats card = %v", ts.Card)
+	}
+	if ndv := ts.NDVOr("g.grp", -1); ndv != 10 {
+		t.Errorf("grp NDV = %v, want 10", ndv)
+	}
+	// Each group has exactly 10 members.
+	for _, rec := range res.Output.AllRecords() {
+		if cnt := rec.FieldOr("g").FieldOr("cnt").Int(); cnt != 10 {
+			t.Errorf("group count = %d, want 10", cnt)
+		}
+	}
+}
+
+func TestUDFCostChargedToTask(t *testing.T) {
+	env := testEnv(t)
+	env.Reg.Register(expr.UDF{
+		Name:    "expensive",
+		CPUCost: 0.5,
+		Fn:      func(args []data.Value) data.Value { return data.Bool(true) },
+	})
+	f := writeTable(env, "t", "a", 20)
+	call := &expr.Call{Name: "expensive", Args: []expr.Expr{expr.NewCol("a")}}
+	j, sub, err := Submit(env, Spec{
+		Name: "udf",
+		Inputs: []Input{{File: f, Map: func(mc *MapCtx, rec data.Value) {
+			if call.Eval(mc.ExprCtx(), rec).Truthy() {
+				mc.Emit(rec)
+			}
+		}}},
+		Output: "out",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpu float64
+	for _, task := range sub.CompletedTasks() {
+		cpu += task.Usage().CPUSeconds
+	}
+	if cpu != 10.0 {
+		t.Errorf("total UDF CPU = %v, want 10.0 (20 calls × 0.5)", cpu)
+	}
+	_ = res
+}
+
+func TestUnknownUDFFailsJob(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 5)
+	call := &expr.Call{Name: "missing"}
+	_, err := Run(env, Spec{
+		Name: "bad",
+		Inputs: []Input{{File: f, Map: func(mc *MapCtx, rec data.Value) {
+			call.Eval(mc.ExprCtx(), rec)
+			mc.Emit(rec)
+		}}},
+		Output: "out",
+	})
+	if err == nil {
+		t.Fatal("unknown UDF should fail the job")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 5)
+	cases := []Spec{
+		{},
+		{Name: "x"},
+		{Name: "x", Inputs: []Input{{File: f, Map: identityMap}}},
+		{Name: "x", Inputs: []Input{{File: f, Map: identityMap}}, Output: "o",
+			MoreSplits: [][]int{{1}, {2}}},
+	}
+	for i, spec := range cases {
+		if _, err := NewJob(env, spec); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+	if _, err := NewJob(nil, Spec{}); err == nil {
+		t.Error("nil env should fail")
+	}
+}
+
+func TestDefaultReducersScaleWithInput(t *testing.T) {
+	env := testEnv(t)
+	env.BytesPerReducer = 2000
+	f := writeTable(env, "t", "a", 300)
+	key := data.MustParsePath("a.grp")
+	j, err := NewJob(env, Spec{
+		Name:   "auto",
+		Inputs: []Input{{File: f, Map: func(mc *MapCtx, rec data.Value) { mc.EmitKV(key.Eval(rec), "", rec) }}},
+		Reduce: func(rc *ReduceCtx, k data.Value, group []Tagged) {},
+		Output: "o",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.numReducers < 2 {
+		t.Errorf("numReducers = %d, want input-proportional (>1)", j.numReducers)
+	}
+}
+
+func TestJobsChainViaOnDone(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 50)
+	j1, sub1, err := Submit(env, Spec{
+		Name:   "first",
+		Inputs: []Input{{File: f, Map: identityMap}},
+		Output: "mid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j2 *Job
+	sub1.OnDone(func(*cluster.Submission) {
+		res, err := j1.Result()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		j2, _, err = Submit(env, Spec{
+			Name:   "second",
+			Inputs: []Input{{File: res.Output, Map: identityMap}},
+			Output: "final",
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := j2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.OutRecords != 50 {
+		t.Errorf("chained output = %d", res2.OutRecords)
+	}
+}
+
+func TestResultBeforeCompletion(t *testing.T) {
+	env := testEnv(t)
+	f := writeTable(env, "t", "a", 5)
+	j, _, err := Submit(env, Spec{
+		Name: "x", Inputs: []Input{{File: f, Map: identityMap}}, Output: "o",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Result(); err == nil {
+		t.Error("Result before Run should fail")
+	}
+}
+
+func TestHashTableProbeCollisionSafety(t *testing.T) {
+	env := testEnv(t)
+	w := env.FS.Create("s")
+	for i := 0; i < 50; i++ {
+		w.Append(data.Object(data.Field{Name: "s", Value: data.Object(
+			data.Field{Name: "k", Value: data.Int(int64(i))},
+		)}))
+	}
+	f := w.Close()
+	ht, err := buildHashTable(env, Broadcast{Name: "s", File: f, KeyPaths: []data.Path{data.MustParsePath("s.k")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.Rows() != 50 {
+		t.Errorf("rows = %d", ht.Rows())
+	}
+	hits := ht.Probe(data.Int(7))
+	if len(hits) != 1 || hits[0].FieldOr("s").FieldOr("k").Int() != 7 {
+		t.Errorf("probe(7) = %v", hits)
+	}
+	if got := ht.Probe(data.Int(999)); len(got) != 0 {
+		t.Errorf("probe(999) = %v", got)
+	}
+}
+
+func TestMapOnlyOutputCountsBytes(t *testing.T) {
+	env := testEnv(t)
+	env.FS.SetByteScale(100)
+	f := writeTable(env, "t", "a", 20)
+	j, sub, err := Submit(env, Spec{
+		Name:   "bytes",
+		Inputs: []Input{{File: f, Map: identityMap}},
+		Output: "o",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var written int64
+	for _, task := range sub.CompletedTasks() {
+		written += task.Usage().BytesWritten
+	}
+	if written != res.OutputVirtual {
+		t.Errorf("task BytesWritten %d != output virtual size %d", written, res.OutputVirtual)
+	}
+	_ = fmt.Sprint(res)
+}
+
+func TestBroadcastWrapAndFilter(t *testing.T) {
+	env := testEnv(t)
+	// Raw (unwrapped) dimension records.
+	w := env.FS.Create("dim")
+	for i := 0; i < 30; i++ {
+		w.Append(data.Object(
+			data.Field{Name: "k", Value: data.Int(int64(i))},
+			data.Field{Name: "flag", Value: data.Int(int64(i % 3))},
+		))
+	}
+	dim := w.Close()
+	big := writeTable(env, "big", "b", 90)
+	filter := &expr.Cmp{Op: expr.EQ, L: expr.NewCol("s.flag"), R: expr.NewLit(data.Int(0))}
+	res, err := Run(env, Spec{
+		Name: "wrapped",
+		Inputs: []Input{{File: big, Map: func(mc *MapCtx, rec data.Value) {
+			for _, m := range mc.Build("s").Probe(rec.FieldOr("b").FieldOr("grp")) {
+				mc.Emit(data.MergeObjects(rec, m))
+			}
+		}}},
+		Broadcasts: []Broadcast{{
+			Name: "s", File: dim, KeyPaths: []data.Path{data.MustParsePath("s.k")},
+			Wrap: "s", Filter: filter,
+		}},
+		Output: "out",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b.grp in 0..9; dim keys 0..29 with flag==0 for k%3==0, so grp 0,3,6,9
+	// match: 4 of 10 groups × 9 rows each = 36.
+	if res.OutRecords != 36 {
+		t.Errorf("filtered broadcast join output = %d, want 36", res.OutRecords)
+	}
+	rec := res.Output.AllRecords()[0]
+	if rec.FieldOr("s").FieldOr("k").IsNull() {
+		t.Errorf("wrapped build side missing in output: %v", rec)
+	}
+}
+
+func TestBroadcastFilterPrepChargedOnce(t *testing.T) {
+	env := testEnv(t)
+	env.Reg.Register(expr.UDF{
+		Name:    "dimfilter",
+		CPUCost: 1.0,
+		Fn: func(args []data.Value) data.Value {
+			return data.Bool(args[0].FieldOr("flag").Int() == 0)
+		},
+	})
+	w := env.FS.Create("dim")
+	for i := 0; i < 30; i++ {
+		w.Append(data.Object(
+			data.Field{Name: "k", Value: data.Int(int64(i))},
+			data.Field{Name: "flag", Value: data.Int(int64(i % 3))},
+		))
+	}
+	dim := w.Close()
+	big := writeTable(env, "big", "b", 200)
+	filter := &expr.Call{Name: "dimfilter", Args: []expr.Expr{expr.NewCol("s")}}
+	j, sub, err := Submit(env, Spec{
+		Name: "prep",
+		Inputs: []Input{{File: big, Map: func(mc *MapCtx, rec data.Value) {
+			mc.Emit(rec)
+		}}},
+		Broadcasts: []Broadcast{{
+			Name: "s", File: dim, KeyPaths: []data.Path{data.MustParsePath("s.k")},
+			Wrap: "s", Filter: filter,
+		}},
+		Output: "out",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Result(); err != nil {
+		t.Fatal(err)
+	}
+	// The build-preparation stage (an extra job startup plus the
+	// distributed dim scan and UDF work) is charged exactly once
+	// across all map tasks, not once per task.
+	var prepTasks int
+	for _, task := range sub.CompletedTasks() {
+		if task.Usage().ExtraLatency > 9 {
+			prepTasks++
+		}
+	}
+	if prepTasks != 1 {
+		t.Errorf("prep charged on %d tasks, want exactly 1", prepTasks)
+	}
+	if len(sub.CompletedTasks()) < 2 {
+		t.Fatal("test needs multiple map tasks")
+	}
+}
+
+func TestBroadcastOOMUsesFilteredSize(t *testing.T) {
+	// A big base file whose filtered build fits in memory must not OOM.
+	env := testEnv(t)
+	env.Sim = cluster.New(cluster.Config{
+		Workers: 1, MapSlotsPerWorker: 2, ReduceSlotsPerWorker: 1,
+		SlotMemory: 600, // only a handful of rows fit
+		JobStartup: 1, TaskOverhead: 1, ScanBps: 1000, ShuffleBps: 1000, WriteBps: 1000,
+	})
+	w := env.FS.Create("dim")
+	for i := 0; i < 200; i++ {
+		w.Append(data.Object(
+			data.Field{Name: "k", Value: data.Int(int64(i))},
+		))
+	}
+	dim := w.Close()
+	big := writeTable(env, "big", "b", 20)
+	selective := &expr.Cmp{Op: expr.LT, L: expr.NewCol("s.k"), R: expr.NewLit(data.Int(5))}
+	_, err := Run(env, Spec{
+		Name:   "fits",
+		Inputs: []Input{{File: big, Map: identityMap}},
+		Broadcasts: []Broadcast{{
+			Name: "s", File: dim, KeyPaths: []data.Path{data.MustParsePath("s.k")},
+			Wrap: "s", Filter: selective,
+		}},
+		Output: "out",
+	})
+	if err != nil {
+		t.Fatalf("filtered build should fit: %v", err)
+	}
+	// Without the filter the same build must OOM.
+	_, err = Run(env, Spec{
+		Name:   "toolarge",
+		Inputs: []Input{{File: big, Map: identityMap}},
+		Broadcasts: []Broadcast{{
+			Name: "s", File: dim, KeyPaths: []data.Path{data.MustParsePath("s.k")}, Wrap: "s",
+		}},
+		Output: "out2",
+	})
+	if !errors.Is(err, ErrBroadcastOOM) {
+		t.Errorf("unfiltered build should OOM, got %v", err)
+	}
+}

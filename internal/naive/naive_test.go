@@ -1,0 +1,182 @@
+package naive
+
+import (
+	"testing"
+
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/sqlparse"
+)
+
+type cat map[string]*dfs.File
+
+func (c cat) Lookup(n string) (*dfs.File, bool) { f, ok := c[n]; return f, ok }
+
+func fixture() (cat, *expr.Registry) {
+	fs := dfs.New()
+	wa := fs.Create("a")
+	for i := 0; i < 10; i++ {
+		wa.Append(data.Object(
+			data.Field{Name: "id", Value: data.Int(int64(i))},
+			data.Field{Name: "bid", Value: data.Int(int64(i % 3))},
+		))
+	}
+	wb := fs.Create("b")
+	for i := 0; i < 3; i++ {
+		wb.Append(data.Object(
+			data.Field{Name: "id", Value: data.Int(int64(i))},
+			data.Field{Name: "name", Value: data.String(string(rune('x' + i)))},
+		))
+	}
+	reg := expr.NewRegistry()
+	reg.Register(expr.UDF{Name: "even", Fn: func(args []data.Value) data.Value {
+		return data.Bool(args[0].FieldOr("id").Int()%2 == 0)
+	}})
+	c := cat{}
+	c["a"], _ = fs.Open("a")
+	c["b"], _ = fs.Open("b")
+	return c, reg
+}
+
+func TestEvaluateJoin(t *testing.T) {
+	c, reg := fixture()
+	q := sqlparse.MustParse("SELECT a.id, b.name FROM a, b WHERE a.bid = b.id")
+	rows, err := Evaluate(q, c, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (FK join)", len(rows))
+	}
+}
+
+func TestEvaluateUDFFilter(t *testing.T) {
+	c, reg := fixture()
+	q := sqlparse.MustParse("SELECT a.id FROM a WHERE even(a)")
+	rows, err := Evaluate(q, c, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	c, reg := fixture()
+	q := sqlparse.MustParse("SELECT b.name, count(*) AS n FROM a, b WHERE a.bid = b.id GROUP BY b.name ORDER BY n DESC, b.name")
+	rows, err := Evaluate(q, c, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	// bid distribution of 0..9 mod 3: 0→4, 1→3, 2→3.
+	if rows[0].FieldOr("n").Int() != 4 {
+		t.Errorf("top group n = %v", rows[0].FieldOr("n"))
+	}
+}
+
+func TestEvaluateLimitAndOrder(t *testing.T) {
+	c, reg := fixture()
+	q := sqlparse.MustParse("SELECT a.id FROM a ORDER BY a.id DESC LIMIT 3")
+	rows, err := Evaluate(q, c, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].FieldOr("id").Int() != 9 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestEvaluateUnknownTable(t *testing.T) {
+	c, reg := fixture()
+	q := sqlparse.MustParse("SELECT x.id FROM missing x")
+	if _, err := Evaluate(q, c, reg); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestEvaluateCartesianWhenNoPred(t *testing.T) {
+	c, reg := fixture()
+	q := sqlparse.MustParse("SELECT a.id FROM a, b")
+	rows, err := Evaluate(q, c, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("cartesian rows = %d, want 30", len(rows))
+	}
+}
+
+func TestSortForComparison(t *testing.T) {
+	rows := []data.Value{data.Int(3), data.Int(1), data.Int(2)}
+	sorted := SortForComparison(rows)
+	if sorted[0].Int() != 1 || sorted[2].Int() != 3 {
+		t.Error("sort broken")
+	}
+	if rows[0].Int() != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b data.Value
+		want bool
+	}{
+		{data.Double(1.0000000001), data.Double(1.0), true},
+		{data.Double(1.1), data.Double(1.0), false},
+		{data.Double(2.0), data.Int(2), true},
+		{data.Double(1.0), data.String("1"), false},
+		{data.Int(3), data.Int(3), true},
+		{data.Int(3), data.Int(4), false},
+		{data.Array(data.Double(1.0 + 1e-12)), data.Array(data.Int(1)), true},
+		{data.Array(data.Int(1)), data.Array(data.Int(1), data.Int(2)), false},
+		{data.Array(data.Int(1)), data.Int(1), false},
+		{
+			data.Object(data.Field{Name: "x", Value: data.Double(5.0000000001)}),
+			data.Object(data.Field{Name: "x", Value: data.Double(5)}),
+			true,
+		},
+		{
+			data.Object(data.Field{Name: "x", Value: data.Int(1)}),
+			data.Object(data.Field{Name: "y", Value: data.Int(1)}),
+			false,
+		},
+		{
+			data.Object(data.Field{Name: "x", Value: data.Int(1)}),
+			data.Object(),
+			false,
+		},
+		{data.Null(), data.Null(), true},
+		{data.Double(-2.0000000001), data.Double(-2.0), true},
+	}
+	for i, c := range cases {
+		if got := ApproxEqual(c.a, c.b, 1e-9); got != c.want {
+			t.Errorf("case %d: ApproxEqual(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateGroupByWithoutAggregates(t *testing.T) {
+	c, reg := fixture()
+	q := sqlparse.MustParse("SELECT a.bid FROM a GROUP BY a.bid ORDER BY a.bid")
+	rows, err := Evaluate(q, c, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+}
+
+func TestEvaluateErrorFromUDF(t *testing.T) {
+	c, _ := fixture()
+	q := sqlparse.MustParse("SELECT a.id FROM a WHERE nosuch(a)")
+	if _, err := Evaluate(q, c, expr.NewRegistry()); err == nil {
+		t.Error("unknown UDF should surface an error")
+	}
+}

@@ -1,0 +1,161 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"dyno/internal/expr"
+	"dyno/internal/sqlparse"
+)
+
+func TestCompileQ1PushesLocalPredicates(t *testing.T) {
+	q := sqlparse.MustParse(`SELECT rs.name
+		FROM restaurant rs, review rv, tweet t
+		WHERE rs.id = rv.rsid AND rv.tid = t.id
+		AND rs.addr[0].zip = 94301 AND rs.addr[0].state = 'CA'
+		AND sentanalysis(rv) = 'positive' AND checkid(rv, t)`)
+	c, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.Block
+	if len(b.Rels) != 3 {
+		t.Fatalf("rels = %d", len(b.Rels))
+	}
+	// rs gets both address predicates.
+	rs := b.RelFor("rs")
+	if rs == nil || rs.Leaf.Pred == nil {
+		t.Fatal("rs leaf missing predicate")
+	}
+	if got := len(expr.SplitConjuncts(rs.Leaf.Pred)); got != 2 {
+		t.Errorf("rs local conjuncts = %d, want 2", got)
+	}
+	// rv gets the sentanalysis UDF.
+	rv := b.RelFor("rv")
+	if rv.Leaf.Pred == nil || !expr.ContainsUDF(rv.Leaf.Pred) {
+		t.Errorf("rv leaf pred = %v", rv.Leaf.Pred)
+	}
+	// t has no local predicates.
+	if b.RelFor("t").Leaf.Pred != nil {
+		t.Errorf("t should have no local predicate")
+	}
+	// Two equi-join predicates.
+	if len(b.JoinPreds) != 2 {
+		t.Errorf("join preds = %v", b.JoinPreds)
+	}
+	// checkid(rv,t) is non-local (UDF over two relations).
+	if len(b.NonLocal) != 1 || !strings.Contains(b.NonLocal[0].String(), "checkid") {
+		t.Errorf("non-local = %v", b.NonLocal)
+	}
+}
+
+func TestCompileNonEquiJoinPredIsNonLocal(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a.x FROM t1 a, t2 b WHERE a.k = b.k AND a.x < b.y")
+	c, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Block.JoinPreds) != 1 {
+		t.Errorf("join preds = %v", c.Block.JoinPreds)
+	}
+	if len(c.Block.NonLocal) != 1 {
+		t.Errorf("non-local = %v", c.Block.NonLocal)
+	}
+}
+
+func TestCompileConstantPredicate(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a.x FROM t1 a WHERE 1 = 1")
+	c, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Block.NonLocal) != 1 {
+		t.Errorf("constant predicate should be residual: %v", c.Block.NonLocal)
+	}
+}
+
+func TestCompileNoWhere(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a.x FROM t1 a, t2 b")
+	c, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Block.JoinPreds) != 0 || len(c.Block.NonLocal) != 0 {
+		t.Error("no-WHERE query should have no predicates")
+	}
+	for _, r := range c.Block.Rels {
+		if r.Leaf.Pred != nil {
+			t.Error("leaves should have nil predicates")
+		}
+	}
+}
+
+func TestLeafSignatureStableAcrossPredicateOrder(t *testing.T) {
+	qa := sqlparse.MustParse("SELECT a.x FROM t1 a WHERE a.x = 1 AND a.y = 2")
+	qb := sqlparse.MustParse("SELECT a.x FROM t1 a WHERE a.y = 2 AND a.x = 1")
+	ca, _ := Compile(qa)
+	cb, _ := Compile(qb)
+	sa := ca.Block.RelFor("a").Leaf.Signature()
+	sb := cb.Block.RelFor("a").Leaf.Signature()
+	if sa != sb {
+		t.Errorf("signatures differ:\n%s\n%s", sa, sb)
+	}
+}
+
+func TestThreeWayPredicateIsNonLocal(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a.x FROM t1 a, t2 b, t3 c WHERE a.k = b.k AND b.k = c.k AND f(a, b, c)")
+	c, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Block.JoinPreds) != 2 || len(c.Block.NonLocal) != 1 {
+		t.Errorf("join=%v nonlocal=%v", c.Block.JoinPreds, c.Block.NonLocal)
+	}
+}
+
+func TestLiveColumnsBasic(t *testing.T) {
+	q := sqlparse.MustParse(`SELECT a.x, sum(b.y) FROM t1 a, t2 b
+		WHERE a.k = b.k AND a.z > 1 GROUP BY a.x ORDER BY a.x`)
+	live := LiveColumns(q)
+	wantA := map[string]bool{"x": true, "k": true, "z": true}
+	if got := live["a"]; len(got) != len(wantA) {
+		t.Errorf("live[a] = %v, want %v", got, wantA)
+	} else {
+		for f := range wantA {
+			if !got[f] {
+				t.Errorf("live[a] missing %s", f)
+			}
+		}
+	}
+	if got := live["b"]; len(got) != 2 || !got["y"] || !got["k"] {
+		t.Errorf("live[b] = %v", got)
+	}
+}
+
+func TestLiveColumnsWholeRecordUDF(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a.x FROM t1 a, t2 b WHERE a.k = b.k AND checkid(a, b)")
+	live := LiveColumns(q)
+	if live["a"] != nil || live["b"] != nil {
+		t.Errorf("whole-record UDF args must disable pruning: %v", live)
+	}
+}
+
+func TestLiveColumnsStar(t *testing.T) {
+	q := sqlparse.MustParse("SELECT * FROM t1 a, t2 b WHERE a.k = b.k")
+	live := LiveColumns(q)
+	if live["a"] != nil || live["b"] != nil {
+		t.Errorf("SELECT * must disable pruning: %v", live)
+	}
+}
+
+func TestLiveColumnsArraySubscriptUnderAlias(t *testing.T) {
+	// rs.addr[0].zip references a nested path: the top-level field
+	// "addr" is live; but rs[0]-style access (index directly under the
+	// alias) forces the whole record.
+	q := sqlparse.MustParse("SELECT rs.name FROM restaurant rs WHERE rs.addr[0].zip = 1")
+	live := LiveColumns(q)
+	set := live["rs"]
+	if set == nil || !set["name"] || !set["addr"] {
+		t.Errorf("live[rs] = %v", set)
+	}
+}

@@ -1,0 +1,246 @@
+// Package rowops implements the record-level semantics of the
+// post-join operators — projection, aggregation, and ordering — shared
+// by the distributed engine's reducers and the naive reference
+// evaluator, so both compute identical results by construction.
+package rowops
+
+import (
+	"sort"
+	"strconv"
+
+	"dyno/internal/data"
+	"dyno/internal/expr"
+	"dyno/internal/sqlparse"
+)
+
+// Project evaluates a non-aggregate select list over a row. A star item
+// returns the row unchanged.
+func Project(ectx *expr.Ctx, items []sqlparse.SelectItem, row data.Value) data.Value {
+	fields := make([]data.Field, 0, len(items))
+	for _, it := range items {
+		if it.Star {
+			return row
+		}
+		fields = append(fields, data.Field{Name: it.Name(), Value: it.E.Eval(ectx, row)})
+	}
+	return data.Object(fields...)
+}
+
+// AggregateGroup computes one output record for a group of rows.
+func AggregateGroup(ectx *expr.Ctx, items []sqlparse.SelectItem, group []data.Value) data.Value {
+	fields := make([]data.Field, 0, len(items))
+	for _, it := range items {
+		fields = append(fields, data.Field{Name: it.Name(), Value: aggValue(ectx, it, group)})
+	}
+	return data.Object(fields...)
+}
+
+func aggValue(ectx *expr.Ctx, it sqlparse.SelectItem, group []data.Value) data.Value {
+	switch it.Agg {
+	case "":
+		// Scalar item: functionally dependent on the group key.
+		return it.E.Eval(ectx, group[0])
+	case "count":
+		if it.Star {
+			return data.Int(int64(len(group)))
+		}
+		var n int64
+		for _, rec := range group {
+			if !it.E.Eval(ectx, rec).IsNull() {
+				n++
+			}
+		}
+		return data.Int(n)
+	case "sum", "avg":
+		var sum float64
+		var n int64
+		for _, rec := range group {
+			x := it.E.Eval(ectx, rec)
+			if x.IsNull() {
+				continue
+			}
+			sum += x.Float()
+			n++
+		}
+		if it.Agg == "avg" {
+			if n == 0 {
+				return data.Null()
+			}
+			return data.Double(sum / float64(n))
+		}
+		return data.Double(sum)
+	case "min", "max":
+		v := data.Null()
+		for _, rec := range group {
+			x := it.E.Eval(ectx, rec)
+			if x.IsNull() {
+				continue
+			}
+			if v.IsNull() ||
+				(it.Agg == "min" && data.Compare(x, v) < 0) ||
+				(it.Agg == "max" && data.Compare(x, v) > 0) {
+				v = x
+			}
+		}
+		return v
+	}
+	return data.Null()
+}
+
+// Sort orders projected output records by the query's ORDER BY. Keys
+// resolve as column paths over the record, falling back to select-item
+// output names for single-component paths.
+func Sort(rows []data.Value, order []sqlparse.OrderItem) {
+	keyFor := func(row data.Value, item sqlparse.OrderItem) data.Value {
+		ectx := &expr.Ctx{}
+		v := item.E.Eval(ectx, row)
+		if !v.IsNull() {
+			return v
+		}
+		// Projection flattens rows to their output names, so "r.id"
+		// resolves as the field "id" and "revenue" as itself.
+		if c, ok := item.E.(*expr.Col); ok {
+			if last := c.Path[len(c.Path)-1]; !last.IsIndex {
+				return row.FieldOr(last.Name)
+			}
+		}
+		return v
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, item := range order {
+			c := data.Compare(keyFor(rows[a], item), keyFor(rows[b], item))
+			if c == 0 {
+				continue
+			}
+			if item.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// GroupKey evaluates the GROUP BY expressions over a row into a
+// composite key.
+func GroupKey(ectx *expr.Ctx, groupBy []expr.Expr, row data.Value) data.Value {
+	vals := make([]data.Value, len(groupBy))
+	for i, g := range groupBy {
+		vals[i] = g.Eval(ectx, row)
+	}
+	return data.Array(vals...)
+}
+
+// Partial aggregation (MapReduce combiner support): PartialAggregate
+// folds a group of raw rows into one mergeable partial record, and
+// MergeAggregates folds partials into the final output record,
+// producing exactly what AggregateGroup would over the union of the
+// raw rows. count becomes a summable count, avg carries (sum, count),
+// min/max merge by comparison, and scalar items pass through.
+
+// partialField names the i-th item's slot in a partial record.
+func partialField(i int, suffix string) string {
+	return "p" + strconv.Itoa(i) + suffix
+}
+
+// PartialAggregate reduces raw rows to a single mergeable record.
+func PartialAggregate(ectx *expr.Ctx, items []sqlparse.SelectItem, group []data.Value) data.Value {
+	fields := make([]data.Field, 0, len(items)*2)
+	for i, it := range items {
+		switch it.Agg {
+		case "":
+			fields = append(fields, data.Field{Name: partialField(i, ""), Value: it.E.Eval(ectx, group[0])})
+		case "count":
+			var n int64
+			if it.Star {
+				n = int64(len(group))
+			} else {
+				for _, rec := range group {
+					if !it.E.Eval(ectx, rec).IsNull() {
+						n++
+					}
+				}
+			}
+			fields = append(fields, data.Field{Name: partialField(i, ""), Value: data.Int(n)})
+		case "sum", "avg":
+			var sum float64
+			var n int64
+			for _, rec := range group {
+				x := it.E.Eval(ectx, rec)
+				if x.IsNull() {
+					continue
+				}
+				sum += x.Float()
+				n++
+			}
+			fields = append(fields,
+				data.Field{Name: partialField(i, "_sum"), Value: data.Double(sum)},
+				data.Field{Name: partialField(i, "_cnt"), Value: data.Int(n)})
+		case "min", "max":
+			v := data.Null()
+			for _, rec := range group {
+				x := it.E.Eval(ectx, rec)
+				if x.IsNull() {
+					continue
+				}
+				if v.IsNull() ||
+					(it.Agg == "min" && data.Compare(x, v) < 0) ||
+					(it.Agg == "max" && data.Compare(x, v) > 0) {
+					v = x
+				}
+			}
+			fields = append(fields, data.Field{Name: partialField(i, ""), Value: v})
+		}
+	}
+	return data.Object(fields...)
+}
+
+// MergeAggregates combines partial records into the final output
+// record with the select items' output names.
+func MergeAggregates(items []sqlparse.SelectItem, partials []data.Value) data.Value {
+	fields := make([]data.Field, 0, len(items))
+	for i, it := range items {
+		var v data.Value
+		switch it.Agg {
+		case "":
+			v = partials[0].FieldOr(partialField(i, ""))
+		case "count":
+			var n int64
+			for _, p := range partials {
+				n += p.FieldOr(partialField(i, "")).Int()
+			}
+			v = data.Int(n)
+		case "sum", "avg":
+			var sum float64
+			var n int64
+			for _, p := range partials {
+				sum += p.FieldOr(partialField(i, "_sum")).Float()
+				n += p.FieldOr(partialField(i, "_cnt")).Int()
+			}
+			if it.Agg == "avg" {
+				if n == 0 {
+					v = data.Null()
+				} else {
+					v = data.Double(sum / float64(n))
+				}
+			} else {
+				v = data.Double(sum)
+			}
+		case "min", "max":
+			v = data.Null()
+			for _, p := range partials {
+				x := p.FieldOr(partialField(i, ""))
+				if x.IsNull() {
+					continue
+				}
+				if v.IsNull() ||
+					(it.Agg == "min" && data.Compare(x, v) < 0) ||
+					(it.Agg == "max" && data.Compare(x, v) > 0) {
+					v = x
+				}
+			}
+		}
+		fields = append(fields, data.Field{Name: it.Name(), Value: v})
+	}
+	return data.Object(fields...)
+}

@@ -1,0 +1,23 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+const benchSQL = `SELECT o.o_orderdate, sum(l.l_extendedprice * (1 - l.l_discount)) AS volume
+	FROM part p, supplier s, lineitem l, orders o, customer c, nation n1, nation n2, region r
+	WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+	AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+	AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+	AND r.r_name = 'AMERICA' AND s.s_nationkey = n2.n_nationkey
+	AND q8_check_oc(o, c)
+	GROUP BY o.o_orderdate ORDER BY o.o_orderdate`
+
+func BenchmarkParse8WayQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"testing"
+
+	"dyno/internal/data"
+)
+
+func BenchmarkKMVAdd(b *testing.B) {
+	s := NewKMV(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkCollectorObserve(b *testing.B) {
+	paths := []data.Path{
+		data.MustParsePath("o.o_orderkey"),
+		data.MustParsePath("o.o_custkey"),
+	}
+	c := NewCollector(paths, 1024)
+	rec := data.Object(data.Field{Name: "o", Value: data.Object(
+		data.Field{Name: "o_orderkey", Value: data.Int(42)},
+		data.Field{Name: "o_custkey", Value: data.Int(7)},
+	)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.ObserveInput()
+		c.ObserveOutput(rec, 120)
+	}
+}

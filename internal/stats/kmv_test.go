@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyno/internal/data"
+)
+
+func TestKMVExactBelowK(t *testing.T) {
+	s := NewKMV(64)
+	for i := 0; i < 40; i++ {
+		s.AddValue(data.Int(int64(i)))
+	}
+	if got := s.Estimate(); got != 40 {
+		t.Errorf("Estimate = %v, want exact 40", got)
+	}
+	// Duplicates do not inflate.
+	for i := 0; i < 40; i++ {
+		s.AddValue(data.Int(int64(i)))
+	}
+	if got := s.Estimate(); got != 40 {
+		t.Errorf("after duplicates Estimate = %v, want 40", got)
+	}
+}
+
+func TestKMVEstimateAccuracy(t *testing.T) {
+	// k=1024 over 100k distinct values: the paper cites ~6% error
+	// bound; allow 10%.
+	s := NewKMV(1024)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		s.AddValue(data.Int(int64(i)))
+	}
+	got := s.Estimate()
+	if math.Abs(got-n)/n > 0.10 {
+		t.Errorf("Estimate = %v, want within 10%% of %d", got, n)
+	}
+}
+
+func TestKMVSkewedDuplicates(t *testing.T) {
+	// 5000 distinct values, each appearing many times.
+	s := NewKMV(1024)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100_000; i++ {
+		s.AddValue(data.Int(int64(r.Intn(5000))))
+	}
+	got := s.Estimate()
+	if math.Abs(got-5000)/5000 > 0.12 {
+		t.Errorf("Estimate = %v, want ~5000", got)
+	}
+}
+
+func TestKMVMergeEqualsUnion(t *testing.T) {
+	// Synopses over partitions merge to the synopsis of the whole.
+	whole := NewKMV(128)
+	a, b := NewKMV(128), NewKMV(128)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20_000; i++ {
+		v := data.Int(int64(r.Intn(5000)))
+		whole.AddValue(v)
+		if i%2 == 0 {
+			a.AddValue(v)
+		} else {
+			b.AddValue(v)
+		}
+	}
+	a.Merge(b)
+	if a.Estimate() != whole.Estimate() {
+		t.Errorf("merged estimate %v != whole estimate %v", a.Estimate(), whole.Estimate())
+	}
+}
+
+func TestKMVMergeNil(t *testing.T) {
+	s := NewKMV(16)
+	s.AddValue(data.Int(1))
+	s.Merge(nil)
+	if s.Estimate() != 1 {
+		t.Error("Merge(nil) should be a no-op")
+	}
+}
+
+func TestKMVClone(t *testing.T) {
+	s := NewKMV(16)
+	for i := 0; i < 10; i++ {
+		s.AddValue(data.Int(int64(i)))
+	}
+	c := s.Clone()
+	c.AddValue(data.Int(100))
+	if s.Observed() == c.Observed() {
+		t.Error("Clone should be independent")
+	}
+}
+
+func TestKMVMinimumK(t *testing.T) {
+	s := NewKMV(0)
+	if s.K() < 2 {
+		t.Error("k should be clamped to >= 2")
+	}
+}
+
+func TestKMVEmpty(t *testing.T) {
+	s := NewKMV(8)
+	if s.Estimate() != 0 || s.Observed() != 0 {
+		t.Error("empty synopsis should estimate 0")
+	}
+}
+
+func TestKMVPropertyOrderIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(500)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = r.Uint64() % 10_000
+		}
+		a := NewKMV(32)
+		for _, v := range vals {
+			a.Add(v)
+		}
+		b := NewKMV(32)
+		perm := r.Perm(n)
+		for _, i := range perm {
+			b.Add(vals[i])
+		}
+		return a.Estimate() == b.Estimate() && a.Observed() == b.Observed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMVPropertyRetainsKSmallest(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewKMV(8)
+		seen := map[uint64]bool{}
+		for i := 0; i < 200; i++ {
+			v := r.Uint64() % 1000
+			s.Add(v)
+			seen[v] = true
+		}
+		// The synopsis must hold exactly the 8 smallest distinct values.
+		var all []uint64
+		for v := range seen {
+			all = append(all, v)
+		}
+		sortUint64(all)
+		want := all
+		if len(want) > 8 {
+			want = want[:8]
+		}
+		if s.Observed() != len(want) {
+			return false
+		}
+		for i, v := range want {
+			if s.vals[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortUint64(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

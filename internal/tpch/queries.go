@@ -1,0 +1,183 @@
+package tpch
+
+import (
+	"fmt"
+
+	"dyno/internal/data"
+	"dyno/internal/expr"
+)
+
+// UDFParams parameterize the UDFs the paper adds to the TPC-H queries
+// (§6.1): Q8' gains a filtering UDF over orders ⋈ customer plus the
+// correlated predicate pair on orders; Q9' gains filtering UDFs on its
+// dimensions (whose selectivity Figure 6 sweeps) and a UDF over
+// orders ⋈ lineitem.
+type UDFParams struct {
+	// Q9DimSel is the selectivity of the Q9' dimension UDFs
+	// (Figure 6 sweeps 0.0001 … 1.0).
+	Q9DimSel float64
+	// Q8Sel is the selectivity of Q8's UDF on orders ⋈ customer.
+	Q8Sel float64
+	// Q9OLSel is the selectivity of Q9's UDF on orders ⋈ lineitem.
+	Q9OLSel float64
+	// CPUCost is the virtual seconds charged per UDF invocation.
+	CPUCost float64
+}
+
+// DefaultUDFParams match the configuration used for Figures 7 and 8.
+func DefaultUDFParams() UDFParams {
+	return UDFParams{
+		Q9DimSel: 0.01,
+		Q8Sel:    0.25,
+		Q9OLSel:  0.5,
+		CPUCost:  0.0005,
+	}
+}
+
+// keep deterministically retains a value with the given probability,
+// salted so different UDFs make independent choices.
+func keep(v data.Value, sel float64, salt uint64) bool {
+	if sel >= 1 {
+		return true
+	}
+	if sel <= 0 {
+		return false
+	}
+	h := data.Hash64(v) ^ (salt * 0x9e3779b97f4a7c15)
+	return float64(h%1_000_000) < sel*1_000_000
+}
+
+// RegisterUDFs installs the paper's UDFs into a registry. UDFs are
+// opaque to the optimizer; only pilot runs and online statistics
+// discover their selectivities.
+func RegisterUDFs(reg *expr.Registry, p UDFParams) {
+	if p.CPUCost <= 0 {
+		p.CPUCost = 0.0005
+	}
+	reg.Register(expr.UDF{
+		Name:    "q9_keep_part",
+		CPUCost: p.CPUCost,
+		Fn: func(args []data.Value) data.Value {
+			return data.Bool(keep(args[0].FieldOr("p_partkey"), p.Q9DimSel, 11))
+		},
+	})
+	reg.Register(expr.UDF{
+		Name:    "q9_keep_orders",
+		CPUCost: p.CPUCost,
+		Fn: func(args []data.Value) data.Value {
+			return data.Bool(keep(args[0].FieldOr("o_orderkey"), p.Q9DimSel, 13))
+		},
+	})
+	reg.Register(expr.UDF{
+		Name:    "q9_keep_partsupp",
+		CPUCost: p.CPUCost,
+		Fn: func(args []data.Value) data.Value {
+			k := data.Array(args[0].FieldOr("ps_partkey"), args[0].FieldOr("ps_suppkey"))
+			return data.Bool(keep(k, p.Q9DimSel, 17))
+		},
+	})
+	reg.Register(expr.UDF{
+		Name:    "q9_check_ol",
+		CPUCost: p.CPUCost,
+		Fn: func(args []data.Value) data.Value {
+			k := data.Array(args[0].FieldOr("o_orderkey"), args[1].FieldOr("l_linenumber"))
+			return data.Bool(keep(k, p.Q9OLSel, 19))
+		},
+	})
+	reg.Register(expr.UDF{
+		Name:    "q8_check_oc",
+		CPUCost: p.CPUCost,
+		Fn: func(args []data.Value) data.Value {
+			k := data.Array(args[0].FieldOr("o_orderkey"), args[1].FieldOr("c_custkey"))
+			return data.Bool(keep(k, p.Q8Sel, 23))
+		},
+	})
+}
+
+// queries holds the evaluation workload. Q5 is excluded, as in the
+// paper, because of its cyclic join conditions; Q2's inner
+// minimum-cost subquery is folded away since the engine's SQL subset
+// has no subqueries — the 5-way join block the paper optimizes is
+// preserved.
+var queries = map[string]string{
+	// Q2: 5-way join (part ⋈ partsupp ⋈ supplier ⋈ nation ⋈ region).
+	"Q2": `SELECT s.s_acctbal, s.s_name, n.n_name AS nation, p.p_partkey, p.p_mfgr
+		FROM part p, supplier s, partsupp ps, nation n, region r
+		WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+		AND p.p_size <= 15 AND p.p_type = 'LARGE BRUSHED BRASS'
+		AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+		AND r.r_name = 'EUROPE'
+		ORDER BY s.s_acctbal DESC, nation, s.s_name, p.p_partkey LIMIT 100`,
+
+	// Q7: 6-way join with a disjunctive cross-nation predicate (a
+	// non-local residual over n1 × n2).
+	"Q7": `SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+		sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+		FROM supplier s, lineitem l, orders o, customer c, nation n1, nation n2
+		WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+		AND c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey
+		AND c.c_nationkey = n2.n_nationkey
+		AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+		  OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+		AND l.l_shipdate >= 19950101 AND l.l_shipdate <= 19961231
+		GROUP BY n1.n_name, n2.n_name
+		ORDER BY supp_nation, cust_nation`,
+
+	// Q8': the paper's modified Q8 — a 7-way join block over 8
+	// relations, a filtering UDF on orders ⋈ customer, and the
+	// correlated (o_orderpriority, o_shippriority) predicate pair.
+	"Q8p": `SELECT o.o_orderdate, sum(l.l_extendedprice * (1 - l.l_discount)) AS volume
+		FROM part p, supplier s, lineitem l, orders o, customer c, nation n1, nation n2, region r
+		WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+		AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+		AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+		AND r.r_name = 'AMERICA' AND s.s_nationkey = n2.n_nationkey
+		AND p.p_type = 'ECONOMY ANODIZED STEEL'
+		AND o.o_orderdate >= 19950101 AND o.o_orderdate <= 19960630
+		AND o.o_orderpriority = '1-URGENT' AND o.o_shippriority = 1
+		AND q8_check_oc(o, c)
+		GROUP BY o.o_orderdate ORDER BY o.o_orderdate`,
+
+	// Q9': the paper's modified Q9 — a 5-way star on lineitem with
+	// filtering UDFs on the dimensions (part, orders, partsupp) and a
+	// UDF over orders ⋈ lineitem; the partsupp join is a two-column
+	// equi-join.
+	"Q9p": `SELECT n.n_name AS nation, sum(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) AS profit
+		FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+		WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+		AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+		AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+		AND q9_keep_part(p) AND q9_keep_orders(o) AND q9_keep_partsupp(ps)
+		AND q9_check_ol(o, l)
+		GROUP BY n.n_name ORDER BY nation`,
+
+	// Q10: 4-way join with local date/flag predicates.
+	"Q10": `SELECT c.c_custkey, c.c_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue, n.n_name AS nation
+		FROM customer c, orders o, lineitem l, nation n
+		WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+		AND o.o_orderdate >= 19931001 AND o.o_orderdate <= 19940101
+		AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+		GROUP BY c.c_custkey, c.c_name, n.n_name
+		ORDER BY revenue DESC LIMIT 20`,
+}
+
+// QueryNames lists the workload in the paper's order.
+var QueryNames = []string{"Q2", "Q7", "Q8p", "Q9p", "Q10"}
+
+// QuerySQL returns the SQL text of a named evaluation query.
+func QuerySQL(name string) (string, error) {
+	q, ok := queries[name]
+	if !ok {
+		return "", fmt.Errorf("tpch: unknown query %q (have %v)", name, QueryNames)
+	}
+	return q, nil
+}
+
+// MustQuerySQL is QuerySQL for statically known names.
+func MustQuerySQL(name string) string {
+	q, err := QuerySQL(name)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
