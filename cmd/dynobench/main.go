@@ -7,9 +7,11 @@
 //	dynobench -exp all
 //	dynobench -exp fig7 -scale 0.25
 //	dynobench -exp table1,fig6 -seed 2014
+//	dynobench -parbench BENCH_parallel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,15 +22,40 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, ablations, all (comma-separated)")
-		scale = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
-		seed  = flag.Int64("seed", 2014, "data generation seed")
+		exp      = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, ablations, all (comma-separated)")
+		scale    = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
+		seed     = flag.Int64("seed", 2014, "data generation seed")
+		parbench = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
+		repeats  = flag.Int("parbench-repeats", 3, "runs per mode for -parbench; the best time is kept")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+
+	if *parbench != "" {
+		rep, err := experiments.ParallelBench(cfg, *repeats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: parbench: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: parbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*parbench, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: parbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("parallel bench (GOMAXPROCS=%d) written to %s\n", rep.GOMAXPROCS, *parbench)
+		for _, e := range rep.Entries {
+			fmt.Printf("  %-18s serial %.3fs  parallel %.3fs  speedup %.2fx\n",
+				e.Name, e.SerialSec, e.ParallelSec, e.Speedup)
+		}
+		return
+	}
 
 	type tableExp struct {
 		name string

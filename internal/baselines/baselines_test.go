@@ -70,6 +70,7 @@ func TestHistogramEmptyAndSkewed(t *testing.T) {
 func tinyEnv(t *testing.T, sf float64) (*mapreduce.Env, *jaql.Catalog) {
 	t.Helper()
 	cfg := cluster.DefaultConfig()
+	cfg.Parallelism = 4 // exercise the pooled executor even on 1-core CI
 	env := &mapreduce.Env{
 		FS:    dfs.New(dfs.WithNodes(cfg.Workers)),
 		Sim:   cluster.New(cfg),

@@ -9,12 +9,30 @@
 // derives the task's virtual duration. Because scheduling is
 // single-threaded and event times are deterministic, every run of the
 // same workload produces the same virtual timeline.
+//
+// # Wall-clock parallelism vs. virtual time
+//
+// Real computation is decoupled from virtual time: all tasks dispatched
+// at the same virtual instant (every free slot across nodes) form a
+// wave whose Run closures execute on a pool of Config.Parallelism
+// worker goroutines, mirroring how the modeled cluster genuinely runs
+// one task per slot in parallel. Scheduling decisions, trace events,
+// failure injection, and the application of reported usage all stay on
+// the single scheduler goroutine, in dispatch order, so the virtual
+// timeline — timestamps, event ordering, tie-breaking sequence numbers
+// — is bit-identical to the serial legacy path (Parallelism == 0),
+// which is retained for differential testing. Run closures of one wave
+// therefore must not share mutable state with each other; job-level
+// bookkeeping that needs serial execution belongs in Task.Finish.
 package cluster
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // TaskKind distinguishes map from reduce tasks; they consume different
@@ -63,6 +81,13 @@ type Config struct {
 	FailEveryN     int
 	FailurePenalty float64
 
+	// Parallelism is the number of worker goroutines executing task Run
+	// closures in real (wall-clock) time. 0 selects the serial legacy
+	// path that runs each closure inline at its dispatch point; any
+	// N >= 1 uses the batched wave executor, which produces an
+	// identical virtual timeline. DefaultConfig sets GOMAXPROCS.
+	Parallelism int
+
 	// Scheduler selects how free slots are shared among concurrent
 	// jobs.
 	Scheduler SchedulerKind
@@ -96,6 +121,7 @@ func DefaultConfig() Config {
 		ShuffleBps:           12 << 20,
 		WriteBps:             25 << 20,
 		PerRecordCPU:         0,
+		Parallelism:          runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -139,8 +165,17 @@ type Task struct {
 	Name string
 	// Run performs the task's real computation and reports usage. A
 	// non-nil error fails the whole job (e.g. a broadcast build that
-	// exceeds slot memory).
+	// exceeds slot memory). Under a parallel executor, Run closures of
+	// tasks dispatched at the same virtual instant execute
+	// concurrently and must not share mutable state.
 	Run func(tc TaskContext) (Usage, error)
+	// Finish, when set, is invoked on the scheduler goroutine after a
+	// successful Run, strictly in dispatch order across the whole
+	// simulation. It may adjust the reported usage using job-level
+	// state without synchronization — the hook exists for bookkeeping
+	// that depends on execution order, such as charging a one-time
+	// preparation cost to the first task of a job that runs.
+	Finish func(tc TaskContext, u *Usage)
 
 	usage      Usage
 	start, end float64
@@ -290,7 +325,8 @@ func (h *eventHeap) Pop() any {
 }
 
 // Sim is the cluster simulator. It is not safe for concurrent use; the
-// engine drives it from a single goroutine.
+// engine drives it from a single goroutine (task Run closures are the
+// only code the simulator itself fans out to worker goroutines).
 type Sim struct {
 	cfg        Config
 	now        float64
@@ -300,7 +336,21 @@ type Sim struct {
 	mapFree    []int         // free map slots per worker
 	reduceFree []int         // free reduce slots per worker
 	trace      func(TraceEvent)
-	dispatched int64 // tasks dispatched, for failure injection
+	dispatched int64     // tasks dispatched, for failure injection
+	wave       []*launch // tasks of the current virtual instant, in dispatch order
+}
+
+// launch is one dispatched task attempt of the current wave. The worker
+// pool fills usage/err/panicked; everything else is written by the
+// scheduler goroutine before the fan-out.
+type launch struct {
+	sub      *Submission
+	task     *Task
+	tc       TaskContext
+	injected bool // injected failure: Run is skipped, the attempt retries
+	usage    Usage
+	err      error
+	panicked any
 }
 
 // TraceEvent describes a scheduling occurrence, for timeline displays.
@@ -385,6 +435,7 @@ func (s *Sim) Run() error {
 	var firstErr error
 	for {
 		s.dispatch()
+		s.runWave()
 		if len(s.events) == 0 {
 			break
 		}
@@ -558,11 +609,13 @@ func (s *Sim) startTask(sub *Submission, t *Task, node int) {
 		t.node = node
 		sub.running++
 		s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "attempt-failed", Node: node})
-		penalty := s.cfg.FailurePenalty
-		if penalty <= 0 {
-			penalty = s.cfg.TaskOverhead
+		if s.cfg.Parallelism > 0 {
+			// Defer the retry-event push to the wave's apply phase so
+			// event sequence numbers match the serial schedule.
+			s.wave = append(s.wave, &launch{sub: sub, task: t, injected: true})
+			return
 		}
-		s.push(&event{time: s.now + penalty, kind: evTaskRetry, sub: sub, task: t})
+		s.pushRetry(sub, t)
 		return
 	}
 	t.attempts++
@@ -574,7 +627,33 @@ func (s *Sim) startTask(sub *Submission, t *Task, node int) {
 	sub.running++
 	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "start", Node: node})
 
-	usage, err := t.Run(TaskContext{Node: node, FirstOnNode: first, Now: s.now})
+	tc := TaskContext{Node: node, FirstOnNode: first, Now: s.now}
+	if s.cfg.Parallelism > 0 {
+		s.wave = append(s.wave, &launch{sub: sub, task: t, tc: tc})
+		return
+	}
+	// Serial legacy path: the closure runs inline at its dispatch
+	// point; an error cancels the job's queued tasks before the rest of
+	// the wave is even assigned.
+	usage, err := t.Run(tc)
+	if err == nil && t.Finish != nil {
+		t.Finish(tc, &usage)
+	}
+	s.applyRun(sub, t, usage, err)
+}
+
+// pushRetry schedules the re-queue of a failed attempt.
+func (s *Sim) pushRetry(sub *Submission, t *Task) {
+	penalty := s.cfg.FailurePenalty
+	if penalty <= 0 {
+		penalty = s.cfg.TaskOverhead
+	}
+	s.push(&event{time: s.now + penalty, kind: evTaskRetry, sub: sub, task: t})
+}
+
+// applyRun records a finished Run attempt: usage, failure propagation,
+// and the completion event that converts usage to a virtual duration.
+func (s *Sim) applyRun(sub *Submission, t *Task, usage Usage, err error) {
 	t.usage = usage
 	if err != nil && !sub.failed {
 		sub.failed = true
@@ -584,6 +663,77 @@ func (s *Sim) startTask(sub *Submission, t *Task, node int) {
 	d := s.duration(usage)
 	t.end = s.now + d
 	s.push(&event{time: t.end, kind: evTaskDone, sub: sub, task: t})
+}
+
+// runWave executes the Run closures collected at the current virtual
+// instant on the worker pool, then applies their results in dispatch
+// order on the scheduler goroutine. Because application order equals
+// the serial path's execution order, virtual timestamps, event
+// tie-breaking, and Finish-hook ordering are bit-identical to
+// Parallelism == 0. The one observable difference is failure handling:
+// a wave is assigned in full before any closure runs, so when a task
+// errors, same-wave tasks of that job have already started (and finish
+// like any in-flight task), whereas the serial path stops assigning
+// the moment the error surfaces.
+func (s *Sim) runWave() {
+	if len(s.wave) == 0 {
+		return
+	}
+	wave := s.wave
+	s.wave = s.wave[:0]
+	workers := s.cfg.Parallelism
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	if workers <= 1 {
+		for _, l := range wave {
+			if !l.injected {
+				l.usage, l.err = l.task.Run(l.tc)
+			}
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1)
+					if i >= int64(len(wave)) {
+						return
+					}
+					l := wave[i]
+					if l.injected {
+						continue
+					}
+					func() {
+						defer func() {
+							if p := recover(); p != nil {
+								l.panicked = p
+							}
+						}()
+						l.usage, l.err = l.task.Run(l.tc)
+					}()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, l := range wave {
+		if l.panicked != nil {
+			panic(l.panicked)
+		}
+		if l.injected {
+			s.pushRetry(l.sub, l.task)
+			continue
+		}
+		if l.err == nil && l.task.Finish != nil {
+			l.task.Finish(l.tc, &l.usage)
+		}
+		s.applyRun(l.sub, l.task, l.usage, l.err)
+	}
 }
 
 // duration converts reported usage to virtual seconds.

@@ -13,9 +13,12 @@ import (
 )
 
 // Service is a named collection of counters and registry entries. The
-// zero value is not usable; use NewService.
+// zero value is not usable; use NewService. All methods are safe for
+// concurrent use; reads (Get, Entries, CounterNames) take a shared
+// lock, since the pilot-run counter is polled from the early-
+// termination hot path while parallel tasks increment it.
 type Service struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	counters map[string]int64
 	registry map[string][]string
 }
@@ -39,8 +42,8 @@ func (s *Service) Add(name string, delta int64) int64 {
 
 // Get returns the current value of the named counter.
 func (s *Service) Get(name string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.counters[name]
 }
 
@@ -60,8 +63,8 @@ func (s *Service) Publish(key, entry string) {
 
 // Entries returns a sorted copy of the entries published under key.
 func (s *Service) Entries(key string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, len(s.registry[key]))
 	copy(out, s.registry[key])
 	sort.Strings(out)
@@ -78,8 +81,8 @@ func (s *Service) Clear(key string) {
 // CounterNames returns the sorted names of live counters (for tests and
 // debugging).
 func (s *Service) CounterNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	names := make([]string, 0, len(s.counters))
 	for n := range s.counters {
 		names = append(names, n)
@@ -90,7 +93,7 @@ func (s *Service) CounterNames() []string {
 
 // String summarizes the service state.
 func (s *Service) String() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return fmt.Sprintf("coord{counters=%d, keys=%d}", len(s.counters), len(s.registry))
 }

@@ -98,3 +98,36 @@ func TestStringSummary(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+// TestConcurrentPilotLifecycle mirrors how a parallel wave of pilot
+// tasks hits the service: many goroutines bump the early-termination
+// counter, poll it, and publish per-task statistics locations, all
+// interleaved with registry reads. Run under -race this validates the
+// shared-lock read paths against concurrent writers.
+func TestConcurrentPilotLifecycle(t *testing.T) {
+	s := NewService()
+	const tasks = 32
+	const perTask = 50
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perTask; j++ {
+				s.Add("job/pilot/out", 1)
+				_ = s.Get("job/pilot/out") // early-termination poll
+			}
+			s.Publish("stats/pilot", fmt.Sprintf("task-m%d", i))
+			_ = s.Entries("stats/pilot")
+			_ = s.CounterNames()
+			_ = s.String()
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Get("job/pilot/out"); got != tasks*perTask {
+		t.Errorf("counter = %d, want %d", got, tasks*perTask)
+	}
+	if got := len(s.Entries("stats/pilot")); got != tasks {
+		t.Errorf("published entries = %d, want %d", got, tasks)
+	}
+}

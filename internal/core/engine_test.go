@@ -35,6 +35,7 @@ func newFixture() *fixture {
 		ScanBps:              20_000,
 		ShuffleBps:           8_000,
 		WriteBps:             15_000,
+		Parallelism:          4,
 	}
 	env := &mapreduce.Env{
 		FS:    dfs.New(dfs.WithBlockSize(700), dfs.WithNodes(2)),

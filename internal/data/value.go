@@ -11,7 +11,6 @@ package data
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"strconv"
@@ -330,61 +329,68 @@ func kindClass(k Kind) int {
 // Equal reports whether two values compare equal.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// FNV-1a parameters (hash/fnv's 64a variant, inlined so hashing is
+// allocation-free on the shuffle hot path).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Hash64 returns a 64-bit FNV-1a hash of the value. Values that compare
-// equal hash equal (ints and integral doubles included).
+// equal hash equal (ints and integral doubles included). The result is
+// byte-for-byte identical to hashing the same traversal through
+// hash/fnv.New64a.
 func Hash64(v Value) uint64 {
-	h := fnv.New64a()
-	hashInto(h, v)
-	return h.Sum64()
+	return hashValue(fnvOffset64, v)
 }
 
-type hasher interface {
-	Write(p []byte) (int, error)
+func hashByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
 }
 
-func hashInto(h hasher, v Value) {
-	var tag [1]byte
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func hashValue(h uint64, v Value) uint64 {
 	switch v.kind {
 	case KindNull:
-		tag[0] = 0
-		h.Write(tag[:])
+		return hashByte(h, 0)
 	case KindBool:
-		tag[0] = 1
-		h.Write(tag[:])
+		h = hashByte(h, 1)
 		if v.b {
-			h.Write([]byte{1})
-		} else {
-			h.Write([]byte{0})
+			return hashByte(h, 1)
 		}
+		return hashByte(h, 0)
 	case KindInt, KindDouble:
 		// Hash numbers by their float64 image so 2 and 2.0 collide,
 		// matching Compare's cross-kind equality.
-		tag[0] = 2
-		h.Write(tag[:])
+		h = hashByte(h, 2)
 		bits := math.Float64bits(v.Float())
-		var buf [8]byte
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(bits >> (8 * i))
+			h = hashByte(h, byte(bits>>(8*i)))
 		}
-		h.Write(buf[:])
+		return h
 	case KindString:
-		tag[0] = 3
-		h.Write(tag[:])
-		h.Write([]byte(v.s))
+		return hashString(hashByte(h, 3), v.s)
 	case KindArray:
-		tag[0] = 4
-		h.Write(tag[:])
+		h = hashByte(h, 4)
 		for _, e := range v.arr {
-			hashInto(h, e)
+			h = hashValue(h, e)
 		}
+		return h
 	case KindObject:
-		tag[0] = 5
-		h.Write(tag[:])
+		h = hashByte(h, 5)
 		for _, f := range v.fields {
-			h.Write([]byte(f.Name))
-			hashInto(h, f.Value)
+			h = hashString(h, f.Name)
+			h = hashValue(h, f.Value)
 		}
+		return h
 	}
+	return h
 }
 
 // EncodedSize estimates the on-disk size of the value in bytes, matching

@@ -1,6 +1,8 @@
 package data
 
 import (
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -355,5 +357,86 @@ func sign(x int) int {
 		return 1
 	default:
 		return 0
+	}
+}
+
+// fnvReference reproduces Hash64's traversal through the standard
+// library's hash/fnv, pinning the inlined implementation to the exact
+// byte stream the pre-optimization code hashed.
+func fnvReference(v Value) uint64 {
+	h := fnv.New64a()
+	var walk func(Value)
+	walk = func(v Value) {
+		switch v.Kind() {
+		case KindNull:
+			h.Write([]byte{0})
+		case KindBool:
+			h.Write([]byte{1})
+			if v.Bool() {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		case KindInt, KindDouble:
+			h.Write([]byte{2})
+			bits := math.Float64bits(v.Float())
+			var buf [8]byte
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		case KindString:
+			h.Write([]byte{3})
+			h.Write([]byte(v.Str()))
+		case KindArray:
+			h.Write([]byte{4})
+			for _, e := range v.Elems() {
+				walk(e)
+			}
+		case KindObject:
+			h.Write([]byte{5})
+			for _, f := range v.Fields() {
+				h.Write([]byte(f.Name))
+				walk(f.Value)
+			}
+		}
+	}
+	walk(v)
+	return h.Sum64()
+}
+
+// TestHash64MatchesFNVReference pins the allocation-free hash to the
+// standard library FNV-1a it replaced: partition assignments and
+// hash-table layouts must not shift across the optimization.
+func TestHash64MatchesFNVReference(t *testing.T) {
+	fixed := []Value{
+		Null(), Bool(true), Bool(false), Int(0), Int(-42), Double(3.25),
+		String(""), String("acme corp"), Array(), Array(Int(1), String("x")),
+		Object(Field{Name: "k", Value: Int(7)}, Field{Name: "s", Value: String("v")}),
+	}
+	for _, v := range fixed {
+		if got, want := Hash64(v), fnvReference(v); got != want {
+			t.Errorf("Hash64(%v) = %#x, fnv reference %#x", v, got, want)
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		return Hash64(v) == fnvReference(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHash64DoesNotAllocate guards the shuffle hot path.
+func TestHash64DoesNotAllocate(t *testing.T) {
+	v := Object(
+		Field{Name: "id", Value: Int(12345)},
+		Field{Name: "name", Value: String("some customer name")},
+		Field{Name: "tags", Value: Array(String("a"), String("b"))},
+	)
+	if allocs := testing.AllocsPerRun(100, func() { Hash64(v) }); allocs != 0 {
+		t.Errorf("Hash64 allocates %.1f objects per call, want 0", allocs)
 	}
 }

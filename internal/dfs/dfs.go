@@ -24,9 +24,11 @@ import (
 const DefaultBlockSize = 128 << 20
 
 // FS is a simulated distributed filesystem. It is safe for concurrent
-// use.
+// use: reads (block access, size queries, Open/Exists/List) take a
+// shared lock so parallel tasks never serialize on the hot path, while
+// writers (Create/Append/Remove/SetByteScale) are exclusive.
 type FS struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	blockSize int64
 	byteScale float64
 	files     map[string]*File
@@ -78,8 +80,8 @@ func (fs *FS) SetByteScale(s float64) {
 
 // ByteScale returns the current byte-scale multiplier.
 func (fs *FS) ByteScale() float64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.byteScale
 }
 
@@ -210,8 +212,8 @@ func (w *Writer) Close() *File {
 
 // Open returns the named file.
 func (fs *FS) Open(name string) (*File, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	f, ok := fs.files[name]
 	if !ok {
 		return nil, fmt.Errorf("dfs: file %q does not exist", name)
@@ -221,8 +223,8 @@ func (fs *FS) Open(name string) (*File, error) {
 
 // Exists reports whether the named file exists.
 func (fs *FS) Exists(name string) bool {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	_, ok := fs.files[name]
 	return ok
 }
@@ -240,8 +242,8 @@ func (fs *FS) Remove(name string) error {
 
 // List returns the sorted names of all files.
 func (fs *FS) List() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	names := make([]string, 0, len(fs.files))
 	for n := range fs.files {
 		names = append(names, n)

@@ -81,7 +81,7 @@ func AblationStatsReuse(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := l.newEnv(false, cfg.UDF)
+	env := l.newEnv(false, cfg)
 	opts := experimentOptions()
 	opts.ReuseStats = true
 	eng, err := baselines.NewEngine(baselines.VariantDynOpt, env, l.cat, optCfgFor(env, false), opts)
@@ -233,8 +233,8 @@ func AblationScheduler(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		env := l.newEnv(false, cfg.UDF)
-		ccfg := cluster.DefaultConfig()
+		env := l.newEnv(false, cfg)
+		ccfg := cfg.clusterConfig()
 		ccfg.Scheduler = kind
 		env.Sim = cluster.New(ccfg)
 		opts := experimentOptions()

@@ -33,6 +33,11 @@ type Config struct {
 	Seed int64
 	// UDF parameters; zero value uses the defaults of §6.1.
 	UDF tpch.UDFParams
+	// Parallelism sets the cluster simulator's wall-clock worker pool:
+	// 0 keeps the simulator default (GOMAXPROCS), negative forces the
+	// serial legacy executor, positive values are passed through.
+	// Virtual-time results are identical either way.
+	Parallelism int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -83,13 +88,25 @@ func getLab(sf float64, cfg Config) (*lab, error) {
 	return l, nil
 }
 
+// clusterConfig resolves the simulator configuration for a Config.
+func (c Config) clusterConfig() cluster.Config {
+	ccfg := cluster.DefaultConfig()
+	switch {
+	case c.Parallelism < 0:
+		ccfg.Parallelism = 0 // serial legacy executor
+	case c.Parallelism > 0:
+		ccfg.Parallelism = c.Parallelism
+	}
+	return ccfg
+}
+
 // newEnv builds a fresh measurement environment over a lab's storage.
-func (l *lab) newEnv(hiveProfile bool, udf tpch.UDFParams) *mapreduce.Env {
+func (l *lab) newEnv(hiveProfile bool, cfg Config) *mapreduce.Env {
 	reg := expr.NewRegistry()
-	tpch.RegisterUDFs(reg, udf)
+	tpch.RegisterUDFs(reg, cfg.UDF)
 	env := &mapreduce.Env{
 		FS:    l.fs,
-		Sim:   cluster.New(cluster.DefaultConfig()),
+		Sim:   cluster.New(cfg.clusterConfig()),
 		Coord: coord.NewService(),
 		Reg:   reg,
 	}
@@ -127,7 +144,7 @@ func runVariantFull(v baselines.Variant, sf float64, cfg Config, query string,
 	if err != nil {
 		return nil, err
 	}
-	env := l.newEnv(hiveProfile, cfg.UDF)
+	env := l.newEnv(hiveProfile, cfg)
 	opts := experimentOptions()
 	if tweak != nil {
 		tweak(&opts)

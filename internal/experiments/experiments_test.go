@@ -29,7 +29,7 @@ func TestAllVariantsMatchOracleOnWorkload(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		env := l.newEnv(false, cfg.UDF)
+		env := l.newEnv(false, cfg)
 		q := sqlparse.MustParse(tpch.MustQuerySQL(query))
 		want, err := naive.Evaluate(q, l.cat, env.Reg)
 		if err != nil {

@@ -38,7 +38,7 @@ func MeasureOverheads(cfg Config, query string) (*Overheads, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := l.newEnv(false, cfg.UDF)
+	env := l.newEnv(false, cfg)
 	opts := experimentOptions()
 	opts.ReuseStats = true // populate + reuse across the two runs
 	optCfg := optimizer.DefaultConfig(float64(env.Sim.Config().SlotMemory))

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+
+	"dyno/internal/baselines"
+	"dyno/internal/cluster"
+	"dyno/internal/core"
+	"dyno/internal/data"
+	"dyno/internal/tpch"
+)
+
+// runWithParallelism executes one query under DYNOPT with an explicit
+// executor setting and returns the result plus the full trace.
+func runWithParallelism(t *testing.T, cfg Config, query string, parallelism int) (*core.Result, []cluster.TraceEvent) {
+	t.Helper()
+	cfg.Parallelism = parallelism
+	l, err := getLab(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := l.newEnv(false, cfg)
+	var trace []cluster.TraceEvent
+	env.Sim.SetTrace(func(ev cluster.TraceEvent) { trace = append(trace, ev) })
+	eng, err := baselines.NewEngine(baselines.VariantDynOpt, env, l.cat, optCfgFor(env, false), experimentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.ExecuteSQL(tpch.MustQuerySQL(query))
+	if err != nil {
+		t.Fatalf("%s with Parallelism=%d: %v", query, parallelism, err)
+	}
+	return res, trace
+}
+
+// TestParallelExecutorMatchesSerial is the tentpole's differential
+// acceptance test: on Q8', Q9', and Q10 at SF 100, the serial legacy
+// executor (Parallelism -1 → cluster 0) and the pooled executor must
+// produce identical rows, identical virtual timings, and an identical
+// trace-event sequence.
+func TestParallelExecutorMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := testConfig()
+	for _, query := range []string{"Q8p", "Q9p", "Q10"} {
+		serial, serialTrace := runWithParallelism(t, cfg, query, -1)
+		par, parTrace := runWithParallelism(t, cfg, query, 4)
+
+		if len(par.Rows) != len(serial.Rows) {
+			t.Fatalf("%s: %d rows parallel, %d serial", query, len(par.Rows), len(serial.Rows))
+		}
+		for i := range serial.Rows {
+			if !data.Equal(par.Rows[i], serial.Rows[i]) {
+				t.Errorf("%s row %d: parallel %v, serial %v", query, i, par.Rows[i], serial.Rows[i])
+			}
+		}
+		if par.TotalSec != serial.TotalSec {
+			t.Errorf("%s: TotalSec parallel %v, serial %v", query, par.TotalSec, serial.TotalSec)
+		}
+		if par.PilotSec != serial.PilotSec {
+			t.Errorf("%s: PilotSec parallel %v, serial %v", query, par.PilotSec, serial.PilotSec)
+		}
+		if par.Jobs != serial.Jobs {
+			t.Errorf("%s: Jobs parallel %d, serial %d", query, par.Jobs, serial.Jobs)
+		}
+		if len(parTrace) != len(serialTrace) {
+			t.Fatalf("%s: %d trace events parallel, %d serial", query, len(parTrace), len(serialTrace))
+		}
+		for i := range serialTrace {
+			if parTrace[i] != serialTrace[i] {
+				t.Fatalf("%s trace[%d]: parallel %+v, serial %+v", query, i, parTrace[i], serialTrace[i])
+			}
+		}
+	}
+}

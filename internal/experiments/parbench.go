@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"dyno/internal/baselines"
+	"dyno/internal/core"
+)
+
+// ParallelBenchEntry is one scenario's serial-vs-parallel wall-clock
+// measurement. VirtualSec is the simulated query time, asserted equal
+// between the two executors before the entry is reported.
+type ParallelBenchEntry struct {
+	Name        string  `json:"name"`
+	Query       string  `json:"query"`
+	SF          float64 `json:"sf"`
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Parallelism int     `json:"parallelism"`
+	Speedup     float64 `json:"speedup"`
+	VirtualSec  float64 `json:"virtual_sec"`
+}
+
+// ParallelBenchReport is the machine-readable output of ParallelBench
+// (written to BENCH_parallel.json by cmd/dynobench) so successive PRs
+// have a wall-clock perf trajectory to compare against.
+type ParallelBenchReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Scale      float64              `json:"scale"`
+	Seed       int64                `json:"seed"`
+	Repeats    int                  `json:"repeats"`
+	Entries    []ParallelBenchEntry `json:"entries"`
+}
+
+// ParallelBench measures wall-clock time of representative DYNOPT
+// executions under the serial legacy executor and the pooled executor
+// sized by GOMAXPROCS. Each scenario runs `repeats` times per mode and
+// keeps the best time. Speedups only materialize on multi-core hosts;
+// the report records GOMAXPROCS so single-core results are
+// interpretable.
+func ParallelBench(cfg Config, repeats int) (*ParallelBenchReport, error) {
+	cfg = cfg.normalized()
+	if repeats < 1 {
+		repeats = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	rep := &ParallelBenchReport{
+		GOMAXPROCS: workers,
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		Repeats:    repeats,
+	}
+	scenarios := []struct {
+		name, query string
+		sf          float64
+		tweak       func(*core.Options)
+	}{
+		// Multi-join TPC-H queries: star join, snowflake, and the
+		// paper's running Q10 example.
+		{"dynopt-q8p", "Q8p", 100, nil},
+		{"dynopt-q9p", "Q9p", 100, nil},
+		{"dynopt-q10", "Q10", 100, nil},
+		// PILR_MT with the UNC-2 strategy: concurrent pilot leaf jobs
+		// plus two join jobs in flight — the workload the worker pool
+		// helps most.
+		{"dynopt-q8p-unc2", "Q8p", 100, func(o *core.Options) {
+			o.PilotMode = core.PilotMT
+			o.Strategy = core.Uncertain{N: 2}
+		}},
+	}
+	// Warm the dataset cache so generation cost stays out of the
+	// measurements (both modes share the lab).
+	if _, err := getLab(100, cfg); err != nil {
+		return nil, err
+	}
+	measure := func(c Config, query string, sf float64, tweak func(*core.Options)) (wall, virtual float64, err error) {
+		wall = math.Inf(1)
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			m, err := runVariant(baselines.VariantDynOpt, sf, c, query, false, tweak)
+			if err != nil {
+				return 0, 0, err
+			}
+			if el := time.Since(start).Seconds(); el < wall {
+				wall = el
+			}
+			virtual = m.res.TotalSec
+		}
+		return wall, virtual, nil
+	}
+	for _, sc := range scenarios {
+		serialCfg := cfg
+		serialCfg.Parallelism = -1
+		parCfg := cfg
+		parCfg.Parallelism = workers
+		sWall, sVirt, err := measure(serialCfg, sc.query, sc.sf, sc.tweak)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parbench %s serial: %w", sc.name, err)
+		}
+		pWall, pVirt, err := measure(parCfg, sc.query, sc.sf, sc.tweak)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parbench %s parallel: %w", sc.name, err)
+		}
+		if sVirt != pVirt {
+			return nil, fmt.Errorf("experiments: parbench %s: virtual time diverged (serial %v, parallel %v)",
+				sc.name, sVirt, pVirt)
+		}
+		speedup := 0.0
+		if pWall > 0 {
+			speedup = sWall / pWall
+		}
+		rep.Entries = append(rep.Entries, ParallelBenchEntry{
+			Name:        sc.name,
+			Query:       sc.query,
+			SF:          sc.sf,
+			SerialSec:   sWall,
+			ParallelSec: pWall,
+			Parallelism: workers,
+			Speedup:     speedup,
+			VirtualSec:  sVirt,
+		})
+	}
+	return rep, nil
+}

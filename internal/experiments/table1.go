@@ -22,7 +22,7 @@ func pilotTime(mode core.PilotMode, sf float64, cfg Config, query string) (float
 	if err != nil {
 		return 0, err
 	}
-	env := l.newEnv(false, cfg.UDF)
+	env := l.newEnv(false, cfg)
 	opts := experimentOptions()
 	opts.PilotMode = mode
 	optCfg := optimizer.DefaultConfig(float64(env.Sim.Config().SlotMemory))

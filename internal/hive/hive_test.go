@@ -34,6 +34,7 @@ func TestNewEnvBroadcastCheaperThanJaqlProfile(t *testing.T) {
 		BroadcastLoadBps:     5_000,
 		ShuffleBps:           2_000,
 		WriteBps:             5_000,
+		Parallelism:          4,
 	}
 	durations := map[string]float64{}
 	for _, profile := range []string{"jaql", "hive"} {

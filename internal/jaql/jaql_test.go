@@ -29,6 +29,7 @@ func testEnv() *mapreduce.Env {
 		ScanBps:              10_000,
 		ShuffleBps:           5_000,
 		WriteBps:             10_000,
+		Parallelism:          4,
 	}
 	return &mapreduce.Env{
 		FS:    dfs.New(dfs.WithBlockSize(800), dfs.WithNodes(2)),

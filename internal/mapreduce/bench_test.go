@@ -22,6 +22,7 @@ func benchEnv() *Env {
 		ScanBps:              1 << 20,
 		ShuffleBps:           1 << 19,
 		WriteBps:             1 << 20,
+		Parallelism:          4,
 	}
 	return &Env{
 		FS:    dfs.New(dfs.WithBlockSize(16<<10), dfs.WithNodes(4)),
@@ -109,6 +110,42 @@ func BenchmarkBroadcastJoinJob(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShuffle isolates the shuffle hot path — EmitKV keying,
+// partitioning, and bucket appends over a multi-split input — as the
+// allocation guard for the preallocated outRows/bucket buffers. Run it
+// with:
+//
+//	go test -run='^$' -bench=BenchmarkShuffle -benchtime=1x ./internal/mapreduce
+func BenchmarkShuffle(b *testing.B) {
+	key := data.MustParsePath("l.grp")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env := benchEnv()
+		f := benchTable(env, "l", "l", 8000)
+		b.StartTimer()
+		res, err := Run(env, Spec{
+			Name: "shuffle",
+			Inputs: []Input{{File: f, Map: func(mc *MapCtx, rec data.Value) {
+				mc.EmitKV(key.Eval(rec), "L", rec)
+			}}},
+			Reduce: func(rc *ReduceCtx, key data.Value, group []Tagged) {
+				for _, g := range group {
+					rc.Emit(g.Rec)
+				}
+			},
+			NumReducers: 8,
+			Output:      "shuffled",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.OutRecords != 8000 {
+			b.Fatalf("out = %d, want 8000", res.OutRecords)
 		}
 	}
 }

@@ -171,7 +171,8 @@ func buildHashTable(env *Env, b Broadcast) (*HashTable, error) {
 				continue
 			}
 			k := CompositeKey(row, b.KeyPaths)
-			ht.buckets[data.Hash64(k)] = append(ht.buckets[data.Hash64(k)], row)
+			h := data.Hash64(k)
+			ht.buckets[h] = append(ht.buckets[h], row)
 			ht.rows++
 			ht.builtBytes += env.VirtualSize(row)
 		}
@@ -186,19 +187,30 @@ func buildHashTable(env *Env, b Broadcast) (*HashTable, error) {
 	return ht, nil
 }
 
-// Probe returns the build rows whose key equals k.
+// Probe returns the build rows whose key equals k. The returned slice
+// aliases the table's bucket when every candidate matches (the common
+// case without hash collisions) and must not be mutated; probes are
+// safe from concurrent tasks because buckets are read-only after the
+// build.
 func (h *HashTable) Probe(k data.Value) []data.Value {
 	cands := h.buckets[data.Hash64(k)]
 	if len(cands) == 0 {
 		return nil
 	}
-	out := cands[:0:0]
-	for _, r := range cands {
-		if data.Equal(CompositeKey(r, h.keyPaths), k) {
-			out = append(out, r)
+	for i, r := range cands {
+		if !data.Equal(CompositeKey(r, h.keyPaths), k) {
+			// Collision: fall back to copying the true matches.
+			out := make([]data.Value, 0, len(cands)-1)
+			out = append(out, cands[:i]...)
+			for _, r2 := range cands[i+1:] {
+				if data.Equal(CompositeKey(r2, h.keyPaths), k) {
+					out = append(out, r2)
+				}
+			}
+			return out
 		}
 	}
-	return out
+	return cands
 }
 
 // CompositeKey evaluates the key columns over a row. A single path
@@ -438,13 +450,26 @@ func (j *Job) newMapTask(inputIdx, splitIdx int) *cluster.Task {
 	j.mapStates = append(j.mapStates, st)
 	input := j.spec.Inputs[inputIdx]
 	name := fmt.Sprintf("%s-m%d", j.spec.Name, st.seq)
-	return &cluster.Task{
+	t := &cluster.Task{
 		Kind: cluster.MapTask,
 		Name: name,
 		Run: func(tc cluster.TaskContext) (cluster.Usage, error) {
 			return j.runMap(st, input, tc)
 		},
 	}
+	if len(j.spec.Broadcasts) > 0 {
+		// The one-time filtered-build preparation is charged to exactly
+		// one task. Finish runs serially in dispatch order, so the
+		// charge lands on the same task whether Run closures execute
+		// inline or on the worker pool.
+		t.Finish = func(tc cluster.TaskContext, u *cluster.Usage) {
+			if !j.prepCharged {
+				j.prepCharged = true
+				u.ExtraLatency += j.prepLatency
+			}
+		}
+	}
+	return t
 }
 
 func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (cluster.Usage, error) {
@@ -458,11 +483,9 @@ func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (clu
 			return u, fmt.Errorf("%w: build %d bytes > slot memory %d",
 				ErrBroadcastOOM, j.buildBytes, j.env.Sim.Config().SlotMemory)
 		}
-		if !j.prepCharged {
-			// One-time cost of producing the filtered build sides.
-			j.prepCharged = true
-			u.ExtraLatency += j.prepLatency
-		}
+		// The one-time filtered-build cost is charged by the task's
+		// Finish hook (serial, dispatch order) — never here, where
+		// concurrent tasks would race on j.prepCharged.
 		if rate := broadcastBps(j.env); rate > 0 {
 			if j.env.DistributedCache && !tc.FirstOnNode {
 				// Build already resident on this node.
@@ -473,6 +496,23 @@ func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (clu
 	}
 	block := input.File.Block(st.splitIdx)
 	u.BytesRead += input.File.BlockSizeBytes(st.splitIdx)
+	// Size output buffers from the split: most maps emit at most one
+	// row per input record, so this avoids the append growth ladder in
+	// the shuffle hot path.
+	if n := block.NumRecords(); n > 0 {
+		if j.spec.Reduce == nil {
+			if st.outRows == nil {
+				st.outRows = make([]data.Value, 0, n)
+			}
+		} else {
+			per := n/j.numReducers + 1
+			for p := range st.buckets {
+				if st.buckets[p] == nil {
+					st.buckets[p] = make([]kvPair, 0, per)
+				}
+			}
+		}
+	}
 	ectx := &expr.Ctx{Reg: j.env.Reg}
 	mc := &MapCtx{job: j, task: st, ectx: ectx, builds: j.builds}
 	for _, rec := range block.Records() {

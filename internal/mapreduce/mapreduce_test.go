@@ -13,7 +13,9 @@ import (
 )
 
 // testEnv builds an environment with tiny blocks so jobs have several
-// splits.
+// splits. Parallelism 4 makes the whole package exercise the pooled
+// wave executor (run with -race); virtual results are identical to the
+// serial path.
 func testEnv(t *testing.T) *Env {
 	t.Helper()
 	cfg := cluster.Config{
@@ -26,6 +28,7 @@ func testEnv(t *testing.T) *Env {
 		ScanBps:              10_000,
 		ShuffleBps:           5_000,
 		WriteBps:             10_000,
+		Parallelism:          4,
 	}
 	return &Env{
 		FS:    dfs.New(dfs.WithBlockSize(600), dfs.WithNodes(2)),
@@ -180,6 +183,7 @@ func TestBroadcastOOM(t *testing.T) {
 		Workers: 1, MapSlotsPerWorker: 1, ReduceSlotsPerWorker: 1,
 		SlotMemory: 10, // tiny
 		JobStartup: 1, TaskOverhead: 1, ScanBps: 1000, ShuffleBps: 1000, WriteBps: 1000,
+		Parallelism: 4,
 	})
 	big := writeTable(env, "big", "b", 20)
 	small := writeTable(env, "small", "s", 10)
@@ -649,6 +653,7 @@ func TestBroadcastOOMUsesFilteredSize(t *testing.T) {
 		Workers: 1, MapSlotsPerWorker: 2, ReduceSlotsPerWorker: 1,
 		SlotMemory: 600, // only a handful of rows fit
 		JobStartup: 1, TaskOverhead: 1, ScanBps: 1000, ShuffleBps: 1000, WriteBps: 1000,
+		Parallelism: 4,
 	})
 	w := env.FS.Create("dim")
 	for i := 0; i < 200; i++ {
