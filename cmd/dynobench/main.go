@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, ablations, all (comma-separated)")
-		scale    = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
-		seed     = flag.Int64("seed", 2014, "data generation seed")
-		parbench = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
-		repeats  = flag.Int("parbench-repeats", 3, "runs per mode for -parbench; the best time is kept")
+		exp       = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, all (comma-separated)")
+		scale     = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
+		seed      = flag.Int64("seed", 2014, "data generation seed")
+		faultsOut = flag.String("faultsout", "BENCH_faults.json", "file for the faults experiment's raw sweep points (JSON)")
+		parbench  = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
+		repeats   = flag.Int("parbench-repeats", 3, "runs per mode for -parbench; the best time is kept")
 	)
 	flag.Parse()
 
@@ -89,6 +90,27 @@ func main() {
 		}
 		for _, t := range ts {
 			fmt.Println(t)
+		}
+		ran++
+	}
+	if all || want["faults"] {
+		points, err := experiments.MeasureFaults(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: faults: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FaultsTable(points))
+		if *faultsOut != "" {
+			blob, err := json.MarshalIndent(points, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: faults: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*faultsOut, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: faults: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("faults sweep points written to %s\n\n", *faultsOut)
 		}
 		ran++
 	}

@@ -28,12 +28,22 @@ package cluster
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrTaskRetriesExhausted marks a job failure caused by a task burning
+// through its attempt budget (Config.MaxAttempts) rather than by the
+// task's own computation returning an error. Engines can detect it
+// with errors.Is and treat it as a recoverable infrastructure fault:
+// the job's materialized DFS inputs are intact, so it can simply be
+// resubmitted.
+var ErrTaskRetriesExhausted = errors.New("task retries exhausted")
 
 // TaskKind distinguishes map from reduce tasks; they consume different
 // slot types.
@@ -75,11 +85,56 @@ type Config struct {
 	PerRecordCPU     float64 // CPU seconds charged per processed record
 
 	// FailEveryN injects deterministic task failures: every Nth
-	// dispatched task fails its first attempt (charging FailurePenalty
-	// seconds of slot time) and is re-queued, modelling the task
-	// retries MapReduce absorbs routinely. 0 disables injection.
+	// first-attempt dispatch is marked to fail (charging FailurePenalty
+	// seconds of slot time per failed attempt) and is re-queued,
+	// modelling the task retries MapReduce absorbs routinely. Only
+	// first attempts count toward the modulo, so the spacing between
+	// injected failures stays "every Nth task" regardless of how many
+	// retries are in flight. 0 disables injection.
 	FailEveryN     int
 	FailurePenalty float64
+	// FailAttempts is the number of consecutive attempts that fail at
+	// each injected failure site (default 1: the retry succeeds).
+	// Values >= MaxAttempts exhaust the task's retry budget and fail
+	// the whole job, exercising engine-level recovery.
+	FailAttempts int
+	// FailInject, when non-nil, is a targeted failure hook for tests
+	// and experiments: it is consulted on the scheduler goroutine for
+	// every dispatch and fails the attempt when it returns true. It
+	// must be deterministic for the executor determinism contract to
+	// hold.
+	FailInject func(job, task string, attempt, node int) bool
+	// MaxAttempts caps the attempts per task (failed attempts are
+	// re-queued until the cap); reaching the cap with a failure
+	// converts the task failure into a job-level failure wrapping
+	// ErrTaskRetriesExhausted. 0 means the Hadoop default of 4.
+	MaxAttempts int
+	// BlacklistAfter, when positive, stops scheduling a job's tasks on
+	// a node after that many of the job's attempts failed there
+	// (per-job node blacklisting, as in Hadoop). The blacklist is
+	// ignored if every node has been blacklisted.
+	BlacklistAfter int
+
+	// StragglerEveryN injects deterministic stragglers: every Nth
+	// executed task attempt has its virtual duration stretched by
+	// SlowdownFactor (a slow disk or overloaded node in the modeled
+	// cluster). 0 disables injection.
+	StragglerEveryN int
+	// SlowdownFactor is the straggler duration multiplier; values <= 1
+	// fall back to 4.
+	SlowdownFactor float64
+
+	// SpeculativeBeta enables Hadoop-style speculative execution: at
+	// every scheduling point, a running task whose elapsed time
+	// exceeds Beta x the median duration of its job's completed
+	// same-kind tasks gets a backup attempt on a free slot. The first
+	// attempt to finish wins; the loser's slot is released immediately
+	// and a speculative-* trace event is emitted. 0 disables
+	// speculation.
+	SpeculativeBeta float64
+	// SpeculativeMinCompleted is the minimum number of completed
+	// same-kind tasks before the median is trusted (default 3).
+	SpeculativeMinCompleted int
 
 	// Parallelism is the number of worker goroutines executing task Run
 	// closures in real (wall-clock) time. 0 selects the serial legacy
@@ -178,10 +233,17 @@ type Task struct {
 	Finish func(tc TaskContext, u *Usage)
 
 	usage      Usage
+	rawUsage   Usage // usage as reported by Run, before Finish adjustments
 	start, end float64
 	node       int
 	ran        bool
 	attempts   int
+	straggler  bool   // current attempt's duration is stretched
+	failLeft   int    // remaining consecutive failures at an injected site
+	doneEv     *event // outstanding completion event of the primary attempt
+	specEv     *event // outstanding completion event of the backup attempt
+	specNode   int
+	specStart  float64
 }
 
 // Usage returns the resources the task reported (zero before it ran).
@@ -232,8 +294,11 @@ type Submission struct {
 	err       error
 	pending   []*Task
 	running   int
+	inflight  []*Task // executing attempts in dispatch order (speculation scan)
 	completed []*Task
 	nodesSeen map[int]bool
+	nodeFails map[int]int  // failed attempts per node (blacklisting)
+	blacklist map[int]bool // nodes this job avoids
 	onDone    []func(*Submission)
 }
 
@@ -290,11 +355,12 @@ func (s *Submission) OnDone(f func(*Submission)) {
 
 // event is a scheduled occurrence in virtual time.
 type event struct {
-	time float64
-	seq  int64
-	kind eventKind
-	sub  *Submission
-	task *Task
+	time     float64
+	seq      int64
+	kind     eventKind
+	sub      *Submission
+	task     *Task
+	canceled bool // losing attempt of a speculative pair; skipped on pop
 }
 
 type eventKind int
@@ -336,8 +402,15 @@ type Sim struct {
 	mapFree    []int         // free map slots per worker
 	reduceFree []int         // free reduce slots per worker
 	trace      func(TraceEvent)
-	dispatched int64     // tasks dispatched, for failure injection
-	wave       []*launch // tasks of the current virtual instant, in dispatch order
+	dispatched int64 // total attempt dispatches (incl. retries and backups)
+	// firstAttempts counts first-attempt dispatches only, so the
+	// FailEveryN modulo spacing is immune to how many retries are in
+	// flight; executedAttempts counts attempts whose Run actually
+	// executes, driving StragglerEveryN.
+	firstAttempts    int64
+	executedAttempts int64
+	wasted           float64   // slot-seconds burned on failures and losing backups
+	wave             []*launch // tasks of the current virtual instant, in dispatch order
 }
 
 // launch is one dispatched task attempt of the current wave. The worker
@@ -354,11 +427,19 @@ type launch struct {
 }
 
 // TraceEvent describes a scheduling occurrence, for timeline displays.
+// Kinds: "start", "finish", "job-ready", "job-done", "job-failed",
+// "attempt-failed" (injected failure, attempt will retry),
+// "task-failed" (retry budget exhausted, job fails),
+// "node-blacklisted" (job stops preferring the node),
+// "straggler" (attempt's duration is stretched),
+// "speculative-start" (backup attempt launched),
+// "speculative-win" (backup finished first, primary canceled),
+// "speculative-lost" (primary finished first, backup canceled).
 type TraceEvent struct {
 	Time float64
 	Job  string
 	Task string
-	Kind string // "start", "finish", "job-ready", "job-done", "job-failed"
+	Kind string
 	Node int
 }
 
@@ -436,10 +517,17 @@ func (s *Sim) Run() error {
 	for {
 		s.dispatch()
 		s.runWave()
+		s.speculate()
 		if len(s.events) == 0 {
 			break
 		}
 		e := heap.Pop(&s.events).(*event)
+		if e.canceled {
+			// Losing attempt of a speculative pair: its slot was already
+			// released when the winner finished; the stale completion
+			// must not advance the clock.
+			continue
+		}
 		if e.time < s.now {
 			// Client-side Advance may have moved past queued events;
 			// they complete "now".
@@ -450,7 +538,7 @@ func (s *Sim) Run() error {
 		case evJobReady:
 			s.handleJobReady(e.sub)
 		case evTaskDone:
-			s.handleTaskDone(e.sub, e.task)
+			s.handleTaskDone(e.sub, e.task, e)
 		case evTaskRetry:
 			s.handleTaskRetry(e.sub, e.task)
 		}
@@ -470,13 +558,9 @@ func (s *Sim) handleJobReady(sub *Submission) {
 }
 
 // handleTaskRetry releases the failed attempt's slot and re-queues the
-// task.
+// task (unless the job already failed, e.g. on retry exhaustion).
 func (s *Sim) handleTaskRetry(sub *Submission, t *Task) {
-	if t.Kind == MapTask {
-		s.mapFree[t.node]++
-	} else {
-		s.reduceFree[t.node]++
-	}
+	s.freeSlot(t.Kind, t.node)
 	sub.running--
 	if !sub.failed {
 		sub.pending = append(sub.pending, t)
@@ -484,16 +568,43 @@ func (s *Sim) handleTaskRetry(sub *Submission, t *Task) {
 	s.maybeComplete(sub)
 }
 
-func (s *Sim) handleTaskDone(sub *Submission, t *Task) {
-	// Free the slot.
-	if t.Kind == MapTask {
-		s.mapFree[t.node]++
+// handleTaskDone completes a task. When the task had a speculative
+// backup in flight, the event that fires first is the winning attempt:
+// the loser's completion event is canceled and its slot released
+// immediately, and the task adopts the winner's node and finish time.
+func (s *Sim) handleTaskDone(sub *Submission, t *Task, e *event) {
+	winNode := t.node
+	if e == t.specEv {
+		// The backup won.
+		winNode = t.specNode
+		if t.doneEv != nil {
+			t.doneEv.canceled = true
+			t.doneEv = nil
+			s.freeSlot(t.Kind, t.node)
+			sub.running--
+			s.wasted += s.now - t.start
+		}
+		t.node = t.specNode
+		t.end = e.time
+		t.specEv = nil
+		s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "speculative-win", Node: winNode})
 	} else {
-		s.reduceFree[t.node]++
+		t.doneEv = nil
+		if t.specEv != nil {
+			// The primary finished first; cancel the backup.
+			t.specEv.canceled = true
+			t.specEv = nil
+			s.freeSlot(t.Kind, t.specNode)
+			sub.running--
+			s.wasted += s.now - t.specStart
+			s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "speculative-lost", Node: t.specNode})
+		}
 	}
+	s.freeSlot(t.Kind, winNode)
 	sub.running--
+	sub.dropInflight(t)
 	sub.completed = append(sub.completed, t)
-	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "finish", Node: t.node})
+	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "finish", Node: winNode})
 	if sub.failed {
 		s.maybeComplete(sub)
 		return
@@ -501,6 +612,23 @@ func (s *Sim) handleTaskDone(sub *Submission, t *Task) {
 	more := sub.job.TaskDone(sub, t)
 	sub.pending = append(sub.pending, more...)
 	s.maybeComplete(sub)
+}
+
+func (s *Sim) freeSlot(kind TaskKind, node int) {
+	if kind == MapTask {
+		s.mapFree[node]++
+	} else {
+		s.reduceFree[node]++
+	}
+}
+
+func (sub *Submission) dropInflight(t *Task) {
+	for i, x := range sub.inflight {
+		if x == t {
+			sub.inflight = append(sub.inflight[:i], sub.inflight[i+1:]...)
+			return
+		}
+	}
 }
 
 func (s *Sim) maybeComplete(sub *Submission) {
@@ -540,7 +668,7 @@ func (s *Sim) dispatch() {
 			}
 			for len(sub.pending) > 0 {
 				t := sub.pending[0]
-				node := s.pickNode(t.Kind)
+				node := s.pickNode(t.Kind, sub)
 				if node < 0 {
 					break
 				}
@@ -562,7 +690,7 @@ func (s *Sim) dispatchFair() {
 			if !sub.started || sub.done || len(sub.pending) == 0 {
 				continue
 			}
-			if s.pickNode(sub.pending[0].Kind) < 0 {
+			if s.pickNode(sub.pending[0].Kind, sub) < 0 {
 				continue
 			}
 			if pick == nil || sub.running < pick.running {
@@ -574,22 +702,37 @@ func (s *Sim) dispatchFair() {
 		}
 		t := pick.pending[0]
 		pick.pending = pick.pending[1:]
-		s.startTask(pick, t, s.pickNode(t.Kind))
+		s.startTask(pick, t, s.pickNode(t.Kind, pick))
 	}
 }
 
 // pickNode returns the worker with the most free slots of the given
-// kind, or -1 when none are free.
-func (s *Sim) pickNode(kind TaskKind) int {
+// kind, or -1 when none are free. Nodes blacklisted for the job are
+// picked only when no non-blacklisted node has a free slot, so the
+// blacklist steers placement without ever deadlocking the schedule.
+func (s *Sim) pickNode(kind TaskKind, sub *Submission) int {
 	free := s.mapFree
 	if kind == ReduceTask {
 		free = s.reduceFree
 	}
 	best, bestFree := -1, 0
+	blBest, blBestFree := -1, 0
 	for i, f := range free {
+		if f <= 0 {
+			continue
+		}
+		if sub != nil && sub.blacklist[i] {
+			if f > blBestFree {
+				blBest, blBestFree = i, f
+			}
+			continue
+		}
 		if f > bestFree {
 			best, bestFree = i, f
 		}
+	}
+	if best < 0 {
+		return blBest
 	}
 	return best
 }
@@ -601,14 +744,18 @@ func (s *Sim) startTask(sub *Submission, t *Task, node int) {
 		s.reduceFree[node]--
 	}
 	s.dispatched++
-	// Deterministic failure injection: the task's first attempt burns
-	// the penalty and is re-queued; the completion event releases the
-	// slot like any other task.
-	if s.cfg.FailEveryN > 0 && t.attempts == 0 && s.dispatched%int64(s.cfg.FailEveryN) == 0 {
-		t.attempts++
+	if t.attempts == 0 {
+		s.firstAttempts++
+	}
+	t.attempts++
+	// Deterministic failure injection: a failed attempt burns the
+	// penalty and is re-queued (its retry event releases the slot like
+	// any other completion), until the attempt budget runs out and the
+	// failure escalates to the job.
+	if s.injectFailure(sub, t, node) {
 		t.node = node
 		sub.running++
-		s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "attempt-failed", Node: node})
+		s.noteAttemptFailure(sub, t, node)
 		if s.cfg.Parallelism > 0 {
 			// Defer the retry-event push to the wave's apply phase so
 			// event sequence numbers match the serial schedule.
@@ -618,14 +765,19 @@ func (s *Sim) startTask(sub *Submission, t *Task, node int) {
 		s.pushRetry(sub, t)
 		return
 	}
-	t.attempts++
 	first := !sub.nodesSeen[node]
 	sub.nodesSeen[node] = true
 	t.node = node
 	t.start = s.now
 	t.ran = true
 	sub.running++
+	sub.inflight = append(sub.inflight, t)
 	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "start", Node: node})
+	s.executedAttempts++
+	t.straggler = s.cfg.StragglerEveryN > 0 && s.executedAttempts%int64(s.cfg.StragglerEveryN) == 0
+	if t.straggler {
+		s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "straggler", Node: node})
+	}
 
 	tc := TaskContext{Node: node, FirstOnNode: first, Now: s.now}
 	if s.cfg.Parallelism > 0 {
@@ -636,19 +788,75 @@ func (s *Sim) startTask(sub *Submission, t *Task, node int) {
 	// point; an error cancels the job's queued tasks before the rest of
 	// the wave is even assigned.
 	usage, err := t.Run(tc)
+	t.rawUsage = usage
 	if err == nil && t.Finish != nil {
 		t.Finish(tc, &usage)
 	}
 	s.applyRun(sub, t, usage, err)
 }
 
+// injectFailure decides, on the scheduler goroutine, whether this
+// dispatch fails. An injected site (FailEveryN) fails FailAttempts
+// consecutive attempts; the FailInject hook can fail any attempt.
+// Speculative backups are never failure-injected.
+func (s *Sim) injectFailure(sub *Submission, t *Task, node int) bool {
+	if t.failLeft > 0 {
+		t.failLeft--
+		return true
+	}
+	if s.cfg.FailEveryN > 0 && t.attempts == 1 && s.firstAttempts%int64(s.cfg.FailEveryN) == 0 {
+		t.failLeft = max(s.cfg.FailAttempts, 1) - 1
+		return true
+	}
+	if s.cfg.FailInject != nil && s.cfg.FailInject(sub.job.Name(), t.Name, t.attempts, node) {
+		return true
+	}
+	return false
+}
+
+// noteAttemptFailure records a failed attempt: wasted-work accounting,
+// node blacklisting, and escalation to a job-level failure when the
+// task's attempt budget is exhausted.
+func (s *Sim) noteAttemptFailure(sub *Submission, t *Task, node int) {
+	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "attempt-failed", Node: node})
+	s.wasted += s.retryPenalty()
+	if s.cfg.BlacklistAfter > 0 {
+		if sub.nodeFails == nil {
+			sub.nodeFails = make(map[int]int)
+		}
+		sub.nodeFails[node]++
+		if sub.nodeFails[node] >= s.cfg.BlacklistAfter && !sub.blacklist[node] {
+			if sub.blacklist == nil {
+				sub.blacklist = make(map[int]bool)
+			}
+			sub.blacklist[node] = true
+			s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "node-blacklisted", Node: node})
+		}
+	}
+	maxAttempts := s.cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 4
+	}
+	if t.attempts >= maxAttempts && !sub.failed {
+		sub.failed = true
+		sub.err = fmt.Errorf("cluster: job %s task %s on node %d: %w after %d attempts",
+			sub.job.Name(), t.Name, node, ErrTaskRetriesExhausted, t.attempts)
+		sub.pending = nil
+		s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "task-failed", Node: node})
+	}
+}
+
+// retryPenalty is the slot time burned by one failed attempt.
+func (s *Sim) retryPenalty() float64 {
+	if s.cfg.FailurePenalty > 0 {
+		return s.cfg.FailurePenalty
+	}
+	return s.cfg.TaskOverhead
+}
+
 // pushRetry schedules the re-queue of a failed attempt.
 func (s *Sim) pushRetry(sub *Submission, t *Task) {
-	penalty := s.cfg.FailurePenalty
-	if penalty <= 0 {
-		penalty = s.cfg.TaskOverhead
-	}
-	s.push(&event{time: s.now + penalty, kind: evTaskRetry, sub: sub, task: t})
+	s.push(&event{time: s.now + s.retryPenalty(), kind: evTaskRetry, sub: sub, task: t})
 }
 
 // applyRun records a finished Run attempt: usage, failure propagation,
@@ -661,8 +869,103 @@ func (s *Sim) applyRun(sub *Submission, t *Task, usage Usage, err error) {
 		sub.pending = nil
 	}
 	d := s.duration(usage)
+	if t.straggler {
+		d *= s.slowdown()
+	}
 	t.end = s.now + d
-	s.push(&event{time: t.end, kind: evTaskDone, sub: sub, task: t})
+	ev := &event{time: t.end, kind: evTaskDone, sub: sub, task: t}
+	t.doneEv = ev
+	s.push(ev)
+}
+
+func (s *Sim) slowdown() float64 {
+	if s.cfg.SlowdownFactor > 1 {
+		return s.cfg.SlowdownFactor
+	}
+	return 4
+}
+
+// speculate launches backup attempts for running tasks that look like
+// stragglers: elapsed time exceeds SpeculativeBeta x the median
+// duration of the job's completed same-kind tasks, and a slot is
+// free. It runs on the scheduler goroutine at every scheduling point,
+// after the wave's results are applied, so the serial and pooled
+// executors see identical state and produce identical backup
+// schedules. A backup replays the primary attempt's reported usage —
+// the computation is deterministic, so the Run closure is not
+// re-executed — without the straggler stretch; whichever attempt
+// finishes first wins.
+func (s *Sim) speculate() {
+	if s.cfg.SpeculativeBeta <= 0 {
+		return
+	}
+	minDone := s.cfg.SpeculativeMinCompleted
+	if minDone <= 0 {
+		minDone = 3
+	}
+	for _, sub := range s.subs {
+		if !sub.started || sub.done || sub.failed {
+			continue
+		}
+		for _, t := range sub.inflight {
+			if t.specEv != nil {
+				continue
+			}
+			med := sub.medianDuration(t.Kind, minDone)
+			if med <= 0 || s.now-t.start <= s.cfg.SpeculativeBeta*med {
+				continue
+			}
+			node := s.pickNode(t.Kind, sub)
+			if node < 0 {
+				continue
+			}
+			s.launchSpeculative(sub, t, node)
+		}
+	}
+}
+
+// medianDuration returns the median virtual duration of the job's
+// completed tasks of the given kind, or 0 with fewer than minDone
+// samples.
+func (sub *Submission) medianDuration(kind TaskKind, minDone int) float64 {
+	var ds []float64
+	for _, c := range sub.completed {
+		if c.Kind == kind {
+			ds = append(ds, c.end-c.start)
+		}
+	}
+	if len(ds) < minDone {
+		return 0
+	}
+	sort.Float64s(ds)
+	return ds[len(ds)/2]
+}
+
+// launchSpeculative starts a backup attempt of t on node. The backup's
+// duration derives from the primary's raw usage replayed through the
+// Finish hook with the backup's own TaskContext, so per-node one-time
+// charges (distributed-cache build loads) apply to the backup's node
+// exactly as they would to a fresh attempt.
+func (s *Sim) launchSpeculative(sub *Submission, t *Task, node int) {
+	if t.Kind == MapTask {
+		s.mapFree[node]--
+	} else {
+		s.reduceFree[node]--
+	}
+	s.dispatched++
+	sub.running++
+	first := !sub.nodesSeen[node]
+	sub.nodesSeen[node] = true
+	t.specNode = node
+	t.specStart = s.now
+	u := t.rawUsage
+	if t.Finish != nil {
+		t.Finish(TaskContext{Node: node, FirstOnNode: first, Now: s.now}, &u)
+	}
+	ev := &event{time: s.now + s.duration(u), kind: evTaskDone, sub: sub, task: t}
+	t.specEv = ev
+	s.push(ev)
+	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Task: t.Name, Kind: "speculative-start", Node: node})
 }
 
 // runWave executes the Run closures collected at the current virtual
@@ -688,7 +991,7 @@ func (s *Sim) runWave() {
 	if workers <= 1 {
 		for _, l := range wave {
 			if !l.injected {
-				l.usage, l.err = l.task.Run(l.tc)
+				l.exec()
 			}
 		}
 	} else {
@@ -704,18 +1007,9 @@ func (s *Sim) runWave() {
 					if i >= int64(len(wave)) {
 						return
 					}
-					l := wave[i]
-					if l.injected {
-						continue
+					if l := wave[i]; !l.injected {
+						l.exec()
 					}
-					func() {
-						defer func() {
-							if p := recover(); p != nil {
-								l.panicked = p
-							}
-						}()
-						l.usage, l.err = l.task.Run(l.tc)
-					}()
 				}
 			}()
 		}
@@ -729,11 +1023,26 @@ func (s *Sim) runWave() {
 			s.pushRetry(l.sub, l.task)
 			continue
 		}
+		l.task.rawUsage = l.usage
 		if l.err == nil && l.task.Finish != nil {
 			l.task.Finish(l.tc, &l.usage)
 		}
 		s.applyRun(l.sub, l.task, l.usage, l.err)
 	}
+}
+
+// exec runs the attempt's closure, capturing a panic for rethrow at
+// the wave's apply point. Both the inline (single-worker) and pooled
+// branches use it, so a panicking task surfaces at the same point in
+// the schedule — after earlier same-wave results were applied —
+// regardless of worker count.
+func (l *launch) exec() {
+	defer func() {
+		if p := recover(); p != nil {
+			l.panicked = p
+		}
+	}()
+	l.usage, l.err = l.task.Run(l.tc)
 }
 
 // duration converts reported usage to virtual seconds.
@@ -754,6 +1063,12 @@ func (s *Sim) duration(u Usage) float64 {
 	}
 	return d
 }
+
+// WastedSec returns the virtual slot-seconds burned on failed attempts
+// and on the losing halves of speculative pairs — cluster work that
+// contributed to no job's output. Experiments use it to compare how
+// much work different plan shapes lose under faults.
+func (s *Sim) WastedSec() float64 { return s.wasted }
 
 // Quiesce reports whether all submitted jobs have completed.
 func (s *Sim) Quiesce() bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,6 +68,13 @@ type Options struct {
 	// StatsMergeTime is the virtual client time charged per job whose
 	// task statistics are merged.
 	StatsMergeTime float64
+	// JobRetries caps how many times a leaf job killed by task-retry
+	// exhaustion (cluster.ErrTaskRetriesExhausted) is resubmitted from
+	// its materialized DFS inputs before the query aborts. Materialized
+	// intermediate results are the paper's natural checkpoints (§5.1),
+	// so resubmission never re-runs completed work. 0 means the
+	// default of 2.
+	JobRetries int
 	// Planner overrides the cost-based optimizer (used by the static
 	// baselines: RELOPT's plan, Jaql's FROM-order left-deep plan). It
 	// returns the physical plan and the number of alternatives
@@ -153,6 +161,13 @@ type Result struct {
 	PlanChanges   int
 	Evolution     []IterationInfo
 	FinalPlan     string
+
+	// ResubmittedJobs counts leaf jobs recovered by resubmission after
+	// task-retry exhaustion; Warnings records each degradation the
+	// engine absorbed (failed pilots falling back to catalog
+	// statistics, resubmitted leaf jobs) instead of aborting.
+	ResubmittedJobs int
+	Warnings        []string
 }
 
 // RunPilots executes only the PILR phase for a query (used by the
@@ -209,6 +224,7 @@ func (e *Engine) Execute(q *sqlparse.Query) (*Result, error) {
 		}
 		res.Pilot = report
 		res.PilotSec = report.Duration
+		res.Warnings = append(res.Warnings, report.Warnings...)
 	} else if e.Options.PrepareStats != nil {
 		if err := e.Options.PrepareStats(block); err != nil {
 			return nil, err
@@ -382,6 +398,7 @@ func (e *Engine) executeWave(block *plan.JoinBlock, graph *jaql.Graph, toRun []*
 		return fmt.Errorf("core: no ready jobs to run")
 	}
 	var runs []*jaql.Run
+	var runOpts []jaql.ExecOpts
 	for _, u := range toRun {
 		opts := jaql.ExecOpts{KMVSize: e.Options.KMVSize}
 		if e.Options.CollectOnlineStats && !last {
@@ -396,8 +413,9 @@ func (e *Engine) executeWave(block *plan.JoinBlock, graph *jaql.Graph, toRun []*
 			return err
 		}
 		runs = append(runs, run)
+		runOpts = append(runOpts, opts)
 	}
-	if err := e.Env.Sim.Run(); err != nil {
+	if err := e.runWithRecovery(runs, runOpts, res); err != nil {
 		return err
 	}
 	for _, run := range runs {
@@ -410,6 +428,55 @@ func (e *Engine) executeWave(block *plan.JoinBlock, graph *jaql.Graph, toRun []*
 		}
 	}
 	return nil
+}
+
+// jobRetries returns the effective leaf-job resubmission cap.
+func (e *Engine) jobRetries() int {
+	if e.Options.JobRetries > 0 {
+		return e.Options.JobRetries
+	}
+	return 2
+}
+
+// runWithRecovery drives the cluster to quiescence and converts
+// task-retry exhaustion into checkpoint recovery: a leaf job's inputs
+// are materialized DFS files (base tables or previously executed
+// sub-plans), so the job is simply resubmitted over the same inputs —
+// the paper's argument that job boundaries double as checkpoints
+// (§5.1). Failed runs are replaced in place so the caller finalizes
+// the recovered execution; any other error still aborts the query.
+func (e *Engine) runWithRecovery(runs []*jaql.Run, opts []jaql.ExecOpts, res *Result) error {
+	for attempt := 0; ; attempt++ {
+		err := e.Env.Sim.Run()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, cluster.ErrTaskRetriesExhausted) || attempt >= e.jobRetries() {
+			return err
+		}
+		resubmitted := false
+		for i, run := range runs {
+			jerr := run.Sub.Err()
+			if jerr == nil {
+				continue
+			}
+			if !errors.Is(jerr, cluster.ErrTaskRetriesExhausted) {
+				return jerr
+			}
+			fresh, serr := jaql.SubmitUnit(e.Env, run.Unit, opts[i])
+			if serr != nil {
+				return serr
+			}
+			runs[i] = fresh
+			resubmitted = true
+			res.ResubmittedJobs++
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"core: job %s lost to task failures; resubmitted from its materialized inputs", run.Unit.Name))
+		}
+		if !resubmitted {
+			return err
+		}
+	}
 }
 
 // executeStaticGraph runs a whole job graph without re-optimization

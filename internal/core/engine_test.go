@@ -24,7 +24,11 @@ type fixture struct {
 	cat *jaql.Catalog
 }
 
-func newFixture() *fixture {
+func newFixture() *fixture { return newFixtureWith(nil) }
+
+// newFixtureWith lets a test adjust the cluster configuration (fault
+// injection hooks, slot counts) before the simulator is built.
+func newFixtureWith(mut func(*cluster.Config)) *fixture {
 	cfg := cluster.Config{
 		Workers:              2,
 		MapSlotsPerWorker:    4,
@@ -36,6 +40,9 @@ func newFixture() *fixture {
 		ShuffleBps:           8_000,
 		WriteBps:             15_000,
 		Parallelism:          4,
+	}
+	if mut != nil {
+		mut(&cfg)
 	}
 	env := &mapreduce.Env{
 		FS:    dfs.New(dfs.WithBlockSize(700), dfs.WithNodes(2)),

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dyno/internal/cluster"
+)
+
+// TestPilotMTSplitClampWithManyLeaves pins the PILR_MT split-budget
+// clamp: with more leaves than map slots the per-leaf budget m/|R|
+// rounds to zero, and without the clamp those leaves would sample no
+// splits at all. Every relation must still get at least one split.
+func TestPilotMTSplitClampWithManyLeaves(t *testing.T) {
+	f := newFixtureWith(func(cfg *cluster.Config) {
+		cfg.MapSlotsPerWorker = 1 // 2 map slots total < 3 leaves
+	})
+	opts := smallOpts()
+	opts.PilotMode = PilotMT
+	e := f.engine(opts)
+	res, err := e.ExecuteSQL(threeWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, f, threeWay, res.Rows)
+	if res.Pilot.Jobs != 3 {
+		t.Errorf("pilot jobs = %d, want 3 (every leaf sampled)", res.Pilot.Jobs)
+	}
+	if res.Pilot.Failed != 0 {
+		t.Errorf("pilot failures = %d, want 0", res.Pilot.Failed)
+	}
+}
+
+// TestPilotFailureFallsBackToCatalogStats injects unrecoverable task
+// failures into one pilot job. The engine must absorb the loss — the
+// leaf keeps catalog-derived statistics — and the query must still
+// return oracle-correct rows.
+func TestPilotFailureFallsBackToCatalogStats(t *testing.T) {
+	f := newFixtureWith(func(cfg *cluster.Config) {
+		cfg.FailInject = func(job, task string, attempt, node int) bool {
+			return strings.HasPrefix(job, "pilot/q1/r")
+		}
+	})
+	e := f.engine(smallOpts())
+	res, err := e.ExecuteSQL(threeWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, f, threeWay, res.Rows)
+	if res.Pilot.Failed != 1 {
+		t.Errorf("pilot failures = %d, want 1", res.Pilot.Failed)
+	}
+	if len(res.Pilot.Warnings) != 1 || !strings.Contains(res.Pilot.Warnings[0], "catalog statistics") {
+		t.Errorf("pilot warnings = %v", res.Pilot.Warnings)
+	}
+	if len(res.Warnings) == 0 {
+		t.Error("pilot warning not surfaced on the result")
+	}
+	// The other two pilots must have run normally and stored stats.
+	if res.Pilot.Jobs != 3 {
+		t.Errorf("pilot jobs = %d, want 3", res.Pilot.Jobs)
+	}
+	if got := len(e.Store.Signatures()); got != 2 {
+		t.Errorf("stored stats for %d leaves, want 2 (failed pilot skips the store)", got)
+	}
+}
+
+// TestLeafJobFailureResubmitted kills every task attempt of one
+// mid-plan leaf job until its retries are exhausted, then lets the
+// resubmission succeed. The engine must recover from the job's
+// materialized inputs (the paper's checkpoint argument, §5.1) and
+// still produce oracle-correct rows.
+func TestLeafJobFailureResubmitted(t *testing.T) {
+	failures := 0
+	f := newFixtureWith(func(cfg *cluster.Config) {
+		cfg.FailInject = func(job, task string, attempt, node int) bool {
+			if strings.HasPrefix(job, "q1-i1-") && strings.HasSuffix(task, "-m0") && failures < 4 {
+				failures++
+				return true
+			}
+			return false
+		}
+	})
+	e := f.engine(smallOpts())
+	res, err := e.ExecuteSQL(threeWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, f, threeWay, res.Rows)
+	if failures != 4 {
+		t.Fatalf("injected %d failures, want 4 (retry cap)", failures)
+	}
+	if res.ResubmittedJobs != 1 {
+		t.Errorf("resubmitted jobs = %d, want 1", res.ResubmittedJobs)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "resubmitted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no resubmission warning in %v", res.Warnings)
+	}
+}
+
+// TestJobRetriesCapAbortsQuery verifies the resubmission cap: a leaf
+// job that keeps exhausting task retries on every resubmission
+// eventually aborts the query with ErrTaskRetriesExhausted.
+func TestJobRetriesCapAbortsQuery(t *testing.T) {
+	f := newFixtureWith(func(cfg *cluster.Config) {
+		cfg.FailInject = func(job, task string, attempt, node int) bool {
+			return strings.HasPrefix(job, "q1-i1-") && strings.HasSuffix(task, "-m0")
+		}
+	})
+	opts := smallOpts()
+	opts.JobRetries = 1
+	e := f.engine(opts)
+	_, err := e.ExecuteSQL(threeWay)
+	if err == nil {
+		t.Fatal("want error after exceeding the job-retry cap")
+	}
+	if !strings.Contains(err.Error(), "retries exhausted") {
+		t.Errorf("err = %v, want task-retry exhaustion", err)
+	}
+}
+
+// TestPilotAndLeafFailureCombined is the acceptance scenario: a query
+// whose pilot phase loses one job AND whose best plan loses a mid-plan
+// leaf job must still return oracle-correct results, with both
+// degradations recorded.
+func TestPilotAndLeafFailureCombined(t *testing.T) {
+	leafFailures := 0
+	f := newFixtureWith(func(cfg *cluster.Config) {
+		cfg.FailInject = func(job, task string, attempt, node int) bool {
+			if strings.HasPrefix(job, "pilot/q1/s") {
+				return true
+			}
+			if strings.HasPrefix(job, "q1-i1-") && strings.HasSuffix(task, "-m0") && leafFailures < 4 {
+				leafFailures++
+				return true
+			}
+			return false
+		}
+	})
+	e := f.engine(smallOpts())
+	res, err := e.ExecuteSQL(threeWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, f, threeWay, res.Rows)
+	if res.Pilot.Failed != 1 {
+		t.Errorf("pilot failures = %d, want 1", res.Pilot.Failed)
+	}
+	if res.ResubmittedJobs != 1 {
+		t.Errorf("resubmitted jobs = %d, want 1", res.ResubmittedJobs)
+	}
+	if len(res.Warnings) < 2 {
+		t.Errorf("warnings = %v, want both the pilot fallback and the resubmission", res.Warnings)
+	}
+}
+
+// TestFaultyClusterStillMatchesOracle runs the full DYNOPT pipeline on
+// a cluster with every fault knob enabled — periodic failures,
+// stragglers, speculation, blacklisting — and requires oracle-correct
+// results plus the same rows as a clean run.
+func TestFaultyClusterStillMatchesOracle(t *testing.T) {
+	f := newFixtureWith(func(cfg *cluster.Config) {
+		cfg.FailEveryN = 17
+		cfg.FailAttempts = 2
+		cfg.FailurePenalty = 3
+		cfg.MaxAttempts = 4
+		cfg.BlacklistAfter = 3
+		cfg.StragglerEveryN = 7
+		cfg.SlowdownFactor = 4
+		cfg.SpeculativeBeta = 1.5
+	})
+	e := f.engine(smallOpts())
+	res, err := e.ExecuteSQL(threeWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, f, threeWay, res.Rows)
+	if w := f.env.Sim.WastedSec(); w <= 0 {
+		t.Errorf("wasted time = %v, want > 0 under injected faults", w)
+	}
+}

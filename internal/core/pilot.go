@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -43,6 +44,13 @@ type PilotReport struct {
 	Jobs     int     // pilot jobs actually executed
 	Reused   int     // leaves whose statistics came from the metastore
 	Consumed int     // leaves whose whole input was consumed (output reusable)
+	// Failed counts pilot jobs lost to task-retry exhaustion; their
+	// leaves fell back to catalog-derived default statistics instead of
+	// aborting the query (graceful degradation — pilot runs are an
+	// optimization, never a correctness requirement). Warnings records
+	// one line per fallback.
+	Failed   int
+	Warnings []string
 }
 
 // pilotRuns implements Algorithm 1 (PILR): for every base relation of
@@ -82,15 +90,20 @@ func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotRepor
 			if err != nil {
 				return nil, err
 			}
-			if err := e.Env.Sim.Run(); err != nil {
+			if err := e.Env.Sim.Run(); err != nil && !errors.Is(err, cluster.ErrTaskRetriesExhausted) {
+				// Exhausted retries surface per-job below; anything else
+				// aborts.
 				return nil, err
 			}
 			pj.run = run
 		}
 	case PilotMT:
-		// All leaf jobs together over m/|R| random splits each.
+		// All leaf jobs together over m/|R| random splits each; the
+		// split budget is clamped to at least one split per leaf so a
+		// block with more leaves than map slots still samples every
+		// relation.
 		m := e.Env.Sim.Config().MapSlots()
-		per := m / maxInt(len(jobs), 1)
+		per := m / max(len(jobs), 1)
 		if per < 1 {
 			per = 1
 		}
@@ -101,7 +114,7 @@ func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotRepor
 			}
 			pj.run = run
 		}
-		if err := e.Env.Sim.Run(); err != nil {
+		if err := e.Env.Sim.Run(); err != nil && !errors.Is(err, cluster.ErrTaskRetriesExhausted) {
 			return nil, err
 		}
 	}
@@ -113,7 +126,18 @@ func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotRepor
 		report.Jobs++
 		ts, whole, out, err := pj.run.finish()
 		if err != nil {
-			return nil, err
+			if !errors.Is(err, cluster.ErrTaskRetriesExhausted) {
+				return nil, err
+			}
+			// Graceful degradation: a lost pilot job costs estimate
+			// quality, not the query. The leaf keeps default statistics
+			// derived from the catalog's file metadata, and the
+			// optimizer treats the relation as unfiltered.
+			report.Failed++
+			report.Warnings = append(report.Warnings, fmt.Sprintf(
+				"core: pilot job for %s lost to task failures; using catalog statistics", pj.rel.Leaf.Alias))
+			pj.rel.Stats = fallbackStats(pj.rel.File)
+			continue
 		}
 		pj.rel.Stats = ts
 		e.Store.Put(pj.sig, ts)
@@ -140,7 +164,7 @@ type sampleSpec struct {
 // and queues the rest in random order for on-demand addition.
 func samplePlanFor(rel *plan.Rel, per int, rng *rand.Rand) *sampleSpec {
 	n := rel.File.NumBlocks()
-	perm := rng.Perm(maxInt(n, 1))
+	perm := rng.Perm(max(n, 1))
 	if n == 0 {
 		return &sampleSpec{}
 	}
@@ -248,9 +272,12 @@ func joinColumnsFor(block *plan.JoinBlock, alias string) []data.Path {
 	return out
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// fallbackStats derives default statistics from a file's catalog
+// metadata: the unfiltered record count and average record size, with
+// no column synopses (column estimators fall back to their defaults).
+func fallbackStats(f *dfs.File) stats.TableStats {
+	return stats.TableStats{
+		Card:       float64(f.NumRecords()),
+		AvgRecSize: f.AvgRecordSize(),
 	}
-	return b
 }

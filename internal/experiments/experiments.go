@@ -38,6 +38,21 @@ type Config struct {
 	// serial legacy executor, positive values are passed through.
 	// Virtual-time results are identical either way.
 	Parallelism int
+
+	// Fault-injection knobs for the faults experiment, passed through
+	// to the cluster simulator (zero values disable each mechanism).
+	FailEveryN      int     // every Nth first task attempt fails
+	FailurePenalty  float64 // slot seconds charged per failed attempt
+	StragglerEveryN int     // every Nth executed attempt runs slow
+	SlowdownFactor  float64 // straggler duration multiplier
+	SpeculativeBeta float64 // speculative-execution threshold (0 off)
+
+	// Workers and the per-worker slot counts, when positive, override
+	// the simulated cluster size (the faults experiment uses a small
+	// cluster so concurrent jobs contend for slots).
+	Workers              int
+	MapSlotsPerWorker    int
+	ReduceSlotsPerWorker int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -96,6 +111,20 @@ func (c Config) clusterConfig() cluster.Config {
 		ccfg.Parallelism = 0 // serial legacy executor
 	case c.Parallelism > 0:
 		ccfg.Parallelism = c.Parallelism
+	}
+	ccfg.FailEveryN = c.FailEveryN
+	ccfg.FailurePenalty = c.FailurePenalty
+	ccfg.StragglerEveryN = c.StragglerEveryN
+	ccfg.SlowdownFactor = c.SlowdownFactor
+	ccfg.SpeculativeBeta = c.SpeculativeBeta
+	if c.Workers > 0 {
+		ccfg.Workers = c.Workers
+	}
+	if c.MapSlotsPerWorker > 0 {
+		ccfg.MapSlotsPerWorker = c.MapSlotsPerWorker
+	}
+	if c.ReduceSlotsPerWorker > 0 {
+		ccfg.ReduceSlotsPerWorker = c.ReduceSlotsPerWorker
 	}
 	return ccfg
 }

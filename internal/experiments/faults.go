@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dyno/internal/baselines"
+	"dyno/internal/core"
+)
+
+// FaultProfile bundles one deterministic fault-injection intensity for
+// the faults experiment.
+type FaultProfile struct {
+	Name            string
+	FailEveryN      int
+	FailurePenalty  float64
+	StragglerEveryN int
+	SlowdownFactor  float64
+	SpeculativeBeta float64
+}
+
+// FaultProfiles are the sweep points: a clean baseline plus two fault
+// rates. Speculation is enabled whenever stragglers are injected, as
+// on a production Hadoop cluster.
+var FaultProfiles = []FaultProfile{
+	{Name: "none"},
+	{Name: "light", FailEveryN: 60, FailurePenalty: 8,
+		StragglerEveryN: 25, SlowdownFactor: 3, SpeculativeBeta: 1.5},
+	{Name: "heavy", FailEveryN: 20, FailurePenalty: 8,
+		StragglerEveryN: 10, SlowdownFactor: 4, SpeculativeBeta: 1.5},
+}
+
+// FaultsQueries are the multi-join queries measured under faults.
+var FaultsQueries = []string{"Q8p", "Q9p", "Q10"}
+
+// FaultsSF is the scale factor of the faults experiment.
+var FaultsSF = 300.0
+
+// The faults experiment runs on a deliberately small cluster: with
+// fewer slots than ready tasks, the MO strategy's concurrent jobs
+// saturate the cluster, so freed slots always go to pending work and
+// speculative backups starve — the contention §5.3 argues SO avoids.
+const (
+	faultsWorkers           = 4
+	faultsMapSlotsPerWorker = 3
+	faultsRedSlotsPerWorker = 2
+)
+
+// FaultPoint is one (query, profile, strategy) measurement.
+type FaultPoint struct {
+	Query    string
+	Profile  string
+	Strategy string  // "MO" or "SO"
+	TotalSec float64 // end-to-end virtual runtime
+	Wasted   float64 // slot seconds lost to failed and superseded attempts
+}
+
+// faultStrategies maps the display names to job-issue strategies: MO
+// floods the cluster with every ready job, SO runs one at a time.
+func faultStrategies() []struct {
+	name string
+	s    core.Strategy
+} {
+	return []struct {
+		name string
+		s    core.Strategy
+	}{
+		{"MO", core.All{}},
+		{"SO", core.One{}},
+	}
+}
+
+// MeasureFaults sweeps DYNOPT over the fault profiles, comparing the
+// multiple-jobs (MO) and single-job (SO) issue strategies. The sweep
+// quantifies the paper's fault-tolerance argument (§5.3): because SO
+// materializes one job at a time, a failure or straggler can only hit
+// the job in flight, and the cluster's idle slots absorb retries and
+// speculative backups — so SO loses less work than MO as the fault
+// rate grows.
+func MeasureFaults(cfg Config) ([]FaultPoint, error) {
+	return measureFaultsQueries(cfg, FaultsQueries)
+}
+
+// measureFaultsQueries runs the sweep over an explicit query list
+// (tests restrict it to the differentiating query to stay fast).
+func measureFaultsQueries(cfg Config, queries []string) ([]FaultPoint, error) {
+	cfg = cfg.normalized()
+	if cfg.Workers == 0 && cfg.MapSlotsPerWorker == 0 && cfg.ReduceSlotsPerWorker == 0 {
+		cfg.Workers = faultsWorkers
+		cfg.MapSlotsPerWorker = faultsMapSlotsPerWorker
+		cfg.ReduceSlotsPerWorker = faultsRedSlotsPerWorker
+	}
+	var out []FaultPoint
+	for _, q := range queries {
+		for _, p := range FaultProfiles {
+			fcfg := cfg
+			fcfg.FailEveryN = p.FailEveryN
+			fcfg.FailurePenalty = p.FailurePenalty
+			fcfg.StragglerEveryN = p.StragglerEveryN
+			fcfg.SlowdownFactor = p.SlowdownFactor
+			fcfg.SpeculativeBeta = p.SpeculativeBeta
+			for _, st := range faultStrategies() {
+				st := st
+				m, err := runVariant(baselines.VariantDynOpt, FaultsSF, fcfg, q, false,
+					func(o *core.Options) { o.Strategy = st.s })
+				if err != nil {
+					return nil, fmt.Errorf("faults %s/%s/%s: %w", q, p.Name, st.name, err)
+				}
+				out = append(out, FaultPoint{
+					Query:    q,
+					Profile:  p.Name,
+					Strategy: st.name,
+					TotalSec: m.res.TotalSec,
+					Wasted:   m.env.Sim.WastedSec(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Faults renders the fault-tolerance sweep: runtime and wasted slot
+// time per query, fault profile, and strategy, plus each strategy's
+// slowdown relative to its own fault-free run.
+func Faults(cfg Config) (*Table, error) {
+	points, err := MeasureFaults(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return FaultsTable(points), nil
+}
+
+// FaultsTable renders already-measured sweep points (dynobench reuses
+// one sweep for both the table and its JSON artifact).
+func FaultsTable(points []FaultPoint) *Table {
+	find := func(q, profile, strategy string) FaultPoint {
+		for _, p := range points {
+			if p.Query == q && p.Profile == profile && p.Strategy == strategy {
+				return p
+			}
+		}
+		return FaultPoint{}
+	}
+	t := &Table{
+		Title: "Faults: DYNOPT under task failures and stragglers, MO vs SO issue strategy (SF=300)",
+		Header: []string{"Query", "Profile", "MO sec", "SO sec",
+			"MO slowdown", "SO slowdown", "MO wasted", "SO wasted"},
+	}
+	var queries []string
+	seen := map[string]bool{}
+	for _, p := range points {
+		if !seen[p.Query] {
+			seen[p.Query] = true
+			queries = append(queries, p.Query)
+		}
+	}
+	for _, q := range queries {
+		moClean := find(q, "none", "MO")
+		soClean := find(q, "none", "SO")
+		for _, p := range FaultProfiles {
+			mo := find(q, p.Name, "MO")
+			so := find(q, p.Name, "SO")
+			t.Rows = append(t.Rows, []string{
+				q, p.Name,
+				fmt.Sprintf("%.1f", mo.TotalSec),
+				fmt.Sprintf("%.1f", so.TotalSec),
+				fmt.Sprintf("%.2fx", ratio(mo.TotalSec, moClean.TotalSec)),
+				fmt.Sprintf("%.2fx", ratio(so.TotalSec, soClean.TotalSec)),
+				fmt.Sprintf("%.1f", mo.Wasted),
+				fmt.Sprintf("%.1f", so.Wasted),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"MO overlaps jobs and finishes sooner, but its concurrent jobs saturate the small cluster, so failed and superseded attempts waste more slot time; SO's one-job-at-a-time issue loses less work as the fault rate grows (§5.3)")
+	return t
+}

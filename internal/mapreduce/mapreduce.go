@@ -459,13 +459,23 @@ func (j *Job) newMapTask(inputIdx, splitIdx int) *cluster.Task {
 	}
 	if len(j.spec.Broadcasts) > 0 {
 		// The one-time filtered-build preparation is charged to exactly
-		// one task. Finish runs serially in dispatch order, so the
-		// charge lands on the same task whether Run closures execute
-		// inline or on the worker pool.
+		// one task, and the per-node build load to the first attempt on
+		// each node. Finish runs serially in dispatch order — and is
+		// replayed for speculative backup attempts with the backup's
+		// own TaskContext — so both charges land correctly whether Run
+		// closures execute inline, on the worker pool, or not at all
+		// (backups reuse the primary's usage).
 		t.Finish = func(tc cluster.TaskContext, u *cluster.Usage) {
 			if !j.prepCharged {
 				j.prepCharged = true
 				u.ExtraLatency += j.prepLatency
+			}
+			if rate := broadcastBps(j.env); rate > 0 {
+				if j.env.DistributedCache && !tc.FirstOnNode {
+					// Build already resident on this node.
+				} else {
+					u.ExtraLatency += float64(j.buildBytes) / rate
+				}
 			}
 		}
 	}
@@ -477,21 +487,15 @@ func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (clu
 	if j.buildErr != nil {
 		return u, j.buildErr
 	}
-	// Broadcast build load: check memory and charge load latency.
+	// Broadcast build: the memory check stays on the execution path,
+	// but all latency charges (one-time filtered build, per-node load)
+	// live in the task's Finish hook — never here, where concurrent
+	// tasks would race on j.prepCharged, and where a speculative backup
+	// attempt could not re-apply them for its own node.
 	if len(j.spec.Broadcasts) > 0 {
 		if j.buildBytes > j.env.Sim.Config().SlotMemory {
 			return u, fmt.Errorf("%w: build %d bytes > slot memory %d",
 				ErrBroadcastOOM, j.buildBytes, j.env.Sim.Config().SlotMemory)
-		}
-		// The one-time filtered-build cost is charged by the task's
-		// Finish hook (serial, dispatch order) — never here, where
-		// concurrent tasks would race on j.prepCharged.
-		if rate := broadcastBps(j.env); rate > 0 {
-			if j.env.DistributedCache && !tc.FirstOnNode {
-				// Build already resident on this node.
-			} else {
-				u.ExtraLatency += float64(j.buildBytes) / rate
-			}
 		}
 	}
 	block := input.File.Block(st.splitIdx)
@@ -603,7 +607,7 @@ func (j *Job) TaskDone(sub *cluster.Submission, t *cluster.Task) []*cluster.Task
 	j.mapsDone++
 	// Pilot-run early termination.
 	if j.spec.StopAfter > 0 && j.env.Coord.Get(j.counterName) >= j.spec.StopAfter {
-		frac := float64(j.mapsDone) / float64(maxInt(j.splitsTotal, 1))
+		frac := float64(j.mapsDone) / float64(max(j.splitsTotal, 1))
 		if j.spec.FinishIfFractionDone > 0 && frac >= j.spec.FinishIfFractionDone {
 			// Close to completion: let the job finish so its output is
 			// reusable for the real query.
@@ -820,13 +824,6 @@ func Run(env *Env, spec Spec) (*Result, error) {
 		return nil, sub.Err()
 	}
 	return j.Result()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func scanBps(env *Env) float64 { return env.Sim.Config().ScanBps }
