@@ -22,12 +22,15 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, all (comma-separated)")
-		scale     = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
-		seed      = flag.Int64("seed", 2014, "data generation seed")
-		faultsOut = flag.String("faultsout", "BENCH_faults.json", "file for the faults experiment's raw sweep points (JSON)")
-		parbench  = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
-		repeats   = flag.Int("parbench-repeats", 3, "runs per mode for -parbench; the best time is kept")
+		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, all (comma-separated)")
+		scale      = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
+		seed       = flag.Int64("seed", 2014, "data generation seed")
+		faultsOut  = flag.String("faultsout", "BENCH_faults.json", "file for the faults experiment's raw sweep points (JSON)")
+		serviceOut = flag.String("serviceout", "BENCH_service.json", "file for the service experiment's report (JSON)")
+		svcClients = flag.Int("service-clients", 4, "concurrent clients for the service experiment")
+		svcQueries = flag.Int("service-queries", 3, "queries per client for the service experiment")
+		parbench   = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
+		repeats    = flag.Int("parbench-repeats", 3, "runs per mode for -parbench; the best time is kept")
 	)
 	flag.Parse()
 
@@ -82,6 +85,33 @@ func main() {
 	all := want["all"]
 
 	ran := 0
+	if all || want["service"] {
+		rep, err := experiments.ServiceBench(cfg, *svcClients, *svcQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: service: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("query service: %d clients x %d queries in %.2fs wall (%.1f q/s)\n",
+			rep.Clients, rep.QueriesPerClient, rep.WallSec, rep.QPS)
+		fmt.Printf("  latency p50 %.1fms  p95 %.1fms  mean %.1fms\n",
+			rep.P50Millis, rep.P95Millis, rep.MeanMillis)
+		fmt.Printf("  plan cache %d hits / %d misses (%.0f%%)  stats reuse %d leaves, %d pilot jobs (%.0f%%)\n",
+			rep.PlanCacheHits, rep.PlanCacheMisses, 100*rep.PlanHitRate,
+			rep.StatsReusedLeaves, rep.PilotJobs, 100*rep.StatsReuseRate)
+		if *serviceOut != "" {
+			blob, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: service: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*serviceOut, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: service: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("service report written to %s\n\n", *serviceOut)
+		}
+		ran++
+	}
 	if all || want["ablations"] {
 		ts, err := experiments.Ablations(cfg)
 		if err != nil {

@@ -1,0 +1,92 @@
+// Command dynod runs the DYNO query service: a long-lived daemon that
+// owns one simulated cluster, DFS, and TPC-H catalog and answers many
+// queries concurrently over HTTP/JSON. Repeat queries hit the plan
+// cache (skipping optimization and pilot runs entirely) and queries
+// sharing leaf expressions reuse each other's pilot-run statistics.
+//
+// Usage:
+//
+//	dynod -addr :8642 -sf 10 -scale 0.05
+//	curl -s localhost:8642/query -d '{"query":"Q8p","maxRows":3}'
+//	curl -s localhost:8642/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyno/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8642", "listen address")
+		sf          = flag.Float64("sf", 10, "TPC-H scale factor")
+		scale       = flag.Float64("scale", 0.05, "row-count multiplier")
+		seed        = flag.Int64("seed", 2014, "generation seed")
+		maxInflight = flag.Int("max-inflight", 4, "queries executing concurrently")
+		maxQueue    = flag.Int("max-queue", 16, "queries waiting for admission")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-query wall-clock budget (0 disables)")
+		noPlanCache = flag.Bool("no-plan-cache", false, "disable the plan cache")
+		noStats     = flag.Bool("no-stats-cache", false, "disable cross-query statistics reuse")
+		workers     = flag.Int("workers", 0, "cluster workers (0 = paper default)")
+		parallelism = flag.Int("parallelism", 0, "simulated task waves executed per step (0 = serial)")
+	)
+	flag.Parse()
+
+	cfg := server.DefaultConfig()
+	cfg.SF = *sf
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.MaxInFlight = *maxInflight
+	cfg.MaxQueue = *maxQueue
+	cfg.QueryTimeout = *timeout
+	cfg.DisablePlanCache = *noPlanCache
+	cfg.DisableStatsCache = *noStats
+	cfg.Workers = *workers
+	cfg.Parallelism = *parallelism
+
+	fmt.Printf("dynod: generating TPC-H SF=%g scale=%g...\n", cfg.SF, cfg.Scale)
+	srv, err := server.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	fmt.Printf("dynod: listening on %s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("dynod: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fail(err)
+		}
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dynod:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dyno/internal/baselines"
 	"dyno/internal/cluster"
@@ -50,8 +51,16 @@ func main() {
 		var err error
 		sql, err = tpch.QuerySQL(*queryName)
 		if err != nil {
-			fail(err)
+			usage(fmt.Sprintf("unknown query %q; valid names: %s",
+				*queryName, strings.Join(tpch.QueryNames, ", ")))
 		}
+	}
+	if _, err := baselines.ParseVariant(*variant); err != nil {
+		usage(err.Error())
+	}
+	strat, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		usage(err.Error())
 	}
 
 	ccfg := cluster.DefaultConfig()
@@ -88,10 +97,7 @@ func main() {
 	opts.KMVSize = 512
 	opts.ProjectionPushdown = *pushdown
 	opts.DynamicJoin = *dynJoin
-	opts.Strategy, err = parseStrategy(*strategy)
-	if err != nil {
-		fail(err)
-	}
+	opts.Strategy = strat
 	eng, err := baselines.NewEngine(baselines.Variant(*variant), env, cat, optCfg, opts)
 	if err != nil {
 		fail(err)
@@ -118,24 +124,6 @@ func main() {
 	fmt.Printf("\n%d result rows:\n%s", len(res.Rows), jaql.FormatRows(res.Rows, *maxRows))
 }
 
-func parseStrategy(s string) (core.Strategy, error) {
-	switch s {
-	case "UNC-1":
-		return core.Uncertain{N: 1}, nil
-	case "UNC-2":
-		return core.Uncertain{N: 2}, nil
-	case "CHEAP-1":
-		return core.Cheap{N: 1}, nil
-	case "CHEAP-2":
-		return core.Cheap{N: 2}, nil
-	case "SO":
-		return core.One{}, nil
-	case "MO":
-		return core.All{}, nil
-	}
-	return nil, fmt.Errorf("unknown strategy %q", s)
-}
-
 func profileName(hive bool) string {
 	if hive {
 		return "Hive"
@@ -146,4 +134,22 @@ func profileName(hive bool) string {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "dynoql:", err)
 	os.Exit(1)
+}
+
+// usage reports a bad flag value, lists the valid choices, and exits
+// with a distinct status so scripts can tell misuse from run failures.
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "dynoql:", msg)
+	fmt.Fprintf(os.Stderr, "  queries:    %s (or pass raw SQL with -sql)\n", strings.Join(tpch.QueryNames, ", "))
+	fmt.Fprintf(os.Stderr, "  variants:   %s\n", joinVariants())
+	fmt.Fprintf(os.Stderr, "  strategies: %s\n", strings.Join(core.StrategyNames, ", "))
+	os.Exit(2)
+}
+
+func joinVariants() string {
+	names := make([]string, len(baselines.Variants))
+	for i, v := range baselines.Variants {
+		names[i] = string(v)
+	}
+	return strings.Join(names, ", ")
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"dyno/internal/core"
 	"dyno/internal/jaql"
@@ -176,6 +177,25 @@ const (
 	VariantSimple     Variant = "DYNOPT-SIMPLE"
 	VariantDynOpt     Variant = "DYNOPT"
 )
+
+// Variants lists the valid variant names in the order §6.1 introduces
+// the comparison systems.
+var Variants = []Variant{VariantBestStatic, VariantRelOpt, VariantSimple, VariantDynOpt}
+
+// ParseVariant resolves a variant name; the error for an unknown name
+// lists the valid ones.
+func ParseVariant(name string) (Variant, error) {
+	for _, v := range Variants {
+		if Variant(name) == v {
+			return v, nil
+		}
+	}
+	valid := make([]string, len(Variants))
+	for i, v := range Variants {
+		valid[i] = string(v)
+	}
+	return "", fmt.Errorf("baselines: unknown variant %q (valid: %s)", name, strings.Join(valid, " | "))
+}
 
 // NewEngine builds an engine configured as one of the paper's
 // comparison systems over a shared environment and catalog.

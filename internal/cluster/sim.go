@@ -146,6 +146,12 @@ type Config struct {
 	// Scheduler selects how free slots are shared among concurrent
 	// jobs.
 	Scheduler SchedulerKind
+
+	// RetireDoneJobs drops completed submissions from the scheduler's
+	// scan list (they stop appearing in Jobs()). Long-running services
+	// enable it so dispatch cost tracks the live jobs, not every job
+	// ever submitted; experiments leave it off to keep Jobs() complete.
+	RetireDoneJobs bool
 }
 
 // SchedulerKind selects the job scheduler.
@@ -334,6 +340,23 @@ func (s *Submission) CompletedTasks() []*Task { return s.completed }
 // the inspection paradox).
 func (s *Submission) CancelPending() { s.pending = nil }
 
+// / Cancel abandons the job: queued tasks are dropped, completed tasks no
+// longer schedule follow-up work, and the submission finishes failed
+// with the given error once its running attempts drain (immediately
+// when none are in flight). The query service uses it to release the
+// cluster resources of a canceled or timed-out session. Like every
+// other Submission method it must run on the goroutine driving the
+// simulator — or under the gate that serializes a shared simulator.
+func (s *Submission) Cancel(err error) {
+	if s.done || s.failed {
+		return
+	}
+	s.failed = true
+	s.err = err
+	s.pending = nil
+	s.sim.maybeComplete(s)
+}
+
 // AddTasks queues additional tasks on a live job (used by pilot runs to
 // add sample splits on demand).
 func (s *Submission) AddTasks(ts []*Task) {
@@ -515,11 +538,37 @@ func (s *Sim) push(e *event) {
 func (s *Sim) Run() error {
 	var firstErr error
 	for {
+		stepped, err := s.Step()
+		if !stepped {
+			return firstErr
+		}
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+}
+
+// Step advances the simulation by exactly one event: it dispatches
+// queued tasks to free slots, executes the resulting wave, launches
+// speculative backups, and then processes the earliest event. It
+// returns false when the cluster is idle (no events remain). The error
+// is the processed event's job failure, if any — Run folds these into
+// its first-error result, while concurrent drivers sharing one
+// simulator (the query service's gate) inspect their own submissions
+// instead and use Step to interleave several engines' jobs at event
+// granularity. A full drain via repeated Step calls produces the same
+// virtual timeline as Run produced before Step existed: the loop body
+// is identical.
+func (s *Sim) Step() (bool, error) {
+	for {
+		if s.cfg.RetireDoneJobs {
+			s.retireDone()
+		}
 		s.dispatch()
 		s.runWave()
 		s.speculate()
 		if len(s.events) == 0 {
-			break
+			return false, nil
 		}
 		e := heap.Pop(&s.events).(*event)
 		if e.canceled {
@@ -542,15 +591,48 @@ func (s *Sim) Run() error {
 		case evTaskRetry:
 			s.handleTaskRetry(e.sub, e.task)
 		}
-		if firstErr == nil && e.sub.err != nil {
-			firstErr = e.sub.err
+		return true, e.sub.err
+	}
+}
+
+// retireDone compacts completed submissions out of the scheduler's
+// scan list once they dominate it, keeping dispatch proportional to
+// the number of live jobs instead of every job ever submitted — a
+// long-running query service submits jobs indefinitely. Retired
+// submissions remain valid handles for their owners; they simply stop
+// appearing in Jobs().
+func (s *Sim) retireDone() {
+	if len(s.subs) < 64 {
+		return
+	}
+	done := 0
+	for _, sub := range s.subs {
+		if sub.done {
+			done++
 		}
 	}
-	return firstErr
+	if done*2 < len(s.subs) {
+		return
+	}
+	kept := s.subs[:0]
+	for _, sub := range s.subs {
+		if !sub.done {
+			kept = append(kept, sub)
+		}
+	}
+	for i := len(kept); i < len(s.subs); i++ {
+		s.subs[i] = nil
+	}
+	s.subs = kept
 }
 
 func (s *Sim) handleJobReady(sub *Submission) {
 	sub.started = true
+	if sub.failed {
+		// Canceled while still starting up: never ask the job for tasks.
+		s.maybeComplete(sub)
+		return
+	}
 	s.emit(TraceEvent{Time: s.now, Job: sub.job.Name(), Kind: "job-ready"})
 	tasks := sub.job.Start(sub)
 	sub.pending = append(sub.pending, tasks...)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -84,6 +85,12 @@ type Options struct {
 	// when pilot runs are disabled (static baselines derive them from
 	// catalog-level statistics instead).
 	PrepareStats func(block *plan.JoinBlock) error
+	// Tag prefixes the engine's query names — and therefore every job
+	// name, coordinator counter, and tmp/pilot DFS path derived from
+	// them. A query service gives each session a unique tag so
+	// concurrent engines sharing one cluster, DFS, and coordination
+	// service never collide. Empty keeps the legacy q1, q2, ... names.
+	Tag string
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -114,6 +121,7 @@ type Engine struct {
 	rng     *rand.Rand
 	queries int
 	pruner  func(data.Value) data.Value
+	ctx     context.Context // per-call cancellation, set by ExecuteContext
 }
 
 // NewEngine wires an engine over the given environment and catalog.
@@ -168,13 +176,38 @@ type Result struct {
 	// statistics, resubmitted leaf jobs) instead of aborting.
 	ResubmittedJobs int
 	Warnings        []string
+
+	// PlanRoot is the physical plan chosen at the first optimization
+	// point, with the pilot statistics already attached to its leaves.
+	// The tree is never mutated afterwards (re-optimization builds
+	// fresh trees), so a query service can cache it and re-execute it
+	// statically — skipping pilot runs and the optimizer — when the
+	// same normalized query arrives again under the same statistics
+	// epoch.
+	PlanRoot plan.Node
+}
+
+// queryName allocates the next query's name, under the session tag
+// when one is configured.
+func (e *Engine) queryName() string {
+	e.queries++
+	return fmt.Sprintf("%sq%d", e.Options.Tag, e.queries)
+}
+
+// ctxErr reports the engine's per-call cancellation state. The engine
+// checks it between cluster phases; during event stepping a session
+// gate enforces the same context.
+func (e *Engine) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // RunPilots executes only the PILR phase for a query (used by the
 // Table 1 experiment, which measures pilot runs in isolation).
 func (e *Engine) RunPilots(q *sqlparse.Query) (*PilotReport, error) {
-	e.queries++
-	name := fmt.Sprintf("q%d", e.queries)
+	name := e.queryName()
 	compiled, err := rewrite.Compile(q)
 	if err != nil {
 		return nil, err
@@ -187,18 +220,32 @@ func (e *Engine) RunPilots(q *sqlparse.Query) (*PilotReport, error) {
 
 // ExecuteSQL parses and executes a query.
 func (e *Engine) ExecuteSQL(sql string) (*Result, error) {
+	return e.ExecuteSQLContext(context.Background(), sql)
+}
+
+// ExecuteSQLContext parses and executes a query under a cancellation
+// context: between cluster phases the engine aborts with ctx.Err()
+// once the context is done, and a gated environment additionally
+// enforces the context while stepping the shared simulator.
+func (e *Engine) ExecuteSQLContext(ctx context.Context, sql string) (*Result, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(q)
+	return e.ExecuteContext(ctx, q)
 }
 
 // Execute runs a parsed query through pilot runs, cost-based
 // optimization, dynamic execution, and the post-join operators.
 func (e *Engine) Execute(q *sqlparse.Query) (*Result, error) {
-	e.queries++
-	name := fmt.Sprintf("q%d", e.queries)
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with per-call cancellation (see
+// ExecuteSQLContext).
+func (e *Engine) ExecuteContext(ctx context.Context, q *sqlparse.Query) (*Result, error) {
+	e.ctx = ctx
+	name := e.queryName()
 	compiled, err := rewrite.Compile(q)
 	if err != nil {
 		return nil, err
@@ -209,7 +256,7 @@ func (e *Engine) Execute(q *sqlparse.Query) (*Result, error) {
 	}
 
 	res := &Result{}
-	start := e.Env.Sim.Now()
+	start := e.Env.Now()
 	if e.Options.ProjectionPushdown {
 		e.pruner = jaql.NewPruner(rewrite.LiveColumns(q))
 	} else {
@@ -243,7 +290,7 @@ func (e *Engine) Execute(q *sqlparse.Query) (*Result, error) {
 		return nil, err
 	}
 	res.Rows = qr.Rows
-	res.TotalSec = e.Env.Sim.Now() - start
+	res.TotalSec = e.Env.Now() - start
 	return res, nil
 }
 
@@ -254,6 +301,9 @@ func (e *Engine) runBlock(block *plan.JoinBlock, name string, res *Result) (*pla
 	executed := map[string]*plan.Rel{} // alias-set key → materialized rel
 	skipReopt := false
 	for iter := 1; ; iter++ {
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
 		if len(block.Rels) == 1 && !block.Rels[0].IsBase() {
 			// Whole block executed.
 			res.FinalPlan = block.Rels[0].String()
@@ -284,8 +334,11 @@ func (e *Engine) runBlock(block *plan.JoinBlock, name string, res *Result) (*pla
 				return nil, err
 			}
 			optSec = float64(considered) * e.Options.OptTimePerExpr
-			e.Env.Sim.Advance(optSec)
+			e.Env.Advance(optSec)
 			res.OptimizeSec += optSec
+		}
+		if iter == 1 {
+			res.PlanRoot = root
 		}
 
 		info := IterationInfo{Plan: plan.Format(root), OptimizeSec: optSec}
@@ -424,7 +477,7 @@ func (e *Engine) executeWave(block *plan.JoinBlock, graph *jaql.Graph, toRun []*
 		}
 		e.countJob(run.Unit, res)
 		if e.Options.CollectOnlineStats && !last {
-			e.Env.Sim.Advance(e.Options.StatsMergeTime)
+			e.Env.Advance(e.Options.StatsMergeTime)
 		}
 	}
 	return nil
@@ -438,23 +491,32 @@ func (e *Engine) jobRetries() int {
 	return 2
 }
 
-// runWithRecovery drives the cluster to quiescence and converts
-// task-retry exhaustion into checkpoint recovery: a leaf job's inputs
-// are materialized DFS files (base tables or previously executed
-// sub-plans), so the job is simply resubmitted over the same inputs —
-// the paper's argument that job boundaries double as checkpoints
-// (§5.1). Failed runs are replaced in place so the caller finalizes
-// the recovered execution; any other error still aborts the query.
+// runWithRecovery drives the cluster until the submitted runs complete
+// and converts task-retry exhaustion into checkpoint recovery: a leaf
+// job's inputs are materialized DFS files (base tables or previously
+// executed sub-plans), so the job is simply resubmitted over the same
+// inputs — the paper's argument that job boundaries double as
+// checkpoints (§5.1). Failed runs are replaced in place so the caller
+// finalizes the recovered execution; any other error still aborts the
+// query.
 func (e *Engine) runWithRecovery(runs []*jaql.Run, opts []jaql.ExecOpts, res *Result) error {
 	for attempt := 0; ; attempt++ {
-		err := e.Env.Sim.Run()
-		if err == nil {
-			return nil
+		driveErr := e.Env.RunUntil(func() bool {
+			for _, run := range runs {
+				if !run.Sub.Done() {
+					return false
+				}
+			}
+			return true
+		})
+		if driveErr != nil && !errors.Is(driveErr, cluster.ErrTaskRetriesExhausted) {
+			return driveErr
 		}
-		if !errors.Is(err, cluster.ErrTaskRetriesExhausted) || attempt >= e.jobRetries() {
-			return err
-		}
-		resubmitted := false
+		// Inspect the submissions themselves: in shared-cluster mode
+		// RunUntil never reports job failures, and in exclusive mode the
+		// drive error may belong to a submission that is not ours.
+		var failed []int
+		var failedErr error
 		for i, run := range runs {
 			jerr := run.Sub.Err()
 			if jerr == nil {
@@ -463,17 +525,31 @@ func (e *Engine) runWithRecovery(runs []*jaql.Run, opts []jaql.ExecOpts, res *Re
 			if !errors.Is(jerr, cluster.ErrTaskRetriesExhausted) {
 				return jerr
 			}
-			fresh, serr := jaql.SubmitUnit(e.Env, run.Unit, opts[i])
+			if failedErr == nil {
+				failedErr = jerr
+			}
+			failed = append(failed, i)
+		}
+		if driveErr == nil && failedErr == nil {
+			return nil
+		}
+		if attempt >= e.jobRetries() || len(failed) == 0 {
+			if driveErr != nil {
+				return driveErr
+			}
+			return failedErr
+		}
+		for _, i := range failed {
+			fresh, serr := jaql.SubmitUnit(e.Env, runs[i].Unit, opts[i])
 			if serr != nil {
 				return serr
 			}
-			runs[i] = fresh
-			resubmitted = true
 			res.ResubmittedJobs++
 			res.Warnings = append(res.Warnings, fmt.Sprintf(
-				"core: job %s lost to task failures; resubmitted from its materialized inputs", run.Unit.Name))
+				"core: job %s lost to task failures; resubmitted from its materialized inputs", runs[i].Unit.Name))
+			runs[i] = fresh
 		}
-		if !resubmitted {
+		if err := e.ctxErr(); err != nil {
 			return err
 		}
 	}
@@ -488,6 +564,9 @@ func (e *Engine) executeStaticGraph(graph *jaql.Graph, res *Result) error {
 	if _, sequential := e.Options.Strategy.(One); sequential {
 		n := 0
 		for !graph.Done() {
+			if err := e.ctxErr(); err != nil {
+				return err
+			}
 			ready := graph.Ready()
 			if len(ready) == 0 {
 				return fmt.Errorf("core: static graph stuck")
@@ -496,7 +575,7 @@ func (e *Engine) executeStaticGraph(graph *jaql.Graph, res *Result) error {
 			if err != nil {
 				return err
 			}
-			if err := e.Env.Sim.Run(); err != nil {
+			if err := e.Env.RunUntil(run.Sub.Done); err != nil {
 				return err
 			}
 			n++
@@ -506,6 +585,9 @@ func (e *Engine) executeStaticGraph(graph *jaql.Graph, res *Result) error {
 			e.countJob(run.Unit, res)
 		}
 		return nil
+	}
+	if e.Env.Shared() {
+		return e.executeStaticGraphGated(graph, res)
 	}
 	// Event-driven MO execution.
 	var firstErr error
@@ -544,6 +626,65 @@ func (e *Engine) executeStaticGraph(graph *jaql.Graph, res *Result) error {
 	}
 	if !graph.Done() {
 		return fmt.Errorf("core: static graph did not complete")
+	}
+	return nil
+}
+
+// executeStaticGraphGated is the shared-cluster version of the MO
+// path. The exclusive path submits follow-up jobs from OnDone
+// callbacks, which fire inside simulator event processing — in a
+// gated environment that would run under another session's stepping
+// (while the gate lock is held), where submitting is impossible.
+// Instead the engine's own goroutine loops: submit every ready unit,
+// wait until any outstanding run completes, finalize it, repeat.
+// Results are identical; only virtual job start times can differ
+// slightly (a parent starts at the engine's next observation rather
+// than the completion instant).
+func (e *Engine) executeStaticGraphGated(graph *jaql.Graph, res *Result) error {
+	submitted := map[*jaql.Unit]bool{}
+	var open []*jaql.Run
+	n := 0
+	for !graph.Done() {
+		if err := e.ctxErr(); err != nil {
+			return err
+		}
+		for _, u := range graph.Ready() {
+			if submitted[u] {
+				continue
+			}
+			submitted[u] = true
+			run, err := jaql.SubmitUnit(e.Env, u, e.staticExecOpts())
+			if err != nil {
+				return err
+			}
+			open = append(open, run)
+		}
+		if len(open) == 0 {
+			return fmt.Errorf("core: static graph stuck")
+		}
+		if err := e.Env.RunUntil(func() bool {
+			for _, r := range open {
+				if r.Sub.Done() {
+					return true
+				}
+			}
+			return false
+		}); err != nil {
+			return err
+		}
+		next := open[:0]
+		for _, r := range open {
+			if !r.Sub.Done() {
+				next = append(next, r)
+				continue
+			}
+			n++
+			if _, err := r.Finalize(fmt.Sprintf("m%d", n)); err != nil {
+				return err
+			}
+			e.countJob(r.Unit, res)
+		}
+		open = next
 	}
 	return nil
 }

@@ -58,7 +58,7 @@ type PilotReport struct {
 // are produced, collect statistics, and attach them to the relation.
 func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotReport, error) {
 	report := &PilotReport{Mode: e.Options.PilotMode}
-	start := e.Env.Sim.Now()
+	start := e.Env.Now()
 
 	type pilotJob struct {
 		rel *plan.Rel
@@ -86,11 +86,14 @@ func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotRepor
 		// One leaf expression at a time (lines 4-8 of Algorithm 1,
 		// first implementation).
 		for _, pj := range jobs {
+			if err := e.ctxErr(); err != nil {
+				return nil, err
+			}
 			run, err := e.submitPilot(pj.rel, queryName, block, nil)
 			if err != nil {
 				return nil, err
 			}
-			if err := e.Env.Sim.Run(); err != nil && !errors.Is(err, cluster.ErrTaskRetriesExhausted) {
+			if err := e.Env.RunUntil(run.sub.Done); err != nil && !errors.Is(err, cluster.ErrTaskRetriesExhausted) {
 				// Exhausted retries surface per-job below; anything else
 				// aborts.
 				return nil, err
@@ -114,7 +117,14 @@ func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotRepor
 			}
 			pj.run = run
 		}
-		if err := e.Env.Sim.Run(); err != nil && !errors.Is(err, cluster.ErrTaskRetriesExhausted) {
+		if err := e.Env.RunUntil(func() bool {
+			for _, pj := range jobs {
+				if pj.run != nil && !pj.run.sub.Done() {
+					return false
+				}
+			}
+			return true
+		}); err != nil && !errors.Is(err, cluster.ErrTaskRetriesExhausted) {
 			return nil, err
 		}
 	}
@@ -148,9 +158,9 @@ func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotRepor
 			e.Prepared[pj.sig] = out
 		}
 		// Client-side merge of the per-task statistics files.
-		e.Env.Sim.Advance(e.Options.StatsMergeTime)
+		e.Env.Advance(e.Options.StatsMergeTime)
 	}
-	report.Duration = e.Env.Sim.Now() - start
+	report.Duration = e.Env.Now() - start
 	return report, nil
 }
 

@@ -5,10 +5,36 @@
 package core
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"dyno/internal/jaql"
 )
+
+// StrategyNames lists the valid strategy names in the order the paper
+// introduces them (§5.3).
+var StrategyNames = []string{"UNC-1", "UNC-2", "CHEAP-1", "CHEAP-2", "SO", "MO"}
+
+// ParseStrategy resolves a strategy by its §5.3 name; the error for an
+// unknown name lists the valid ones.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "UNC-1":
+		return Uncertain{N: 1}, nil
+	case "UNC-2":
+		return Uncertain{N: 2}, nil
+	case "CHEAP-1":
+		return Cheap{N: 1}, nil
+	case "CHEAP-2":
+		return Cheap{N: 2}, nil
+	case "SO":
+		return One{}, nil
+	case "MO":
+		return All{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown strategy %q (valid: %s)", name, strings.Join(StrategyNames, " | "))
+}
 
 // Strategy selects which ready leaf jobs to execute next (§5.3). The
 // two dimensions are priority (cost or uncertainty) and how many jobs

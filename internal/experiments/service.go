@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dyno/internal/server"
+)
+
+// ServiceReport measures the query service under a closed-loop
+// concurrent workload: each client issues its queries back to back, so
+// repeat queries exercise the plan cache and overlapping leaf
+// expressions exercise the cross-query statistics cache.
+type ServiceReport struct {
+	Clients          int     `json:"clients"`
+	QueriesPerClient int     `json:"queriesPerClient"`
+	Queries          int64   `json:"queries"`
+	Errors           int64   `json:"errors"`
+	SF               float64 `json:"sf"`
+	Scale            float64 `json:"scale"`
+
+	WallSec float64 `json:"wallSec"`
+	QPS     float64 `json:"qps"`
+
+	P50Millis  float64 `json:"p50Millis"`
+	P95Millis  float64 `json:"p95Millis"`
+	MeanMillis float64 `json:"meanMillis"`
+
+	PlanCacheHits   int64   `json:"planCacheHits"`
+	PlanCacheMisses int64   `json:"planCacheMisses"`
+	PlanHitRate     float64 `json:"planHitRate"`
+
+	StatsReusedLeaves int64   `json:"statsReusedLeaves"`
+	PilotJobs         int64   `json:"pilotJobs"`
+	StatsReuseRate    float64 `json:"statsReuseRate"`
+
+	VirtualSec float64 `json:"virtualSec"`
+}
+
+// serviceWorkload cycles queries with overlapping leaves (all three
+// join lineitem/orders/...) so the statistics cache has something to
+// reuse even before any exact repeat.
+var serviceWorkload = []string{"Q8p", "Q10", "Q9p"}
+
+// ServiceBench runs clients×perClient queries through one in-process
+// query service and reports throughput, latency percentiles, and cache
+// effectiveness.
+func ServiceBench(cfg Config, clients, perClient int) (*ServiceReport, error) {
+	cfg = cfg.normalized()
+	if clients <= 0 {
+		clients = 4
+	}
+	if perClient <= 0 {
+		perClient = 3
+	}
+	scfg := server.DefaultConfig()
+	scfg.Scale = cfg.Scale * 0.2 // service queries answer interactively
+	scfg.Seed = cfg.Seed
+	scfg.MaxInFlight = clients
+	scfg.MaxQueue = clients * perClient
+	if cfg.Workers > 0 {
+		scfg.Workers = cfg.Workers
+	}
+	if cfg.Parallelism > 0 {
+		scfg.Parallelism = cfg.Parallelism
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				name := serviceWorkload[(c+q)%len(serviceWorkload)]
+				t0 := time.Now()
+				_, err := srv.Execute(context.Background(), server.Request{Query: name})
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("client %d %s: %w", c, name, err)
+				}
+				latencies = append(latencies, ms)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	m := srv.Metrics()
+	rep := &ServiceReport{
+		Clients:           clients,
+		QueriesPerClient:  perClient,
+		Queries:           m.Queries,
+		Errors:            m.Errors,
+		SF:                scfg.SF,
+		Scale:             scfg.Scale,
+		WallSec:           wall,
+		PlanCacheHits:     m.PlanCacheHits,
+		PlanCacheMisses:   m.PlanCacheMisses,
+		StatsReusedLeaves: m.StatsReusedLeaves,
+		PilotJobs:         m.PilotJobs,
+		VirtualSec:        m.VirtualSec,
+	}
+	if wall > 0 {
+		rep.QPS = float64(m.Queries) / wall
+	}
+	if n := m.PlanCacheHits + m.PlanCacheMisses; n > 0 {
+		rep.PlanHitRate = float64(m.PlanCacheHits) / float64(n)
+	}
+	if n := m.StatsReusedLeaves + m.PilotJobs; n > 0 {
+		rep.StatsReuseRate = float64(m.StatsReusedLeaves) / float64(n)
+	}
+	sort.Float64s(latencies)
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		rep.MeanMillis = sum / float64(len(latencies))
+		rep.P50Millis = latencies[int(0.50*float64(len(latencies)-1))]
+		rep.P95Millis = latencies[int(0.95*float64(len(latencies)-1))]
+	}
+	return rep, nil
+}

@@ -38,12 +38,39 @@ var ErrBroadcastOOM = errors.New("mapreduce: broadcast build side exceeds slot m
 // adequate reduce parallelism on the simulated cluster.
 const DefaultBytesPerReducer = 256 << 20
 
+// Gate serializes access to a cluster simulator shared by concurrent
+// engine sessions. The simulator itself is single-threaded; a query
+// service installs one gate per session (bound to that session's
+// cancellation context) so many engines can interleave their jobs on
+// one cluster at event granularity. Exclusive environments — every
+// experiment and CLI run — leave Env.Gate nil and drive the simulator
+// directly, preserving the legacy virtual timeline bit for bit.
+type Gate interface {
+	// Submit enqueues a job on the shared simulator.
+	Submit(j cluster.Job) *cluster.Submission
+	// Now returns the current virtual time.
+	Now() float64
+	// Advance charges client-side work to the virtual clock.
+	Advance(d float64)
+	// RunUntil drives the simulator until pred() returns true,
+	// interleaving event processing with other sessions. It returns a
+	// non-nil error when the session is canceled or the cluster goes
+	// idle with the predicate unsatisfiable; per-job failures are
+	// reported by the submissions themselves, never by RunUntil.
+	RunUntil(pred func() bool) error
+}
+
 // Env bundles the shared services a job runs against.
 type Env struct {
 	FS    *dfs.FS
 	Sim   *cluster.Sim
 	Coord *coord.Service
 	Reg   *expr.Registry
+	// Gate, when non-nil, mediates all simulator access for this
+	// environment (shared-cluster mode). Use the Env methods SubmitJob,
+	// Now, Advance, and RunUntil instead of touching Sim directly in
+	// any code path a gated session can reach.
+	Gate Gate
 	// DistributedCache enables Hive-0.12-style broadcast builds: the
 	// build side is loaded once per node instead of once per task
 	// (§6.6).
@@ -60,6 +87,49 @@ type Env struct {
 // VirtualSize returns the virtual on-disk size of a record.
 func (e *Env) VirtualSize(rec data.Value) int64 {
 	return int64(float64(rec.EncodedSize()+1) * e.FS.ByteScale())
+}
+
+// Shared reports whether the environment runs behind a session gate
+// (its cluster is shared with other concurrent sessions).
+func (e *Env) Shared() bool { return e.Gate != nil }
+
+// SubmitJob enqueues a job, through the session gate when the cluster
+// is shared.
+func (e *Env) SubmitJob(j cluster.Job) *cluster.Submission {
+	if e.Gate != nil {
+		return e.Gate.Submit(j)
+	}
+	return e.Sim.Submit(j)
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() float64 {
+	if e.Gate != nil {
+		return e.Gate.Now()
+	}
+	return e.Sim.Now()
+}
+
+// Advance charges client-side work (optimizer calls, statistics
+// merges) to the virtual clock.
+func (e *Env) Advance(d float64) {
+	if e.Gate != nil {
+		e.Gate.Advance(d)
+		return
+	}
+	e.Sim.Advance(d)
+}
+
+// RunUntil drives the cluster until pred() holds. An exclusive
+// environment simply drains the simulator, preserving Sim.Run's error
+// semantics (the first job failure is returned); a gated environment
+// steps the shared simulator until the predicate is satisfied and
+// surfaces job failures only through the submissions themselves.
+func (e *Env) RunUntil(pred func() bool) error {
+	if e.Gate != nil {
+		return e.Gate.RunUntil(pred)
+	}
+	return e.Sim.Run()
 }
 
 // MapCtx is handed to map functions for emitting output.
@@ -806,18 +876,18 @@ func Submit(env *Env, spec Spec) (*Job, *cluster.Submission, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sub := env.Sim.Submit(j)
+	sub := env.SubmitJob(j)
 	return j, sub, nil
 }
 
-// Run submits the job and drives the simulator until quiescent,
-// returning the job result.
+// Run submits the job and drives the simulator until the job
+// completes, returning the job result.
 func Run(env *Env, spec Spec) (*Result, error) {
 	j, sub, err := Submit(env, spec)
 	if err != nil {
 		return nil, err
 	}
-	if err := env.Sim.Run(); err != nil {
+	if err := env.RunUntil(sub.Done); err != nil {
 		return nil, err
 	}
 	if sub.Err() != nil {

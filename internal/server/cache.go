@@ -1,0 +1,65 @@
+package server
+
+import (
+	"sync"
+
+	"dyno/internal/plan"
+)
+
+// planCache maps "epoch|variant|strategy|normalized SQL" to the
+// physical plan a previous execution chose at its first optimization
+// point. Entries are immutable plan trees (core.Result.PlanRoot) that
+// hit sessions share read-only; eviction is FIFO. Keys embed the
+// statistics epoch, so bumping the epoch orphans every entry even
+// before clear() reclaims them.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]plan.Node
+	order   []string
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &planCache{max: max, entries: make(map[string]plan.Node)}
+}
+
+func (c *planCache) get(key string) plan.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[key]
+}
+
+func (c *planCache) put(key string, root plan.Node) {
+	if root == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = root
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = root
+	c.order = append(c.order, key)
+}
+
+func (c *planCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]plan.Node)
+	c.order = nil
+}
+
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dyno/internal/baselines"
+	"dyno/internal/cluster"
+	"dyno/internal/coord"
+	"dyno/internal/core"
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/mapreduce"
+	"dyno/internal/optimizer"
+	"dyno/internal/tpch"
+)
+
+// referenceRows executes one query the way cmd/dynoql does: a fresh
+// exclusive environment (FIFO scheduler, dedicated engine), no caches.
+// This is the ground truth the concurrent service must reproduce.
+func referenceRows(t *testing.T, cfg Config, query, variant string) []data.Value {
+	t.Helper()
+	ccfg := cluster.DefaultConfig()
+	env := &mapreduce.Env{
+		FS:    dfs.New(dfs.WithNodes(ccfg.Workers)),
+		Sim:   cluster.New(ccfg),
+		Coord: coord.NewService(),
+		Reg:   expr.NewRegistry(),
+	}
+	cat, err := tpch.Generate(env.FS, tpch.Config{SF: cfg.SF, Scale: cfg.Scale, Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpch.RegisterUDFs(env.Reg, tpch.DefaultUDFParams())
+	opts := core.DefaultOptions()
+	opts.K = 256
+	opts.KMVSize = 512
+	v, err := baselines.ParseVariant(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := baselines.NewEngine(v, env, cat, optimizer.DefaultConfig(float64(ccfg.SlotMemory)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := tpch.QuerySQL(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.ExecuteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows
+}
+
+// TestConcurrentServiceMatchesSequentialCLI is the end-to-end
+// acceptance check: N queries POSTed concurrently through the HTTP API
+// return row-for-row the same results as sequential dynoql-style runs
+// of the same (query, variant) on the same dataset.
+func TestConcurrentServiceMatchesSequentialCLI(t *testing.T) {
+	cfg := testConfig()
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// BESTSTATIC plans deterministically; DYNOPT exercises pilots,
+	// re-optimization, and the caches under contention.
+	workload := []struct{ query, variant string }{
+		{"Q8p", "BESTSTATIC"},
+		{"Q8p", "DYNOPT"},
+		{"Q9p", "BESTSTATIC"},
+		{"Q9p", "DYNOPT"},
+		{"Q7", "DYNOPT"},
+	}
+	want := make(map[string]string)
+	for _, w := range workload {
+		key := w.query + "/" + w.variant
+		want[key] = rowsKey(t, referenceRows(t, cfg, w.query, w.variant))
+	}
+
+	const rounds = 3 // repeats also exercise plan-cache hits under load
+	type outcome struct {
+		key  string
+		rows string
+		err  error
+	}
+	results := make(chan outcome, rounds*len(workload))
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for _, w := range workload {
+			wg.Add(1)
+			go func(query, variant string) {
+				defer wg.Done()
+				key := query + "/" + variant
+				body, _ := json.Marshal(Request{Query: query, Variant: variant})
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					results <- outcome{key: key, err: err}
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					results <- outcome{key: key, err: fmt.Errorf("status %d", resp.StatusCode)}
+					return
+				}
+				var out Response
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					results <- outcome{key: key, err: err}
+					return
+				}
+				var sb bytes.Buffer
+				for _, row := range out.Rows {
+					b, _ := json.Marshal(row)
+					sb.Write(b)
+					sb.WriteByte('\n')
+				}
+				results <- outcome{key: key, rows: sb.String()}
+			}(w.query, w.variant)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	for out := range results {
+		if out.err != nil {
+			t.Errorf("%s: %v", out.key, out.err)
+			continue
+		}
+		if out.rows != want[out.key] {
+			t.Errorf("%s: concurrent rows differ from sequential reference\ngot:\n%s\nwant:\n%s",
+				out.key, out.rows, want[out.key])
+		}
+	}
+
+	m := s.Metrics()
+	if m.Queries != rounds*int64(len(workload)) {
+		t.Errorf("queries = %d, want %d", m.Queries, rounds*len(workload))
+	}
+	if m.PlanCacheHits == 0 {
+		t.Errorf("no plan-cache hits across %d repeated rounds", rounds)
+	}
+	if m.VirtualSec <= 0 {
+		t.Errorf("shared virtual clock did not advance")
+	}
+}

@@ -1,0 +1,156 @@
+// Package server implements a long-running query service over one
+// simulated cluster, DFS, and catalog. Many queries execute
+// concurrently: each request gets its own core.Engine session whose
+// MapReduce jobs interleave with every other session's on the shared
+// cluster under the Fair scheduler. An admission controller bounds
+// in-flight work, a plan cache keyed by normalized query and
+// statistics epoch skips the optimizer (and pilot runs) for repeat
+// queries, and a cross-query statistics store reuses pilot-run results
+// across queries over the same leaf expressions, with epoch-based
+// invalidation when base tables change. cmd/dynod exposes the service
+// over HTTP/JSON.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dyno/internal/cluster"
+)
+
+// Idle-spin tuning for Gate.runUntil: how long to wait between polls
+// when the cluster has no events but the predicate is unsatisfied, and
+// how many consecutive idle polls to tolerate before declaring the
+// predicate unsatisfiable.
+const (
+	idleWait   = 200 * time.Microsecond
+	idleGiveUp = 5000 // ~1s of wall-clock idleness
+)
+
+// Gate serializes access to the one cluster.Sim shared by every
+// session. The simulator is single-threaded by design; the gate holds
+// a mutex across each submission, clock access, and event step, so
+// engine goroutines interleave at event granularity and the Fair
+// scheduler sees all sessions' jobs when it hands out slots.
+type Gate struct {
+	mu  sync.Mutex
+	sim *cluster.Sim
+}
+
+// NewGate wraps a simulator for shared use.
+func NewGate(sim *cluster.Sim) *Gate { return &Gate{sim: sim} }
+
+// Submit enqueues a job under the gate lock.
+func (g *Gate) Submit(j cluster.Job) *cluster.Submission {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sim.Submit(j)
+}
+
+// Now returns the shared virtual clock.
+func (g *Gate) Now() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sim.Now()
+}
+
+// Advance charges client-side work to the shared virtual clock.
+func (g *Gate) Advance(d float64) {
+	g.mu.Lock()
+	g.sim.Advance(d)
+	g.mu.Unlock()
+}
+
+// runUntil steps the simulator until pred() holds, releasing the lock
+// between events so concurrent sessions can submit and observe their
+// own jobs. Steps driven by one session execute events of all
+// sessions — whoever drives makes everyone progress.
+func (g *Gate) runUntil(ctx context.Context, pred func() bool) error {
+	idle := 0
+	for {
+		g.mu.Lock()
+		if pred() {
+			g.mu.Unlock()
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			g.mu.Unlock()
+			return err
+		}
+		stepped, _ := g.sim.Step()
+		g.mu.Unlock()
+		if stepped {
+			idle = 0
+			continue
+		}
+		// The cluster is idle but the predicate is unsatisfied. The
+		// awaited submission can only come from a session currently in
+		// client-side code (optimizing, merging statistics), so yield
+		// and retry — but give up if the cluster stays idle long enough
+		// that no session can still be working.
+		idle++
+		if idle > idleGiveUp {
+			return fmt.Errorf("server: cluster idle while session still waiting")
+		}
+		time.Sleep(idleWait)
+	}
+}
+
+// sessionGate binds one query session's cancellation context to the
+// shared gate and tracks the session's submissions, so that a
+// canceled or timed-out session releases the cluster resources it
+// still holds. It implements mapreduce.Gate.
+type sessionGate struct {
+	gate *Gate
+	ctx  context.Context
+
+	mu   sync.Mutex
+	subs []*cluster.Submission
+}
+
+func newSessionGate(g *Gate, ctx context.Context) *sessionGate {
+	return &sessionGate{gate: g, ctx: ctx}
+}
+
+// Submit implements mapreduce.Gate.
+func (s *sessionGate) Submit(j cluster.Job) *cluster.Submission {
+	sub := s.gate.Submit(j)
+	s.mu.Lock()
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
+	return sub
+}
+
+// Now implements mapreduce.Gate.
+func (s *sessionGate) Now() float64 { return s.gate.Now() }
+
+// Advance implements mapreduce.Gate.
+func (s *sessionGate) Advance(d float64) { s.gate.Advance(d) }
+
+// RunUntil implements mapreduce.Gate. On cancellation it abandons the
+// session's live jobs before returning.
+func (s *sessionGate) RunUntil(pred func() bool) error {
+	err := s.gate.runUntil(s.ctx, pred)
+	if err != nil && s.ctx.Err() != nil {
+		s.abandon(err)
+	}
+	return err
+}
+
+// abandon cancels every submission the session still has in flight:
+// queued tasks are dropped immediately; running attempts finish and
+// free their slots as other sessions step the simulator.
+func (s *sessionGate) abandon(cause error) {
+	s.mu.Lock()
+	subs := append([]*cluster.Submission(nil), s.subs...)
+	s.mu.Unlock()
+	s.gate.mu.Lock()
+	defer s.gate.mu.Unlock()
+	for _, sub := range subs {
+		if !sub.Done() {
+			sub.Cancel(fmt.Errorf("server: session canceled: %w", cause))
+		}
+	}
+}

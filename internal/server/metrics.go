@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// counters aggregates the service's monotonic counters.
+type counters struct {
+	queries  atomic.Int64 // completed successfully
+	errors   atomic.Int64 // failed for any reason
+	rejected atomic.Int64 // turned away by admission control
+	timeouts atomic.Int64 // canceled by the per-query timeout
+	canceled atomic.Int64 // canceled by the client
+
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+
+	statsReused atomic.Int64 // leaves whose statistics came from the shared store
+	pilotJobs   atomic.Int64 // pilot jobs actually executed
+}
+
+// latencySample keeps the last up-to-cap query latencies for
+// percentile estimation (a ring buffer; percentiles are over the
+// retained window).
+type latencySample struct {
+	mu  sync.Mutex
+	cap int
+	buf []float64 // milliseconds
+	idx int
+}
+
+func newLatencySample(cap int) *latencySample {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &latencySample{cap: cap}
+}
+
+func (l *latencySample) add(ms float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, ms)
+		return
+	}
+	l.buf[l.idx] = ms
+	l.idx = (l.idx + 1) % l.cap
+}
+
+// percentile returns the p-th percentile (0..1) of the retained
+// window, or 0 when empty.
+func (l *latencySample) percentile(p float64) float64 {
+	l.mu.Lock()
+	sorted := append([]float64(nil), l.buf...)
+	l.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// MetricsSnapshot is the JSON shape of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSec float64 `json:"uptimeSec"`
+	Epoch     int64   `json:"epoch"`
+
+	Queries  int64 `json:"queries"`
+	Errors   int64 `json:"errors"`
+	Rejected int64 `json:"rejected"`
+	Timeouts int64 `json:"timeouts"`
+	Canceled int64 `json:"canceled"`
+	InFlight int   `json:"inFlight"`
+	Queued   int   `json:"queued"`
+
+	PlanCacheHits   int64 `json:"planCacheHits"`
+	PlanCacheMisses int64 `json:"planCacheMisses"`
+	PlanCacheSize   int   `json:"planCacheSize"`
+
+	StatsReusedLeaves int64 `json:"statsReusedLeaves"`
+	PilotJobs         int64 `json:"pilotJobs"`
+	StatsStoreLeaves  int   `json:"statsStoreLeaves"`
+
+	P50Millis float64 `json:"p50Millis"`
+	P95Millis float64 `json:"p95Millis"`
+
+	VirtualSec float64 `json:"virtualSec"` // shared cluster clock
+}

@@ -1,0 +1,432 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyno/internal/baselines"
+	"dyno/internal/cluster"
+	"dyno/internal/coord"
+	"dyno/internal/core"
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/jaql"
+	"dyno/internal/mapreduce"
+	"dyno/internal/optimizer"
+	"dyno/internal/plan"
+	"dyno/internal/sqlparse"
+	"dyno/internal/stats"
+	"dyno/internal/tpch"
+)
+
+// ErrOverloaded is returned when the admission queue is full.
+var ErrOverloaded = errors.New("server: overloaded, admission queue full")
+
+// Config sizes the service and its dataset.
+type Config struct {
+	// Dataset: TPC-H scale factor, row-count multiplier, and seed, as
+	// everywhere else in the repository.
+	SF    float64
+	Scale float64
+	Seed  int64
+
+	// Cluster overrides; zero keeps cluster.DefaultConfig (the paper's
+	// 14 workers). The scheduler is always Fair — the whole point of
+	// the service is sharing slots across concurrent queries.
+	Workers     int
+	Parallelism int
+
+	// Admission control: at most MaxInFlight queries execute at once;
+	// up to MaxQueue more wait; beyond that requests fail fast with
+	// ErrOverloaded. QueryTimeout is the per-query wall-clock budget
+	// (0 disables).
+	MaxInFlight  int
+	MaxQueue     int
+	QueryTimeout time.Duration
+
+	// Cache switches (both caches are on by default) and the plan
+	// cache's entry bound.
+	DisablePlanCache  bool
+	DisableStatsCache bool
+	PlanCacheSize     int
+}
+
+// DefaultConfig returns a service sized for interactive use on the
+// simulated cluster: a small dataset so queries answer in wall-clock
+// seconds, four concurrent queries, a short queue.
+func DefaultConfig() Config {
+	return Config{
+		SF:           10,
+		Scale:        0.05,
+		Seed:         2014,
+		MaxInFlight:  4,
+		MaxQueue:     16,
+		QueryTimeout: 2 * time.Minute,
+	}
+}
+
+func (c Config) normalized() Config {
+	if c.SF <= 0 {
+		c.SF = 10
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 2014
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	return c
+}
+
+// Request is one query for the service.
+type Request struct {
+	// SQL is the query text; alternatively Query names one of the
+	// TPC-H evaluation queries (Q2, Q7, Q8p, Q9p, Q10).
+	SQL   string `json:"sql,omitempty"`
+	Query string `json:"query,omitempty"`
+	// Variant selects the optimizer variant (default DYNOPT) and
+	// Strategy the leaf-job strategy (default UNC-1).
+	Variant  string `json:"variant,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	// MaxRows caps the rows returned (0 returns all).
+	MaxRows int `json:"maxRows,omitempty"`
+}
+
+// Response is the outcome of one query.
+type Response struct {
+	Query   string `json:"query,omitempty"`
+	Variant string `json:"variant"`
+
+	Rows      []data.Value `json:"rows"`
+	RowCount  int          `json:"rowCount"`
+	Truncated bool         `json:"truncated,omitempty"`
+
+	PlanCacheHit bool `json:"planCacheHit"`
+	StatsReused  int  `json:"statsReusedLeaves"`
+	PilotJobs    int  `json:"pilotJobs"`
+
+	Jobs        int     `json:"jobs"`
+	Iterations  int     `json:"iterations"`
+	VirtualSec  float64 `json:"virtualSec"`
+	PilotSec    float64 `json:"pilotSec"`
+	OptimizeSec float64 `json:"optimizeSec"`
+	WallMillis  float64 `json:"wallMillis"`
+
+	FinalPlan string   `json:"finalPlan,omitempty"`
+	Warnings  []string `json:"warnings,omitempty"`
+}
+
+// Server is the query service. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+
+	fs     *dfs.FS
+	sim    *cluster.Sim
+	gate   *Gate
+	coord  *coord.Service
+	reg    *expr.Registry
+	cat    *jaql.Catalog
+	optCfg optimizer.Config
+
+	sem     chan struct{} // in-flight slots
+	waiting atomic.Int64  // queued + executing requests
+	seq     atomic.Int64  // session tags
+
+	mu    sync.Mutex // guards epoch/store swaps
+	epoch int64
+	store *stats.Store
+	plans *planCache
+
+	met   counters
+	lat   *latencySample
+	start time.Time
+}
+
+// New builds a service: it generates the TPC-H dataset once and owns
+// the simulated cluster, DFS, catalog, and caches for its lifetime.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.normalized()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Scheduler = cluster.Fair
+	ccfg.RetireDoneJobs = true
+	if cfg.Workers > 0 {
+		ccfg.Workers = cfg.Workers
+	}
+	if cfg.Parallelism > 0 {
+		ccfg.Parallelism = cfg.Parallelism
+	}
+	fs := dfs.New(dfs.WithNodes(ccfg.Workers))
+	cat, err := tpch.Generate(fs, tpch.Config{SF: cfg.SF, Scale: cfg.Scale, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("server: generate dataset: %w", err)
+	}
+	reg := expr.NewRegistry()
+	tpch.RegisterUDFs(reg, tpch.DefaultUDFParams())
+	sim := cluster.New(ccfg)
+	return &Server{
+		cfg:    cfg,
+		fs:     fs,
+		sim:    sim,
+		gate:   NewGate(sim),
+		coord:  coord.NewService(),
+		reg:    reg,
+		cat:    cat,
+		optCfg: optimizer.DefaultConfig(float64(ccfg.SlotMemory)),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		store:  stats.NewStore(),
+		plans:  newPlanCache(cfg.PlanCacheSize),
+		lat:    newLatencySample(0),
+		start:  time.Now(),
+	}, nil
+}
+
+// Config returns the normalized configuration the server runs with.
+func (s *Server) Config() Config { return s.cfg }
+
+// Execute admits, runs, and accounts one query.
+func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
+	if n := s.waiting.Add(1); n > int64(s.cfg.MaxInFlight+s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		s.met.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.met.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+
+	qctx := ctx
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	resp, err := s.run(qctx, req)
+	wall := time.Since(start)
+	if err != nil {
+		s.met.errors.Add(1)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.timeouts.Add(1)
+		case errors.Is(err, context.Canceled):
+			s.met.canceled.Add(1)
+		}
+		return nil, err
+	}
+	resp.WallMillis = float64(wall.Microseconds()) / 1000
+	s.met.queries.Add(1)
+	s.lat.add(resp.WallMillis)
+	return resp, nil
+}
+
+// run executes one admitted query in its own engine session.
+func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
+	sql := req.SQL
+	if sql == "" {
+		if req.Query == "" {
+			return nil, fmt.Errorf("server: request needs sql or query")
+		}
+		var err error
+		sql, err = tpch.QuerySQL(req.Query)
+		if err != nil {
+			return nil, fmt.Errorf("server: unknown query %q (valid: %s)",
+				req.Query, strings.Join(tpch.QueryNames, ", "))
+		}
+	}
+	variant := baselines.VariantDynOpt
+	if req.Variant != "" {
+		var err error
+		variant, err = baselines.ParseVariant(req.Variant)
+		if err != nil {
+			return nil, err
+		}
+	}
+	strategyName := req.Strategy
+	if strategyName == "" {
+		strategyName = "UNC-1"
+	}
+	strat, err := core.ParseStrategy(strategyName)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := sqlparse.Normalize(sql)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	epoch, store := s.epoch, s.store
+	s.mu.Unlock()
+	key := fmt.Sprintf("e%d|%s|%s|%s", epoch, variant, strategyName, norm)
+	var cached plan.Node
+	if !s.cfg.DisablePlanCache {
+		cached = s.plans.get(key)
+	}
+
+	tag := fmt.Sprintf("s%d-", s.seq.Add(1))
+	env := &mapreduce.Env{
+		FS:    s.fs,
+		Sim:   s.sim,
+		Coord: s.coord,
+		Reg:   s.reg,
+		Gate:  newSessionGate(s.gate, ctx),
+	}
+
+	opts := core.DefaultOptions()
+	opts.K = 256
+	opts.KMVSize = 512
+	opts.Tag = tag
+	opts.Strategy = strat
+
+	var eng *core.Engine
+	planHit := cached != nil
+	if planHit {
+		// Plan-cache hit: re-execute the cached physical plan
+		// statically. No pilot runs, no optimizer call — the entire
+		// planning phase is skipped.
+		opts.DisablePilotRuns = true
+		opts.Reoptimize = false
+		opts.CollectOnlineStats = false
+		opts.Strategy = core.All{}
+		opts.OptTimePerExpr = 0
+		root := cached
+		opts.Planner = func(*plan.JoinBlock, optimizer.Config) (plan.Node, int, error) {
+			return root, 0, nil
+		}
+		eng = core.NewEngine(env, s.cat, s.optCfg, opts)
+	} else {
+		opts.ReuseStats = !s.cfg.DisableStatsCache
+		eng, err = baselines.NewEngine(variant, env, s.cat, s.optCfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !s.cfg.DisableStatsCache {
+			// Share the cross-query statistics store: pilot results
+			// land in it and later queries over the same leaf
+			// expressions skip their pilots.
+			eng.Store = store
+		}
+	}
+
+	res, execErr := eng.ExecuteSQLContext(ctx, sql)
+	s.cleanupSession(tag)
+	if execErr != nil {
+		return nil, execErr
+	}
+
+	if planHit {
+		s.met.planHits.Add(1)
+	} else {
+		if !s.cfg.DisablePlanCache {
+			s.plans.put(key, res.PlanRoot)
+		}
+		s.met.planMisses.Add(1)
+	}
+
+	resp := &Response{
+		Query:        req.Query,
+		Variant:      string(variant),
+		RowCount:     len(res.Rows),
+		PlanCacheHit: planHit,
+		Jobs:         res.Jobs,
+		Iterations:   res.Iterations,
+		VirtualSec:   res.TotalSec,
+		PilotSec:     res.PilotSec,
+		OptimizeSec:  res.OptimizeSec,
+		FinalPlan:    res.FinalPlan,
+		Warnings:     res.Warnings,
+	}
+	if res.Pilot != nil {
+		resp.StatsReused = res.Pilot.Reused
+		resp.PilotJobs = res.Pilot.Jobs
+		s.met.statsReused.Add(int64(res.Pilot.Reused))
+		s.met.pilotJobs.Add(int64(res.Pilot.Jobs))
+	}
+	resp.Rows = res.Rows
+	if req.MaxRows > 0 && len(res.Rows) > req.MaxRows {
+		resp.Rows = res.Rows[:req.MaxRows]
+		resp.Truncated = true
+	}
+	return resp, nil
+}
+
+// cleanupSession removes the session's scratch DFS files (tmp/ and
+// pilot/ trees under its tag). Result rows were already copied out.
+func (s *Server) cleanupSession(tag string) {
+	for _, name := range s.fs.List() {
+		if strings.HasPrefix(name, "tmp/"+tag) || strings.HasPrefix(name, "pilot/"+tag) {
+			_ = s.fs.Remove(name)
+		}
+	}
+}
+
+// Invalidate bumps the statistics epoch: the shared statistics store
+// is replaced and the plan cache cleared, so the next queries re-run
+// pilots against the current base tables. Call it after changing base
+// data. Returns the new epoch.
+func (s *Server) Invalidate() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	s.store = stats.NewStore()
+	s.plans.clear()
+	return s.epoch
+}
+
+// Epoch returns the current statistics epoch.
+func (s *Server) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Metrics snapshots the service counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	epoch, store := s.epoch, s.store
+	s.mu.Unlock()
+	inFlight := len(s.sem)
+	queued := int(s.waiting.Load()) - inFlight
+	if queued < 0 {
+		queued = 0
+	}
+	return MetricsSnapshot{
+		UptimeSec:         time.Since(s.start).Seconds(),
+		Epoch:             epoch,
+		Queries:           s.met.queries.Load(),
+		Errors:            s.met.errors.Load(),
+		Rejected:          s.met.rejected.Load(),
+		Timeouts:          s.met.timeouts.Load(),
+		Canceled:          s.met.canceled.Load(),
+		InFlight:          inFlight,
+		Queued:            queued,
+		PlanCacheHits:     s.met.planHits.Load(),
+		PlanCacheMisses:   s.met.planMisses.Load(),
+		PlanCacheSize:     s.plans.size(),
+		StatsReusedLeaves: s.met.statsReused.Load(),
+		PilotJobs:         s.met.pilotJobs.Load(),
+		StatsStoreLeaves:  store.Len(),
+		P50Millis:         s.lat.percentile(0.50),
+		P95Millis:         s.lat.percentile(0.95),
+		VirtualSec:        s.gate.Now(),
+	}
+}

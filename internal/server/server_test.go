@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dyno/internal/data"
+	"dyno/internal/tpch"
+)
+
+// testConfig is small enough that a query answers in well under a
+// second of wall clock.
+func testConfig() Config {
+	return Config{SF: 10, Scale: 0.05, Seed: 2014, MaxInFlight: 4, MaxQueue: 16}
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := testConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// rowsKey renders a result canonically: data.Value marshals with
+// sorted fields, so equal results produce equal strings.
+func rowsKey(t *testing.T, rows []data.Value) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, r := range rows {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestPlanCacheHitSkipsOptimization(t *testing.T) {
+	s := newTestServer(t, nil)
+	ctx := context.Background()
+
+	r1, err := s.Execute(ctx, Request{Query: "Q8p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PlanCacheHit {
+		t.Fatal("first execution must miss the plan cache")
+	}
+	if r1.PilotJobs == 0 {
+		t.Fatal("first execution should run pilots")
+	}
+	if r1.OptimizeSec <= 0 {
+		t.Fatal("first execution should spend optimizer time")
+	}
+
+	// Same query, different whitespace and keyword case (literals and
+	// identifiers untouched): normalization must still hit.
+	sql, _ := tpch.QuerySQL("Q8p")
+	mangled := "  select" + strings.TrimPrefix(
+		strings.ReplaceAll(strings.TrimSpace(sql), "\n", " \n\t "), "SELECT") + " "
+	r2, err := s.Execute(ctx, Request{SQL: mangled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.PlanCacheHit {
+		t.Fatal("second execution must hit the plan cache")
+	}
+	if r2.PilotJobs != 0 {
+		t.Fatalf("plan-cache hit ran %d pilot jobs", r2.PilotJobs)
+	}
+	if r2.OptimizeSec != 0 {
+		t.Fatalf("plan-cache hit spent %vs optimizing", r2.OptimizeSec)
+	}
+	if got, want := rowsKey(t, r2.Rows), rowsKey(t, r1.Rows); got != want {
+		t.Fatalf("cached-plan rows differ:\n%s\nvs\n%s", got, want)
+	}
+
+	m := s.Metrics()
+	if m.PlanCacheHits != 1 || m.PlanCacheMisses != 1 {
+		t.Errorf("metrics hits=%d misses=%d, want 1/1", m.PlanCacheHits, m.PlanCacheMisses)
+	}
+	if m.PlanCacheSize != 1 {
+		t.Errorf("plan cache size = %d, want 1", m.PlanCacheSize)
+	}
+}
+
+func TestPlanCacheKeyedByVariantAndStrategy(t *testing.T) {
+	s := newTestServer(t, nil)
+	ctx := context.Background()
+	if _, err := s.Execute(ctx, Request{Query: "Q8p", Variant: "DYNOPT"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Execute(ctx, Request{Query: "Q8p", Variant: "BESTSTATIC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlanCacheHit {
+		t.Fatal("different variant must not hit the DYNOPT entry")
+	}
+}
+
+func TestStatsCacheReusesPilotResults(t *testing.T) {
+	// Disable the plan cache so the second execution optimizes again
+	// and exercises only statistics reuse.
+	s := newTestServer(t, func(c *Config) { c.DisablePlanCache = true })
+	ctx := context.Background()
+
+	r1, err := s.Execute(ctx, Request{Query: "Q8p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PilotJobs == 0 || r1.StatsReused != 0 {
+		t.Fatalf("first run: pilots=%d reused=%d", r1.PilotJobs, r1.StatsReused)
+	}
+
+	r2, err := s.Execute(ctx, Request{Query: "Q8p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.PlanCacheHit {
+		t.Fatal("plan cache is disabled")
+	}
+	if r2.PilotJobs != 0 {
+		t.Fatalf("second run executed %d pilot jobs despite cached statistics", r2.PilotJobs)
+	}
+	if r2.StatsReused == 0 {
+		t.Fatal("second run reused no leaf statistics")
+	}
+	if got, want := rowsKey(t, r2.Rows), rowsKey(t, r1.Rows); got != want {
+		t.Fatalf("rows differ across statistics reuse:\n%s\nvs\n%s", got, want)
+	}
+
+	m := s.Metrics()
+	if m.StatsReusedLeaves == 0 || m.StatsStoreLeaves == 0 {
+		t.Errorf("metrics: reused=%d storeLeaves=%d", m.StatsReusedLeaves, m.StatsStoreLeaves)
+	}
+}
+
+func TestInvalidateForcesFreshStatistics(t *testing.T) {
+	s := newTestServer(t, nil)
+	ctx := context.Background()
+	if _, err := s.Execute(ctx, Request{Query: "Q8p"}); err != nil {
+		t.Fatal(err)
+	}
+	if e := s.Invalidate(); e != 1 {
+		t.Fatalf("epoch after invalidate = %d, want 1", e)
+	}
+	r, err := s.Execute(ctx, Request{Query: "Q8p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlanCacheHit {
+		t.Fatal("invalidate must clear the plan cache")
+	}
+	if r.PilotJobs == 0 || r.StatsReused != 0 {
+		t.Fatalf("post-invalidate run: pilots=%d reused=%d, want fresh pilots", r.PilotJobs, r.StatsReused)
+	}
+}
+
+func TestAdmissionRejectsWhenQueueFull(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxInFlight = 1; c.MaxQueue = 1 })
+	// Simulate one executing and one queued request.
+	s.waiting.Add(2)
+	s.sem <- struct{}{}
+	defer func() { s.waiting.Add(-2); <-s.sem }()
+
+	_, err := s.Execute(context.Background(), Request{Query: "Q8p"})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if s.Metrics().Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", s.Metrics().Rejected)
+	}
+}
+
+func TestQueuedRequestHonorsCancellation(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxInFlight = 1; c.MaxQueue = 4 })
+	s.waiting.Add(1)
+	s.sem <- struct{}{} // occupy the only slot
+	defer func() { s.waiting.Add(-1); <-s.sem }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	_, err := s.Execute(ctx, Request{Query: "Q8p"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Metrics().Canceled != 1 {
+		t.Errorf("canceled counter = %d, want 1", s.Metrics().Canceled)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.QueryTimeout = time.Nanosecond })
+	_, err := s.Execute(context.Background(), Request{Query: "Q8p"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	m := s.Metrics()
+	if m.Timeouts != 1 || m.Errors != 1 {
+		t.Errorf("timeouts=%d errors=%d, want 1/1", m.Timeouts, m.Errors)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, nil)
+	ctx := context.Background()
+	cases := []Request{
+		{},                                 // neither sql nor query
+		{Query: "Q99"},                     // unknown named query
+		{Query: "Q8p", Variant: "WRONG"},   // unknown variant
+		{Query: "Q8p", Strategy: "UNC-9"},  // unknown strategy
+		{SQL: "SELECT FROM WHERE 'broken"}, // lexer error
+	}
+	for i, req := range cases {
+		if _, err := s.Execute(ctx, req); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSessionScratchIsCleanedUp(t *testing.T) {
+	s := newTestServer(t, nil)
+	if _, err := s.Execute(context.Background(), Request{Query: "Q8p"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.fs.List() {
+		if strings.HasPrefix(name, "tmp/") || strings.HasPrefix(name, "pilot/") {
+			t.Errorf("scratch file %q survived the session", name)
+		}
+	}
+}
+
+func TestMaxRowsTruncation(t *testing.T) {
+	s := newTestServer(t, nil)
+	r, err := s.Execute(context.Background(), Request{Query: "Q8p", MaxRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RowCount <= 1 {
+		t.Skipf("Q8p returned %d rows at this scale", r.RowCount)
+	}
+	if len(r.Rows) != 1 || !r.Truncated {
+		t.Errorf("rows=%d truncated=%v, want 1/true", len(r.Rows), r.Truncated)
+	}
+}
