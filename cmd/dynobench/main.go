@@ -8,6 +8,8 @@
 //	dynobench -exp fig7 -scale 0.25
 //	dynobench -exp table1,fig6 -seed 2014
 //	dynobench -parbench BENCH_parallel.json
+//	dynobench -hotpath BENCH_hotpath.json
+//	dynobench -exp fig7 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -15,12 +17,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dyno/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, all (comma-separated)")
 		scale      = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
@@ -31,34 +39,88 @@ func main() {
 		svcQueries = flag.Int("service-queries", 3, "queries per client for the service experiment")
 		parbench   = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
 		repeats    = flag.Int("parbench-repeats", 3, "runs per mode for -parbench; the best time is kept")
+		hotpath    = flag.String("hotpath", "", "measure compiled fast path vs legacy wall-clock time and write a JSON report to this file (skips -exp)")
+		hotRepeats = flag.Int("hotpath-repeats", 3, "runs per arm for -hotpath; the best time is kept")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 
+	if *hotpath != "" {
+		rep, err := experiments.HotpathBench(cfg, *hotRepeats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: hotpath: %v\n", err)
+			return 1
+		}
+		if err := writeJSON(*hotpath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: hotpath: %v\n", err)
+			return 1
+		}
+		fmt.Printf("hotpath bench (GOMAXPROCS=%d) written to %s\n", rep.GOMAXPROCS, *hotpath)
+		for _, e := range rep.Entries {
+			fmt.Printf("  %-18s fast %.3fs  legacy %.3fs  speedup %.2fx\n",
+				e.Name, e.FastSec, e.LegacySec, e.Speedup)
+		}
+		return 0
+	}
+
 	if *parbench != "" {
+		if runtime.GOMAXPROCS(0) == 1 {
+			fmt.Fprintln(os.Stderr, "dynobench: warning: GOMAXPROCS=1 — the parallel arm has no extra cores; entries will be marked single_core and speedups are noise")
+		}
 		rep, err := experiments.ParallelBench(cfg, *repeats)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dynobench: parbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		blob, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
+		if err := writeJSON(*parbench, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "dynobench: parbench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*parbench, append(blob, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "dynobench: parbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("parallel bench (GOMAXPROCS=%d) written to %s\n", rep.GOMAXPROCS, *parbench)
 		for _, e := range rep.Entries {
-			fmt.Printf("  %-18s serial %.3fs  parallel %.3fs  speedup %.2fx\n",
-				e.Name, e.SerialSec, e.ParallelSec, e.Speedup)
+			note := ""
+			if e.SingleCore {
+				note = "  [single-core: speedup is noise]"
+			}
+			fmt.Printf("  %-18s serial %.3fs  parallel %.3fs  speedup %.2fx%s\n",
+				e.Name, e.SerialSec, e.ParallelSec, e.Speedup, note)
 		}
-		return
+		return 0
 	}
 
 	type tableExp struct {
@@ -89,7 +151,7 @@ func main() {
 		rep, err := experiments.ServiceBench(cfg, *svcClients, *svcQueries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dynobench: service: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("query service: %d clients x %d queries in %.2fs wall (%.1f q/s)\n",
 			rep.Clients, rep.QueriesPerClient, rep.WallSec, rep.QPS)
@@ -99,14 +161,9 @@ func main() {
 			rep.PlanCacheHits, rep.PlanCacheMisses, 100*rep.PlanHitRate,
 			rep.StatsReusedLeaves, rep.PilotJobs, 100*rep.StatsReuseRate)
 		if *serviceOut != "" {
-			blob, err := json.MarshalIndent(rep, "", "  ")
-			if err != nil {
+			if err := writeJSON(*serviceOut, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "dynobench: service: %v\n", err)
-				os.Exit(1)
-			}
-			if err := os.WriteFile(*serviceOut, append(blob, '\n'), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "dynobench: service: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("service report written to %s\n\n", *serviceOut)
 		}
@@ -116,7 +173,7 @@ func main() {
 		ts, err := experiments.Ablations(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dynobench: ablations: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, t := range ts {
 			fmt.Println(t)
@@ -127,18 +184,13 @@ func main() {
 		points, err := experiments.MeasureFaults(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dynobench: faults: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(experiments.FaultsTable(points))
 		if *faultsOut != "" {
-			blob, err := json.MarshalIndent(points, "", "  ")
-			if err != nil {
+			if err := writeJSON(*faultsOut, points); err != nil {
 				fmt.Fprintf(os.Stderr, "dynobench: faults: %v\n", err)
-				os.Exit(1)
-			}
-			if err := os.WriteFile(*faultsOut, append(blob, '\n'), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "dynobench: faults: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("faults sweep points written to %s\n\n", *faultsOut)
 		}
@@ -151,7 +203,7 @@ func main() {
 		t, err := te.run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dynobench: %s: %v\n", te.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(t)
 		ran++
@@ -163,13 +215,24 @@ func main() {
 		ev, err := run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dynobench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%s (%s plan evolution)\n%s\n", strings.ToUpper(name), ev.Query, ev)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "dynobench: nothing matched -exp=%s\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+// writeJSON marshals v with indentation and writes it to path with a
+// trailing newline.
+func writeJSON(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }

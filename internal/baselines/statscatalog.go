@@ -290,7 +290,7 @@ func (sc *StatsCatalog) OracleStats(block *plan.JoinBlock, reg *expr.Registry) e
 		ectx := &expr.Ctx{Reg: reg}
 		for _, rec := range f.AllRecords() {
 			col.ObserveInput()
-			row := data.Object(data.Field{Name: rel.Leaf.Alias, Value: rec})
+			row := data.ObjectFromSorted([]data.Field{{Name: rel.Leaf.Alias, Value: rec}})
 			if rel.Leaf.Pred != nil && !rel.Leaf.Pred.Eval(ectx, row).Truthy() {
 				continue
 			}

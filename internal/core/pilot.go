@@ -201,7 +201,7 @@ func (e *Engine) submitPilot(rel *plan.Rel, queryName string, block *plan.JoinBl
 		Output: fmt.Sprintf("pilot/%s/%s", queryName, leaf.Alias),
 		Inputs: []mapreduce.Input{{
 			File: rel.File,
-			Map:  pilotMap(leaf),
+			Map:  pilotMap(leaf, rel.File, !e.Env.DisableFastPath),
 		}},
 		CollectStats:         statsPaths,
 		KMVSize:              e.Options.KMVSize,
@@ -220,10 +220,33 @@ func (e *Engine) submitPilot(rel *plan.Rel, queryName string, block *plan.JoinBl
 }
 
 // pilotMap wraps and filters base records: the leaf expression lexp_R.
-func pilotMap(leaf *plan.Leaf) mapreduce.MapFunc {
+// With the fast path on, the predicate is compiled once per job; when
+// all its columns are rooted at the leaf alias it is additionally
+// alias-stripped and evaluated on the raw record first, so filtered-out
+// records never allocate the alias-wrap object (emitted rows are
+// identical either way — see expr.StripAlias).
+func pilotMap(leaf *plan.Leaf, f *dfs.File, fast bool) mapreduce.MapFunc {
+	alias := leaf.Alias
+	pred := leaf.Pred
+	if fast && pred != nil {
+		if stripped, ok := expr.StripAlias(pred, alias); ok {
+			if rec, okr := f.FirstRecord(); okr {
+				stripped = expr.Compile(stripped, rec)
+			}
+			return func(mc *mapreduce.MapCtx, rec data.Value) {
+				if !stripped.Eval(mc.ExprCtx(), rec).Truthy() {
+					return
+				}
+				mc.Emit(data.ObjectFromSorted([]data.Field{{Name: alias, Value: rec}}))
+			}
+		}
+		if rec, okr := f.FirstRecord(); okr {
+			pred = expr.Compile(pred, data.Object(data.Field{Name: alias, Value: rec}))
+		}
+	}
 	return func(mc *mapreduce.MapCtx, rec data.Value) {
-		row := data.Object(data.Field{Name: leaf.Alias, Value: rec})
-		if leaf.Pred != nil && !leaf.Pred.Eval(mc.ExprCtx(), row).Truthy() {
+		row := data.ObjectFromSorted([]data.Field{{Name: alias, Value: rec}})
+		if pred != nil && !pred.Eval(mc.ExprCtx(), row).Truthy() {
 			return
 		}
 		mc.Emit(row)

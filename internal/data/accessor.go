@@ -1,0 +1,93 @@
+package data
+
+// Accessor is a Path compiled against a sample record into positional
+// field hints. Jobs compile their paths once (per job, not per record)
+// and evaluate them with a single string equality check per step — the
+// hinted position is verified against the actual field name, so records
+// that deviate from the sample layout (heterogeneous inputs, missing
+// fields) transparently fall back to the ordinary name lookup and the
+// result is always identical to Path.Eval.
+//
+// Accessors are immutable after CompileAccessor and safe for concurrent
+// use by parallel tasks of the same job.
+type Accessor struct {
+	path  Path
+	steps []accStep
+}
+
+type accStep struct {
+	step Step
+	hint int // field position observed in the sample; -1 if unknown
+}
+
+// CompileAccessor resolves p against a sample record, remembering the
+// position of each field step. A null or mismatching sample simply
+// yields no hints; evaluation still works via the fallback lookup.
+func CompileAccessor(p Path, sample Value) *Accessor {
+	a := &Accessor{path: p, steps: make([]accStep, len(p))}
+	cur := sample
+	valid := true
+	for i, st := range p {
+		a.steps[i] = accStep{step: st, hint: -1}
+		if !valid {
+			continue
+		}
+		if st.IsIndex {
+			cur = cur.Index(st.Index)
+		} else if j := cur.fieldIndex(st.Name); j >= 0 {
+			a.steps[i].hint = j
+			cur = cur.fields[j].Value
+		} else {
+			valid = false
+			continue
+		}
+		if cur.IsNull() {
+			valid = false
+		}
+	}
+	return a
+}
+
+// Path returns the source path the accessor was compiled from.
+func (a *Accessor) Path() Path { return a.path }
+
+// Eval resolves the compiled path against a value with the same
+// missing-data semantics as Path.Eval: absent fields and out-of-range
+// indexes yield null. The walk follows pointers into the value tree and
+// copies only the final result, so intermediate objects are never
+// copied (Value is a large struct; per-step copies dominate the
+// interpreted Path.Eval cost).
+func (a *Accessor) Eval(v Value) Value {
+	cur := &v
+	for i := range a.steps {
+		st := &a.steps[i]
+		if st.step.IsIndex {
+			if cur.kind != KindArray || st.step.Index < 0 || st.step.Index >= len(cur.arr) {
+				return Value{}
+			}
+			cur = &cur.arr[st.step.Index]
+		} else {
+			fs := cur.fields
+			if h := st.hint; h >= 0 && h < len(fs) && fs[h].Name == st.step.Name {
+				cur = &fs[h].Value
+			} else if j := fieldIndexIn(fs, st.step.Name); j >= 0 {
+				cur = &fs[j].Value
+			} else {
+				return Value{}
+			}
+		}
+		if cur.kind == KindNull {
+			return Value{}
+		}
+	}
+	return *cur
+}
+
+// CompileAccessors compiles a set of paths against one sample record.
+func CompileAccessors(paths []Path, sample Value) []*Accessor {
+	out := make([]*Accessor, len(paths))
+	for i, p := range paths {
+		out[i] = CompileAccessor(p, sample)
+	}
+	return out
+}

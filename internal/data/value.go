@@ -61,11 +61,16 @@ type Field struct {
 }
 
 // Value is an immutable semistructured datum. The zero Value is null.
+//
+// enc caches the JSON-lines EncodedSize, computed once at construction
+// from the (already cached) sizes of the children, so size accounting on
+// the engine's hot paths is O(1) instead of re-walking the value tree.
 type Value struct {
 	kind   Kind
 	b      bool
 	i      int64
 	f      float64
+	enc    int64
 	s      string
 	arr    []Value
 	fields []Field // sorted by Name
@@ -75,26 +80,87 @@ type Value struct {
 func Null() Value { return Value{} }
 
 // Bool returns a boolean value.
-func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+func Bool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, b: true, enc: 4}
+	}
+	return Value{kind: KindBool, enc: 5}
+}
 
 // Int returns an integer value.
-func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+func Int(i int64) Value { return Value{kind: KindInt, i: i, enc: intEncLen(i)} }
 
 // Double returns a floating-point value.
-func Double(f float64) Value { return Value{kind: KindDouble, f: f} }
+func Double(f float64) Value {
+	var buf [32]byte
+	return Value{kind: KindDouble, f: f, enc: int64(len(strconv.AppendFloat(buf[:0], f, 'g', -1, 64)))}
+}
 
 // String returns a string value.
-func String(s string) Value { return Value{kind: KindString, s: s} }
+func String(s string) Value { return Value{kind: KindString, s: s, enc: int64(len(s)) + 2} }
 
 // Array returns an array value holding the given elements. The slice is
 // retained; callers must not mutate it afterwards.
-func Array(elems ...Value) Value { return Value{kind: KindArray, arr: elems} }
+func Array(elems ...Value) Value {
+	var n int64 = 2
+	for i := range elems {
+		if i > 0 {
+			n++
+		}
+		n += elems[i].EncodedSize()
+	}
+	return Value{kind: KindArray, arr: elems, enc: n}
+}
+
+// intEncLen returns the decimal encoding length of an integer without
+// formatting it.
+func intEncLen(i int64) int64 {
+	var n int64
+	u := uint64(i)
+	if i < 0 {
+		n = 1
+		u = uint64(-i) // math.MinInt64 wraps to its own magnitude, which is correct here
+	}
+	for {
+		n++
+		u /= 10
+		if u == 0 {
+			return n
+		}
+	}
+}
+
+// objectFromSorted wraps fields that are already sorted by name and
+// duplicate-free. The slice is retained.
+func objectFromSorted(fs []Field) Value {
+	var n int64 = 2
+	for i := range fs {
+		if i > 0 {
+			n++
+		}
+		n += int64(len(fs[i].Name)) + 3 + fs[i].Value.EncodedSize()
+	}
+	return Value{kind: KindObject, fields: fs, enc: n}
+}
 
 // Object returns an object value from the given fields. Fields are sorted
 // by name; a duplicate name keeps the last occurrence.
 func Object(fields ...Field) Value {
 	fs := make([]Field, len(fields))
 	copy(fs, fields)
+	// Most construction sites already supply fields in sorted order
+	// (single-field alias wraps, rebuilds of existing objects); detect
+	// that in one pass and skip the sort + dedup entirely.
+	sorted := true
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].Name >= fs[i].Name {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return objectFromSorted(fs)
+	}
 	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
 	// Deduplicate, keeping the last write for each name.
 	out := fs[:0]
@@ -105,8 +171,17 @@ func Object(fields ...Field) Value {
 			out = append(out, fs[i])
 		}
 	}
-	return Value{kind: KindObject, fields: out}
+	return objectFromSorted(out)
 }
+
+// ObjectFromSorted returns an object value over fields that are
+// already sorted by name and duplicate-free, retaining the slice
+// without copying it. Callers must not mutate the slice afterwards and
+// must guarantee the ordering invariant — it is what makes encoding,
+// comparison, and hashing deterministic. Row transforms that filter an
+// existing object's fields (which are sorted by construction) use this
+// to skip Object's defensive copy on per-record paths.
+func ObjectFromSorted(fs []Field) Value { return objectFromSorted(fs) }
 
 // ObjectFromMap builds an object value from a map.
 func ObjectFromMap(m map[string]Value) Value {
@@ -193,13 +268,47 @@ func (v Value) Elems() []Value {
 	return v.arr
 }
 
+// fieldIndex returns the position of the named field, or -1. Rows are
+// shallow objects (a handful of aliases, each wrapping a table-width
+// record), so a linear scan with sorted-order early exit beats binary
+// search up to a few dozen fields; wider objects use an inlined binary
+// search, avoiding the closure calls of sort.Search on the Eval hot
+// path.
+func (v Value) fieldIndex(name string) int { return fieldIndexIn(v.fields, name) }
+
+func fieldIndexIn(fs []Field, name string) int {
+	if len(fs) <= 24 {
+		for i := range fs {
+			if fs[i].Name >= name {
+				if fs[i].Name == name {
+					return i
+				}
+				return -1
+			}
+		}
+		return -1
+	}
+	lo, hi := 0, len(fs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if fs[mid].Name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(fs) && fs[lo].Name == name {
+		return lo
+	}
+	return -1
+}
+
 // Field returns the named object field and whether it exists.
 func (v Value) Field(name string) (Value, bool) {
 	if v.kind != KindObject {
 		return Null(), false
 	}
-	i := sort.Search(len(v.fields), func(i int) bool { return v.fields[i].Name >= name })
-	if i < len(v.fields) && v.fields[i].Name == name {
+	if i := v.fieldIndex(name); i >= 0 {
 		return v.fields[i].Value, true
 	}
 	return Null(), false
@@ -234,11 +343,32 @@ func (v Value) With(name string, val Value) Value {
 
 // MergeObjects returns an object containing the fields of a and b.
 // On a name clash b wins. Non-object inputs contribute nothing.
+// Both inputs keep their fields sorted, so the merge is a single linear
+// pass — no re-sort, the dominant cost of every join's output row.
 func MergeObjects(a, b Value) Value {
-	fs := make([]Field, 0, a.Len()+b.Len())
-	fs = append(fs, a.Fields()...)
-	fs = append(fs, b.Fields()...)
-	return Object(fs...)
+	af, bf := a.Fields(), b.Fields()
+	if len(af) == 0 && len(bf) == 0 {
+		return objectFromSorted(nil)
+	}
+	fs := make([]Field, 0, len(af)+len(bf))
+	i, j := 0, 0
+	for i < len(af) && j < len(bf) {
+		switch {
+		case af[i].Name < bf[j].Name:
+			fs = append(fs, af[i])
+			i++
+		case af[i].Name > bf[j].Name:
+			fs = append(fs, bf[j])
+			j++
+		default: // clash: b wins
+			fs = append(fs, bf[j])
+			i++
+			j++
+		}
+	}
+	fs = append(fs, af[i:]...)
+	fs = append(fs, bf[j:]...)
+	return objectFromSorted(fs)
 }
 
 // Compare totally orders two values: first by kind class (numbers compare
@@ -378,15 +508,15 @@ func hashValue(h uint64, v Value) uint64 {
 		return hashString(hashByte(h, 3), v.s)
 	case KindArray:
 		h = hashByte(h, 4)
-		for _, e := range v.arr {
-			h = hashValue(h, e)
+		for i := range v.arr {
+			h = hashValue(h, v.arr[i])
 		}
 		return h
 	case KindObject:
 		h = hashByte(h, 5)
-		for _, f := range v.fields {
-			h = hashString(h, f.Name)
-			h = hashValue(h, f.Value)
+		for i := range v.fields {
+			h = hashString(h, v.fields[i].Name)
+			h = hashValue(h, v.fields[i].Value)
 		}
 		return h
 	}
@@ -395,8 +525,17 @@ func hashValue(h uint64, v Value) uint64 {
 
 // EncodedSize estimates the on-disk size of the value in bytes, matching
 // the JSON-lines encoding used by the simulated DFS. The simulator and
-// the optimizer's cost model both consume this estimate.
+// the optimizer's cost model both consume this estimate. The size is
+// cached at construction, so calls are O(1); the walk below only runs
+// for null (the zero Value carries no cache).
 func (v Value) EncodedSize() int64 {
+	if v.enc > 0 {
+		return v.enc
+	}
+	return v.encodedSizeSlow()
+}
+
+func (v Value) encodedSizeSlow() int64 {
 	switch v.kind {
 	case KindNull:
 		return 4
@@ -413,20 +552,20 @@ func (v Value) EncodedSize() int64 {
 		return int64(len(v.s)) + 2
 	case KindArray:
 		var n int64 = 2
-		for i, e := range v.arr {
+		for i := range v.arr {
 			if i > 0 {
 				n++
 			}
-			n += e.EncodedSize()
+			n += v.arr[i].EncodedSize()
 		}
 		return n
 	case KindObject:
 		var n int64 = 2
-		for i, f := range v.fields {
+		for i := range v.fields {
 			if i > 0 {
 				n++
 			}
-			n += int64(len(f.Name)) + 3 + f.Value.EncodedSize()
+			n += int64(len(v.fields[i].Name)) + 3 + v.fields[i].Value.EncodedSize()
 		}
 		return n
 	}

@@ -183,8 +183,13 @@ func (fs *FS) Create(name string) *Writer {
 
 // Append writes one record.
 func (w *Writer) Append(rec data.Value) {
-	raw := rec.EncodedSize() + 1 // +1 for the newline in JSON-lines
 	w.fs.mu.Lock()
+	w.appendLocked(rec)
+	w.fs.mu.Unlock()
+}
+
+func (w *Writer) appendLocked(rec data.Value) {
+	raw := rec.EncodedSize() + 1 // +1 for the newline in JSON-lines
 	scale := w.fs.byteScale
 	blockCap := w.fs.blockSize
 	if w.cur == nil || float64(w.cur.rawBytes+raw)*scale > float64(blockCap) && len(w.cur.records) > 0 {
@@ -194,20 +199,33 @@ func (w *Writer) Append(rec data.Value) {
 	}
 	w.cur.rawBytes += raw
 	w.cur.records = append(w.cur.records, rec)
-	w.fs.mu.Unlock()
 }
 
-// AppendAll writes all records.
+// AppendAll writes all records under a single lock acquisition.
 func (w *Writer) AppendAll(recs []data.Value) {
+	w.fs.mu.Lock()
 	for _, r := range recs {
-		w.Append(r)
+		w.appendLocked(r)
 	}
+	w.fs.mu.Unlock()
 }
 
 // Close finalizes the file and returns it. An empty file has zero
 // blocks.
 func (w *Writer) Close() *File {
 	return w.file
+}
+
+// FirstRecord returns the file's first record, with ok=false for an
+// empty file. Jobs use it as a schema sample when compiling per-job
+// expressions into positional accessors.
+func (f *File) FirstRecord() (data.Value, bool) {
+	for _, blk := range f.blocks {
+		if len(blk.records) > 0 {
+			return blk.records[0], true
+		}
+	}
+	return data.Value{}, false
 }
 
 // Open returns the named file.

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"dyno/internal/baselines"
+	"dyno/internal/core"
+	"dyno/internal/data"
+	"dyno/internal/naive"
+	"dyno/internal/sqlparse"
+	"dyno/internal/tpch"
+)
+
+// TestFastPathDifferentialWorkload runs the full TPC-H query set
+// through the DYNOPT engine with the compiled fast path forced on and
+// forced off, and asserts the two arms are indistinguishable: same
+// result rows bit for bit, same virtual-time trace, same job counts,
+// same plan evolution. The fast arm is additionally checked against
+// the naive relational-algebra oracle so "identical" can never mean
+// "identically wrong". CI runs this under -race, which also guards the
+// fast path's pooled buffers against cross-task sharing bugs.
+func TestFastPathDifferentialWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential workload is slow")
+	}
+	type arm struct {
+		name  string
+		tweak func(*core.Options)
+	}
+	arms := []arm{{"default", nil}}
+	for _, query := range tpch.QueryNames {
+		query := query
+		t.Run(query, func(t *testing.T) {
+			fastCfg := testConfig()
+			legacyCfg := fastCfg
+			legacyCfg.DisableFastPath = true
+
+			for _, a := range arms {
+				fast, err := runVariant(baselines.VariantDynOpt, 100, fastCfg, query, false, a.tweak)
+				if err != nil {
+					t.Fatalf("%s fast: %v", a.name, err)
+				}
+				legacy, err := runVariant(baselines.VariantDynOpt, 100, legacyCfg, query, false, a.tweak)
+				if err != nil {
+					t.Fatalf("%s legacy: %v", a.name, err)
+				}
+				assertSameResult(t, fast.res, legacy.res)
+
+				// Oracle check on the fast arm (legacy is transitively
+				// covered by the bit-identical assertion above).
+				l, err := getLab(100, fastCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				env := l.newEnv(false, fastCfg)
+				q := sqlparse.MustParse(tpch.MustQuerySQL(query))
+				want, err := naive.Evaluate(q, l.cat, env.Reg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want) == 0 {
+					t.Fatalf("%s yields no rows at test scale; assertion vacuous", query)
+				}
+				if len(fast.res.Rows) != len(want) {
+					t.Fatalf("%s: %d rows, oracle %d", a.name, len(fast.res.Rows), len(want))
+				}
+				for i := range want {
+					if !naive.ApproxEqual(fast.res.Rows[i], want[i], 1e-9) {
+						t.Fatalf("%s row %d:\n got %v\nwant %v", a.name, i, fast.res.Rows[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathDifferentialPilotMT repeats the differential check under
+// the PILR_MT pilot mode with the UNC-2 re-optimization strategy — the
+// configuration with the most concurrent jobs in flight, and therefore
+// the most pooled-buffer traffic.
+func TestFastPathDifferentialPilotMT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tweak := func(o *core.Options) {
+		o.PilotMode = core.PilotMT
+		o.Strategy = core.Uncertain{N: 2}
+	}
+	fastCfg := testConfig()
+	legacyCfg := fastCfg
+	legacyCfg.DisableFastPath = true
+	for _, query := range []string{"Q8p", "Q10"} {
+		fast, err := runVariant(baselines.VariantDynOpt, 100, fastCfg, query, false, tweak)
+		if err != nil {
+			t.Fatalf("%s fast: %v", query, err)
+		}
+		legacy, err := runVariant(baselines.VariantDynOpt, 100, legacyCfg, query, false, tweak)
+		if err != nil {
+			t.Fatalf("%s legacy: %v", query, err)
+		}
+		assertSameResult(t, fast.res, legacy.res)
+	}
+}
+
+// assertSameResult asserts two engine results are indistinguishable:
+// rows, virtual-time trace, job counters, and plan evolution.
+func assertSameResult(t *testing.T, fast, legacy *core.Result) {
+	t.Helper()
+	if len(fast.Rows) != len(legacy.Rows) {
+		t.Fatalf("row count diverged: fast %d, legacy %d", len(fast.Rows), len(legacy.Rows))
+	}
+	for i := range fast.Rows {
+		if !data.Equal(fast.Rows[i], legacy.Rows[i]) {
+			t.Fatalf("row %d diverged:\n  fast:   %v\n  legacy: %v", i, fast.Rows[i], legacy.Rows[i])
+		}
+	}
+	if fast.TotalSec != legacy.TotalSec || fast.PilotSec != legacy.PilotSec || fast.OptimizeSec != legacy.OptimizeSec {
+		t.Fatalf("virtual times diverged: fast{total=%v pilot=%v opt=%v} legacy{total=%v pilot=%v opt=%v}",
+			fast.TotalSec, fast.PilotSec, fast.OptimizeSec,
+			legacy.TotalSec, legacy.PilotSec, legacy.OptimizeSec)
+	}
+	if fast.Iterations != legacy.Iterations || fast.Jobs != legacy.Jobs ||
+		fast.MapOnlyJobs != legacy.MapOnlyJobs || fast.MapReduceJobs != legacy.MapReduceJobs ||
+		fast.SwitchedJobs != legacy.SwitchedJobs || fast.PlanChanges != legacy.PlanChanges {
+		t.Fatalf("job counters diverged: fast{it=%d jobs=%d mo=%d mr=%d sw=%d pc=%d} legacy{it=%d jobs=%d mo=%d mr=%d sw=%d pc=%d}",
+			fast.Iterations, fast.Jobs, fast.MapOnlyJobs, fast.MapReduceJobs, fast.SwitchedJobs, fast.PlanChanges,
+			legacy.Iterations, legacy.Jobs, legacy.MapOnlyJobs, legacy.MapReduceJobs, legacy.SwitchedJobs, legacy.PlanChanges)
+	}
+	if fast.FinalPlan != legacy.FinalPlan {
+		t.Fatalf("final plan diverged:\n  fast:\n%s\n  legacy:\n%s", fast.FinalPlan, legacy.FinalPlan)
+	}
+	if !reflect.DeepEqual(fast.Evolution, legacy.Evolution) {
+		t.Fatalf("plan evolution diverged:\n  fast:   %+v\n  legacy: %+v", fast.Evolution, legacy.Evolution)
+	}
+}

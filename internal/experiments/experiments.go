@@ -38,6 +38,12 @@ type Config struct {
 	// serial legacy executor, positive values are passed through.
 	// Virtual-time results are identical either way.
 	Parallelism int
+	// DisableFastPath forces the legacy per-record execution path
+	// (interpreted column lookups, Compare-based shuffle sorting,
+	// unpooled buffers — see mapreduce.Env.DisableFastPath). Results
+	// are bit-identical either way; used by differential tests and the
+	// hotpath benchmark's baseline arm.
+	DisableFastPath bool
 
 	// Fault-injection knobs for the faults experiment, passed through
 	// to the cluster simulator (zero values disable each mechanism).
@@ -140,6 +146,7 @@ func (l *lab) newEnv(hiveProfile bool, cfg Config) *mapreduce.Env {
 		Reg:   reg,
 	}
 	env.DistributedCache = hiveProfile
+	env.DisableFastPath = cfg.DisableFastPath
 	return env
 }
 

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"dyno/internal/baselines"
+)
+
+// HotpathBenchEntry is one query's wall-clock comparison of the
+// compiled execution fast path against the legacy per-record path,
+// both under the serial executor so the measurement isolates
+// per-record cost rather than scheduling. VirtualSec is the simulated
+// query time, asserted equal between the two arms (the fast path must
+// not change what the engine computes, only how fast the host computes
+// it).
+type HotpathBenchEntry struct {
+	Name       string  `json:"name"`
+	Query      string  `json:"query"`
+	SF         float64 `json:"sf"`
+	FastSec    float64 `json:"fast_sec"`
+	LegacySec  float64 `json:"legacy_sec"`
+	Speedup    float64 `json:"speedup"` // legacy_sec / fast_sec
+	VirtualSec float64 `json:"virtual_sec"`
+}
+
+// HotpathBenchReport is the machine-readable output of HotpathBench
+// (written to BENCH_hotpath.json by cmd/dynobench).
+type HotpathBenchReport struct {
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Scale      float64             `json:"scale"`
+	Seed       int64               `json:"seed"`
+	Repeats    int                 `json:"repeats"`
+	Entries    []HotpathBenchEntry `json:"entries"`
+}
+
+// HotpathBench measures wall-clock time of representative DYNOPT
+// executions with the compiled fast path enabled versus disabled
+// (Config.DisableFastPath). Each query runs `repeats` times per arm
+// and keeps the best time. Both arms run serially so the ratio
+// reflects per-record execution cost only.
+func HotpathBench(cfg Config, repeats int) (*HotpathBenchReport, error) {
+	cfg = cfg.normalized()
+	if repeats < 1 {
+		repeats = 1
+	}
+	rep := &HotpathBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		Repeats:    repeats,
+	}
+	scenarios := []struct {
+		name, query string
+		sf          float64
+	}{
+		{"hotpath-q8p", "Q8p", 100},
+		{"hotpath-q9p", "Q9p", 100},
+		{"hotpath-q10", "Q10", 100},
+	}
+	// Warm the dataset cache so generation cost stays out of the
+	// measurements (both arms share the lab).
+	if _, err := getLab(100, cfg); err != nil {
+		return nil, err
+	}
+	measure := func(c Config, query string, sf float64) (wall, virtual float64, err error) {
+		wall = math.Inf(1)
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			m, err := runVariant(baselines.VariantDynOpt, sf, c, query, false, nil)
+			if err != nil {
+				return 0, 0, err
+			}
+			if el := time.Since(start).Seconds(); el < wall {
+				wall = el
+			}
+			virtual = m.res.TotalSec
+		}
+		return wall, virtual, nil
+	}
+	for _, sc := range scenarios {
+		fastCfg := cfg
+		fastCfg.Parallelism = -1
+		fastCfg.DisableFastPath = false
+		legacyCfg := fastCfg
+		legacyCfg.DisableFastPath = true
+		fWall, fVirt, err := measure(fastCfg, sc.query, sc.sf)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hotpath %s fast: %w", sc.name, err)
+		}
+		lWall, lVirt, err := measure(legacyCfg, sc.query, sc.sf)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hotpath %s legacy: %w", sc.name, err)
+		}
+		if fVirt != lVirt {
+			return nil, fmt.Errorf("experiments: hotpath %s: virtual time diverged (fast %v, legacy %v)",
+				sc.name, fVirt, lVirt)
+		}
+		speedup := 0.0
+		if fWall > 0 {
+			speedup = lWall / fWall
+		}
+		rep.Entries = append(rep.Entries, HotpathBenchEntry{
+			Name:       sc.name,
+			Query:      sc.query,
+			SF:         sc.sf,
+			FastSec:    fWall,
+			LegacySec:  lWall,
+			Speedup:    speedup,
+			VirtualSec: fVirt,
+		})
+	}
+	return rep, nil
+}

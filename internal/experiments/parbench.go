@@ -22,18 +22,30 @@ type ParallelBenchEntry struct {
 	Parallelism int     `json:"parallelism"`
 	Speedup     float64 `json:"speedup"`
 	VirtualSec  float64 `json:"virtual_sec"`
+	// SingleCore marks entries measured at GOMAXPROCS=1, where the
+	// "parallel" arm has no extra cores to run on and its speedup is
+	// noise, not signal.
+	SingleCore bool `json:"single_core,omitempty"`
 }
 
 // ParallelBenchReport is the machine-readable output of ParallelBench
 // (written to BENCH_parallel.json by cmd/dynobench) so successive PRs
 // have a wall-clock perf trajectory to compare against.
 type ParallelBenchReport struct {
-	GOMAXPROCS int                  `json:"gomaxprocs"`
-	Scale      float64              `json:"scale"`
-	Seed       int64                `json:"seed"`
-	Repeats    int                  `json:"repeats"`
-	Entries    []ParallelBenchEntry `json:"entries"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	Seed       int64   `json:"seed"`
+	Repeats    int     `json:"repeats"`
+	// Warning is set when the host cannot produce meaningful
+	// serial-vs-parallel numbers (GOMAXPROCS=1); consumers comparing
+	// speedups across recordings must skip such reports.
+	Warning string               `json:"warning,omitempty"`
+	Entries []ParallelBenchEntry `json:"entries"`
 }
+
+// singleCoreWarning explains why a GOMAXPROCS=1 recording carries no
+// parallel signal.
+const singleCoreWarning = "GOMAXPROCS=1: the parallel executor has no extra cores; parallel_sec and speedup are noise — use serial_sec only"
 
 // ParallelBench measures wall-clock time of representative DYNOPT
 // executions under the serial legacy executor and the pooled executor
@@ -52,6 +64,9 @@ func ParallelBench(cfg Config, repeats int) (*ParallelBenchReport, error) {
 		Scale:      cfg.Scale,
 		Seed:       cfg.Seed,
 		Repeats:    repeats,
+	}
+	if workers == 1 {
+		rep.Warning = singleCoreWarning
 	}
 	scenarios := []struct {
 		name, query string
@@ -121,6 +136,7 @@ func ParallelBench(cfg Config, repeats int) (*ParallelBenchReport, error) {
 			Parallelism: workers,
 			Speedup:     speedup,
 			VirtualSec:  sVirt,
+			SingleCore:  workers == 1,
 		})
 	}
 	return rep, nil

@@ -1,0 +1,171 @@
+package expr
+
+import "dyno/internal/data"
+
+// Compile rewrites an expression tree so every Col node resolves its
+// path through a data.Accessor compiled against a sample row, turning
+// the per-record name lookup into a verified positional access. The
+// rewrite is purely structural: compiled trees evaluate bit-identically
+// to the originals (accessors fall back to name lookup on layout
+// mismatch), render the same String(), and accrue the same UDF CPU
+// cost. Compile returns the input unchanged when it contains no
+// columns, and is safe to call with a null sample.
+//
+// Jobs call this once per task spec; evaluation of the compiled tree is
+// goroutine-safe, like the original.
+func Compile(e Expr, sample data.Value) Expr {
+	if e == nil {
+		return nil
+	}
+	switch t := e.(type) {
+	case *Col:
+		return &compiledCol{col: t, acc: data.CompileAccessor(t.Path, sample)}
+	case *Lit:
+		return t
+	case *Cmp:
+		l, r := Compile(t.L, sample), Compile(t.R, sample)
+		if l == t.L && r == t.R {
+			return t
+		}
+		return &Cmp{Op: t.Op, L: l, R: r}
+	case *And:
+		terms, changed := compileTerms(t.Terms, sample)
+		if !changed {
+			return t
+		}
+		return &And{Terms: terms}
+	case *Or:
+		terms, changed := compileTerms(t.Terms, sample)
+		if !changed {
+			return t
+		}
+		return &Or{Terms: terms}
+	case *Not:
+		inner := Compile(t.E, sample)
+		if inner == t.E {
+			return t
+		}
+		return &Not{E: inner}
+	case *Arith:
+		l, r := Compile(t.L, sample), Compile(t.R, sample)
+		if l == t.L && r == t.R {
+			return t
+		}
+		return &Arith{Op: t.Op, L: l, R: r}
+	case *Call:
+		args, changed := compileTerms(t.Args, sample)
+		if !changed {
+			return t
+		}
+		return &Call{Name: t.Name, Args: args}
+	}
+	// Unknown node kinds pass through unchanged.
+	return e
+}
+
+func compileTerms(terms []Expr, sample data.Value) ([]Expr, bool) {
+	changed := false
+	out := make([]Expr, len(terms))
+	for i, t := range terms {
+		out[i] = Compile(t, sample)
+		if out[i] != t {
+			changed = true
+		}
+	}
+	if !changed {
+		return terms, false
+	}
+	return out, true
+}
+
+// StripAlias rewrites a predicate evaluated over alias-wrapped rows
+// {alias: rec} into one evaluated directly over the raw record, by
+// removing the leading alias step from every column path. A wrapped row
+// has exactly one field, so alias.x.y over {alias: rec} is identical to
+// x.y over rec, and any path not rooted at the alias is null either
+// way — StripAlias therefore returns ok=false unless every column is
+// rooted at the alias (with at least one step below it), in which case
+// the caller must keep filtering the wrapped row. Scan-shaped map tasks
+// use this to filter before wrapping, so records the predicate drops
+// never pay for the per-record wrap object.
+//
+// The rewritten tree is for evaluation only: stripped columns render
+// without the alias, so it must not feed plan signatures or traces.
+func StripAlias(e Expr, alias string) (Expr, bool) {
+	if e == nil {
+		return nil, false
+	}
+	switch t := e.(type) {
+	case *Col:
+		if len(t.Path) < 2 || t.Path[0].IsIndex || t.Path[0].Name != alias {
+			return nil, false
+		}
+		return &Col{Path: t.Path[1:]}, true
+	case *Lit:
+		return t, true
+	case *Cmp:
+		l, lok := StripAlias(t.L, alias)
+		r, rok := StripAlias(t.R, alias)
+		if !lok || !rok {
+			return nil, false
+		}
+		return &Cmp{Op: t.Op, L: l, R: r}, true
+	case *And:
+		terms, ok := stripTerms(t.Terms, alias)
+		if !ok {
+			return nil, false
+		}
+		return &And{Terms: terms}, true
+	case *Or:
+		terms, ok := stripTerms(t.Terms, alias)
+		if !ok {
+			return nil, false
+		}
+		return &Or{Terms: terms}, true
+	case *Not:
+		inner, ok := StripAlias(t.E, alias)
+		if !ok {
+			return nil, false
+		}
+		return &Not{E: inner}, true
+	case *Arith:
+		l, lok := StripAlias(t.L, alias)
+		r, rok := StripAlias(t.R, alias)
+		if !lok || !rok {
+			return nil, false
+		}
+		return &Arith{Op: t.Op, L: l, R: r}, true
+	case *Call:
+		args, ok := stripTerms(t.Args, alias)
+		if !ok {
+			return nil, false
+		}
+		return &Call{Name: t.Name, Args: args}, true
+	}
+	// Unknown node kinds may close over the full row shape; refuse.
+	return nil, false
+}
+
+func stripTerms(terms []Expr, alias string) ([]Expr, bool) {
+	out := make([]Expr, len(terms))
+	for i, t := range terms {
+		s, ok := StripAlias(t, alias)
+		if !ok {
+			return nil, false
+		}
+		out[i] = s
+	}
+	return out, true
+}
+
+// compiledCol is a Col whose path evaluates through a positional
+// accessor. It renders exactly like the Col it replaced so plan
+// signatures and traces are unaffected.
+type compiledCol struct {
+	col *Col
+	acc *data.Accessor
+}
+
+func (c *compiledCol) Eval(_ *Ctx, row data.Value) data.Value { return c.acc.Eval(row) }
+
+func (c *compiledCol) String() string { return c.col.String() }

@@ -1,0 +1,123 @@
+package expr
+
+import (
+	"testing"
+
+	"dyno/internal/data"
+)
+
+func compileTestRow() data.Value {
+	return data.Object(data.Field{Name: "l", Value: data.Object(
+		data.Field{Name: "a", Value: data.Int(10)},
+		data.Field{Name: "b", Value: data.Double(2.5)},
+		data.Field{Name: "s", Value: data.String("ok")},
+	)})
+}
+
+func compileTestExprs() []Expr {
+	return []Expr{
+		NewCol("l.a"),
+		NewCol("l.missing"),
+		NewLit(data.Int(7)),
+		&Cmp{Op: GT, L: NewCol("l.a"), R: NewLit(data.Int(5))},
+		&And{Terms: []Expr{
+			&Cmp{Op: GE, L: NewCol("l.a"), R: NewLit(data.Int(0))},
+			&Cmp{Op: EQ, L: NewCol("l.s"), R: NewLit(data.String("ok"))},
+		}},
+		&Or{Terms: []Expr{
+			&Cmp{Op: LT, L: NewCol("l.b"), R: NewLit(data.Double(1))},
+			&Not{E: &Cmp{Op: NE, L: NewCol("l.a"), R: NewLit(data.Int(10))}},
+		}},
+		&Arith{Op: Mul, L: NewCol("l.a"), R: &Arith{Op: Add, L: NewCol("l.b"), R: NewLit(data.Int(1))}},
+		&Call{Name: "double_it", Args: []Expr{NewCol("l.a")}},
+	}
+}
+
+// Compiled trees must evaluate bit-identically to the originals — on
+// rows matching the sample layout and on rows that deviate from it —
+// render the same String(), and charge the same UDF CPU cost.
+func TestCompilePreservesSemantics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(UDF{
+		Name:    "double_it",
+		Fn:      func(args []data.Value) data.Value { return data.Int(args[0].Int() * 2) },
+		CPUCost: 0.25,
+	})
+	sample := compileTestRow()
+	rows := []data.Value{
+		sample,
+		// Layout deviates from the sample: extra field shifts positions.
+		data.Object(data.Field{Name: "l", Value: data.Object(
+			data.Field{Name: "_x", Value: data.Int(0)},
+			data.Field{Name: "a", Value: data.Int(-3)},
+			data.Field{Name: "b", Value: data.Double(9)},
+			data.Field{Name: "s", Value: data.String("no")},
+		)}),
+		data.Object(data.Field{Name: "r", Value: data.Int(1)}),
+		data.Null(),
+	}
+	for _, e := range compileTestExprs() {
+		c := Compile(e, sample)
+		if c.String() != e.String() {
+			t.Errorf("String changed: %q vs %q", c.String(), e.String())
+		}
+		for i, row := range rows {
+			ctx1 := &Ctx{Reg: reg}
+			ctx2 := &Ctx{Reg: reg}
+			want := e.Eval(ctx1, row)
+			got := c.Eval(ctx2, row)
+			if !data.Equal(want, got) {
+				t.Errorf("expr %s row %d: compiled=%s original=%s", e, i, got, want)
+			}
+			if ctx1.CPUSeconds != ctx2.CPUSeconds {
+				t.Errorf("expr %s row %d: CPU %v vs %v", e, i, ctx2.CPUSeconds, ctx1.CPUSeconds)
+			}
+		}
+	}
+}
+
+func TestCompileColumnFreeReturnsSame(t *testing.T) {
+	sample := compileTestRow()
+	for _, e := range []Expr{
+		NewLit(data.Int(1)),
+		&Cmp{Op: EQ, L: NewLit(data.Int(1)), R: NewLit(data.Int(2))},
+		&And{Terms: []Expr{NewLit(data.Bool(true))}},
+	} {
+		if got := Compile(e, sample); got != e {
+			t.Errorf("column-free expr %s was rewritten", e)
+		}
+	}
+	if Compile(nil, sample) != nil {
+		t.Error("Compile(nil) != nil")
+	}
+}
+
+func TestCompileNullSample(t *testing.T) {
+	e := &Cmp{Op: GT, L: NewCol("l.a"), R: NewLit(data.Int(5))}
+	c := Compile(e, data.Null())
+	row := compileTestRow()
+	if !data.Equal(c.Eval(nil, row), e.Eval(nil, row)) {
+		t.Error("null-sample compiled expr diverges")
+	}
+}
+
+func BenchmarkExprEval(b *testing.B) {
+	row := compileTestRow()
+	e := &And{Terms: []Expr{
+		&Cmp{Op: GE, L: NewCol("l.a"), R: NewLit(data.Int(0))},
+		&Cmp{Op: EQ, L: NewCol("l.s"), R: NewLit(data.String("ok"))},
+	}}
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Eval(nil, row)
+		}
+	})
+	c := Compile(e, row)
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Eval(nil, row)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package expr
+
+import (
+	"testing"
+
+	"dyno/internal/data"
+)
+
+// TestStripAliasEquivalence: for every strippable predicate, evaluating
+// the stripped tree over the raw record must equal evaluating the
+// original over the alias-wrapped row — on records matching the
+// expected layout and on deviant ones (missing fields, wrong kinds).
+func TestStripAliasEquivalence(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(UDF{
+		Name: "double_it",
+		Fn:   func(args []data.Value) data.Value { return data.Int(args[0].Int() * 2) },
+	})
+	ctx := &Ctx{Reg: reg}
+	exprs := []Expr{
+		NewCol("l.a"),
+		NewCol("l.missing"),
+		NewCol("l.nested.deep"),
+		&Cmp{Op: GT, L: NewCol("l.a"), R: NewLit(data.Int(5))},
+		&And{Terms: []Expr{
+			&Cmp{Op: GE, L: NewCol("l.a"), R: NewLit(data.Int(0))},
+			&Cmp{Op: EQ, L: NewCol("l.s"), R: NewLit(data.String("ok"))},
+		}},
+		&Or{Terms: []Expr{
+			&Cmp{Op: LT, L: NewCol("l.b"), R: NewLit(data.Double(1))},
+			&Not{E: &Cmp{Op: NE, L: NewCol("l.a"), R: NewLit(data.Int(10))}},
+		}},
+		&Arith{Op: Mul, L: NewCol("l.a"), R: &Arith{Op: Add, L: NewCol("l.b"), R: NewLit(data.Int(1))}},
+		&Call{Name: "double_it", Args: []Expr{NewCol("l.a")}},
+	}
+	recs := []data.Value{
+		data.Object(
+			data.Field{Name: "a", Value: data.Int(10)},
+			data.Field{Name: "b", Value: data.Double(2.5)},
+			data.Field{Name: "s", Value: data.String("ok")},
+		),
+		// Deviant layouts: missing fields, wrong kinds, a field that
+		// shadows the alias name itself.
+		data.Object(data.Field{Name: "a", Value: data.String("not-an-int")}),
+		data.Object(data.Field{Name: "l", Value: data.Int(3)}),
+		data.Object(),
+		data.Null(),
+	}
+	for _, e := range exprs {
+		stripped, ok := StripAlias(e, "l")
+		if !ok {
+			t.Fatalf("StripAlias(%v) refused; want ok", e)
+		}
+		for i, rec := range recs {
+			wrapped := data.Object(data.Field{Name: "l", Value: rec})
+			want := e.Eval(ctx, wrapped)
+			got := stripped.Eval(ctx, rec)
+			if !data.Equal(got, want) {
+				t.Errorf("expr %v rec %d: stripped eval %v, wrapped eval %v", e, i, got, want)
+			}
+		}
+	}
+}
+
+// TestStripAliasRefusals: any column not rooted at the alias with at
+// least one step below it makes the whole rewrite invalid — on a raw
+// record such a path could accidentally resolve against a real field,
+// while on the wrapped row it is always null.
+func TestStripAliasRefusals(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Expr
+	}{
+		{"nil", nil},
+		{"other alias", NewCol("r.a")},
+		{"bare alias", NewCol("l")},
+		{"index-rooted", &Col{Path: data.Path{{Index: 0, IsIndex: true}, {Name: "a"}}}},
+		{"mixed and", &And{Terms: []Expr{
+			&Cmp{Op: GT, L: NewCol("l.a"), R: NewLit(data.Int(0))},
+			&Cmp{Op: GT, L: NewCol("r.a"), R: NewLit(data.Int(0))},
+		}}},
+		{"non-alias call arg", &Call{Name: "f", Args: []Expr{NewCol("r.a")}}},
+	}
+	for _, c := range cases {
+		if got, ok := StripAlias(c.e, "l"); ok {
+			t.Errorf("%s: StripAlias accepted, returned %v; want refusal", c.name, got)
+		}
+	}
+}

@@ -111,13 +111,14 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 		KMVSize:      opts.KMVSize,
 	}
 	prune := opts.Prune
+	fast := !env.DisableFastPath
 	switch u.Kind {
 	case UnitScan:
 		file, err := u.Probe.file()
 		if err != nil {
 			return spec, err
 		}
-		spec.Inputs = []mapreduce.Input{{File: file, Map: scanMap(u.Probe, prune)}}
+		spec.Inputs = []mapreduce.Input{{File: file, Map: scanMap(sourceRowFn(u.Probe, file, fast), prune)}}
 	case UnitRepartition:
 		j := u.Chain[0]
 		lf, err := u.Probe.file()
@@ -139,7 +140,7 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 			}
 			if float64(bf.Size()) <= opts.SwitchMmax {
 				u.Switched = true
-				return broadcastSpec(spec, probe, pf, []buildStep{{src: build, join: j}}, prune)
+				return broadcastSpec(spec, probe, pf, []buildStep{{src: build, join: j}}, prune, fast)
 			}
 		}
 		// Size the reduce phase from the estimated shuffle volume (both
@@ -149,10 +150,19 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 		lKeys := probeKeyPaths(j, u.Probe.aliases())
 		rKeys := probeKeyPaths(j, u.Right.aliases())
 		spec.Inputs = []mapreduce.Input{
-			{File: lf, Map: shuffleMap(u.Probe, lKeys, "L", prune)},
-			{File: rf, Map: shuffleMap(u.Right, rKeys, "R", prune)},
+			{File: lf, Map: shuffleMap(sourceRowFn(u.Probe, lf, fast), u.Probe, lf, lKeys, "L", prune, fast)},
+			{File: rf, Map: shuffleMap(sourceRowFn(u.Right, rf, fast), u.Right, rf, rKeys, "R", prune, fast)},
 		}
 		residual := expr.Conjoin(j.Residual)
+		if fast && residual != nil {
+			// The residual sees merged L+R rows; a merge of the two
+			// mapped samples has the layout reduce-side rows will have.
+			ls, lok := mapSample(u.Probe, lf, prune)
+			rs, rok := mapSample(u.Right, rf, prune)
+			if lok && rok {
+				residual = expr.Compile(residual, data.MergeObjects(ls, rs))
+			}
+		}
 		spec.Reduce = func(rc *mapreduce.ReduceCtx, key data.Value, group []mapreduce.Tagged) {
 			var ls, rs []data.Value
 			for _, g := range group {
@@ -184,9 +194,55 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 		for i, m := range u.Chain {
 			steps[i] = buildStep{src: u.Builds[i], join: m}
 		}
-		return broadcastSpec(spec, u.Probe, pf, steps, prune)
+		return broadcastSpec(spec, u.Probe, pf, steps, prune, fast)
 	}
 	return spec, nil
+}
+
+// firstRecord returns the first record of a file, for use as a schema
+// sample when compiling per-job expressions.
+func firstRecord(f *dfs.File) (data.Value, bool) { return f.FirstRecord() }
+
+// wrapSample applies a source's alias wrapping (but not its filter) to
+// a raw record, yielding the row shape the source's expressions see.
+func wrapSample(s Source, rec data.Value) data.Value {
+	if s.Wrap != "" {
+		return data.Object(data.Field{Name: s.Wrap, Value: rec})
+	}
+	return rec
+}
+
+// mapSample returns a sample row with the layout the source's map
+// function emits: the first input record, wrapped and pruned. The
+// filter is deliberately not applied — it selects rows, it does not
+// change their shape.
+func mapSample(s Source, f *dfs.File, prune func(data.Value) data.Value) (data.Value, bool) {
+	rec, ok := firstRecord(f)
+	if !ok {
+		return data.Null(), false
+	}
+	row := wrapSample(s, rec)
+	if prune != nil {
+		row = prune(row)
+	}
+	return row, true
+}
+
+// compileSource returns a copy of the source whose filter is compiled
+// against the input file's first record (schema-resolved column
+// access). Compilation never changes results — accessors verify field
+// positions per record and fall back to name lookup — so heterogeneous
+// inputs and empty files are handled transparently.
+func compileSource(s Source, f *dfs.File, fast bool) Source {
+	if !fast || s.Filter == nil {
+		return s
+	}
+	rec, ok := firstRecord(f)
+	if !ok {
+		return s
+	}
+	s.Filter = expr.Compile(s.Filter, wrapSample(s, rec))
+	return s
 }
 
 // buildStep pairs a broadcast build source with the join it serves.
@@ -197,11 +253,17 @@ type buildStep struct {
 
 // broadcastSpec assembles a map-only hash-join job: the probe input
 // streams through the chain of builds, merging and applying each
-// join's residual filters inline.
-func broadcastSpec(spec mapreduce.Spec, probe Source, probeFile *dfs.File, steps []buildStep, prune func(data.Value) data.Value) (mapreduce.Spec, error) {
+// join's residual filters inline. With the fast path on, the probe
+// filter, per-step key paths, and residuals are compiled once per job
+// against the probe input's first (wrapped, pruned) record; key paths
+// and residual columns referencing build-side aliases simply compile
+// without positional hints and resolve through the accessor's name
+// fallback, no slower than the interpreted path.
+func broadcastSpec(spec mapreduce.Spec, probe Source, probeFile *dfs.File, steps []buildStep, prune func(data.Value) data.Value, fast bool) (mapreduce.Spec, error) {
 	type probeStep struct {
 		name     string
 		keys     []data.Path
+		keyAccs  []*data.Accessor // fast path; nil = interpret keys
 		residual expr.Expr
 	}
 	plans := make([]probeStep, len(steps))
@@ -226,8 +288,19 @@ func broadcastSpec(spec mapreduce.Spec, probe Source, probeFile *dfs.File, steps
 		}
 		probeAliases = append(probeAliases, st.src.aliases()...)
 	}
+	if fast {
+		if sample, ok := mapSample(probe, probeFile, prune); ok {
+			for i := range plans {
+				plans[i].keyAccs = data.CompileAccessors(plans[i].keys, sample)
+				if plans[i].residual != nil {
+					plans[i].residual = expr.Compile(plans[i].residual, sample)
+				}
+			}
+		}
+	}
+	probeRow := sourceRowFn(probe, probeFile, fast)
 	spec.Inputs = []mapreduce.Input{{File: probeFile, Map: func(mc *mapreduce.MapCtx, rec data.Value) {
-		row := wrapFilter(mc.ExprCtx(), probe, rec)
+		row := probeRow(mc.ExprCtx(), rec)
 		if row.IsNull() {
 			return
 		}
@@ -235,11 +308,17 @@ func broadcastSpec(spec mapreduce.Spec, probe Source, probeFile *dfs.File, steps
 			row = prune(row)
 		}
 		rows := []data.Value{row}
-		for _, st := range plans {
+		for i := range plans {
+			st := &plans[i]
 			ht := mc.Build(st.name)
 			var next []data.Value
 			for _, r := range rows {
-				key := mapreduce.CompositeKey(r, st.keys)
+				var key data.Value
+				if st.keyAccs != nil {
+					key = mapreduce.CompositeKeyCompiled(r, st.keyAccs)
+				} else {
+					key = mapreduce.CompositeKey(r, st.keys)
+				}
 				for _, m := range ht.Probe(key) {
 					merged := data.MergeObjects(r, m)
 					if st.residual != nil && !st.residual.Eval(mc.ExprCtx(), merged).Truthy() {
@@ -285,7 +364,7 @@ func reducersFor(env *mapreduce.Env, shuffleBytes float64) int {
 func wrapFilter(ectx *expr.Ctx, s Source, rec data.Value) data.Value {
 	row := rec
 	if s.Wrap != "" {
-		row = data.Object(data.Field{Name: s.Wrap, Value: rec})
+		row = data.ObjectFromSorted([]data.Field{{Name: s.Wrap, Value: rec}})
 	}
 	if s.Filter != nil && !s.Filter.Eval(ectx, row).Truthy() {
 		return data.Null()
@@ -293,10 +372,44 @@ func wrapFilter(ectx *expr.Ctx, s Source, rec data.Value) data.Value {
 	return row
 }
 
+// rowFn maps a raw input record to the source's wrapped, filtered row;
+// null means the record was filtered out.
+type rowFn func(*expr.Ctx, data.Value) data.Value
+
+// sourceRowFn builds a source's per-record row function. With the fast
+// path on and a filter whose columns are all rooted at the wrap alias,
+// the filter is alias-stripped and evaluated on the raw record before
+// wrapping, so records the predicate drops never allocate the wrap
+// object; the predicate sees exactly the values it would see through
+// the wrapped row (see expr.StripAlias), and surviving rows are wrapped
+// identically, so emitted rows are bit-identical either way. Other
+// shapes keep the wrap-then-filter order, with the filter compiled
+// against the file's first wrapped record.
+func sourceRowFn(s Source, f *dfs.File, fast bool) rowFn {
+	if fast && s.Filter != nil && s.Wrap != "" {
+		if stripped, ok := expr.StripAlias(s.Filter, s.Wrap); ok {
+			if rec, okr := firstRecord(f); okr {
+				stripped = expr.Compile(stripped, rec)
+			}
+			wrap := s.Wrap
+			return func(ectx *expr.Ctx, rec data.Value) data.Value {
+				if !stripped.Eval(ectx, rec).Truthy() {
+					return data.Null()
+				}
+				return data.ObjectFromSorted([]data.Field{{Name: wrap, Value: rec}})
+			}
+		}
+	}
+	s = compileSource(s, f, fast)
+	return func(ectx *expr.Ctx, rec data.Value) data.Value {
+		return wrapFilter(ectx, s, rec)
+	}
+}
+
 // scanMap emits wrapped, filtered rows.
-func scanMap(s Source, prune func(data.Value) data.Value) mapreduce.MapFunc {
+func scanMap(row rowFn, prune func(data.Value) data.Value) mapreduce.MapFunc {
 	return func(mc *mapreduce.MapCtx, rec data.Value) {
-		if row := wrapFilter(mc.ExprCtx(), s, rec); !row.IsNull() {
+		if row := row(mc.ExprCtx(), rec); !row.IsNull() {
 			if prune != nil {
 				row = prune(row)
 			}
@@ -306,16 +419,30 @@ func scanMap(s Source, prune func(data.Value) data.Value) mapreduce.MapFunc {
 }
 
 // shuffleMap emits wrapped, filtered rows keyed for a repartition join.
-func shuffleMap(s Source, keys []data.Path, tag string, prune func(data.Value) data.Value) mapreduce.MapFunc {
+// With the fast path on, the key paths are compiled once against the
+// input's first (wrapped, pruned) record.
+func shuffleMap(row rowFn, s Source, f *dfs.File, keys []data.Path, tag string, prune func(data.Value) data.Value, fast bool) mapreduce.MapFunc {
+	var keyAccs []*data.Accessor
+	if fast {
+		if sample, ok := mapSample(s, f, prune); ok {
+			keyAccs = data.CompileAccessors(keys, sample)
+		}
+	}
 	return func(mc *mapreduce.MapCtx, rec data.Value) {
-		row := wrapFilter(mc.ExprCtx(), s, rec)
+		row := row(mc.ExprCtx(), rec)
 		if row.IsNull() {
 			return
 		}
 		if prune != nil {
 			row = prune(row)
 		}
-		mc.EmitKV(mapreduce.CompositeKey(row, keys), tag, row)
+		var key data.Value
+		if keyAccs != nil {
+			key = mapreduce.CompositeKeyCompiled(row, keyAccs)
+		} else {
+			key = mapreduce.CompositeKey(row, keys)
+		}
+		mc.EmitKV(key, tag, row)
 	}
 }
 
@@ -326,6 +453,8 @@ func NewPruner(live map[string]map[string]bool) func(data.Value) data.Value {
 	if live == nil {
 		return nil
 	}
+	// Field slices filtered from a sorted object stay sorted and
+	// duplicate-free, so the rebuilt objects can retain them directly.
 	return func(row data.Value) data.Value {
 		fields := row.Fields()
 		out := make([]data.Field, 0, len(fields))
@@ -342,8 +471,8 @@ func NewPruner(live map[string]map[string]bool) func(data.Value) data.Value {
 					kept = append(kept, g)
 				}
 			}
-			out = append(out, data.Field{Name: f.Name, Value: data.Object(kept...)})
+			out = append(out, data.Field{Name: f.Name, Value: data.ObjectFromSorted(kept)})
 		}
-		return data.Object(out...)
+		return data.ObjectFromSorted(out)
 	}
 }

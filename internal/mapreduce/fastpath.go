@@ -1,0 +1,136 @@
+package mapreduce
+
+import (
+	"slices"
+	"sync"
+
+	"dyno/internal/data"
+)
+
+// The shuffle fast path (Env.DisableFastPath = false, the default)
+// eliminates the dominant per-record costs of the shuffle without
+// changing a single output bit:
+//
+//   - EmitKV normalizes each shuffle key once into an order-preserving
+//     byte string (data.AppendNormKey), so combine/reduce sorting and
+//     grouping become memcmp string compares instead of recursive
+//     data.Compare calls per comparison. Reduce partition assignment
+//     stays data.Hash64(key) % numReducers in both modes — partitioning
+//     decides output row placement, so it must not change.
+//   - Shuffle buckets, gathered reduce inputs, and per-group Tagged
+//     slabs are recycled through sync.Pools across tasks and jobs
+//     instead of being reallocated per group.
+//   - Broadcast hash tables index build rows by normalized key, turning
+//     probes into exact map lookups with no collision re-checks.
+//
+// Keys the normalized encoding cannot represent consistently with
+// data.Compare (NaN, integers beyond ±2^53 — see data.AppendNormKey)
+// carry an empty nk, and any batch containing one falls back to
+// Compare-based sorting wholesale, so ordering is correct for every
+// input, not just the common domain.
+//
+// Sorting uses slices.SortStableFunc under both comparators. A stable sort
+// is a pure function of the comparator's verdicts, and the normalized
+// ordering equals data.Compare's on every encodable key, so the fast
+// and legacy permutations are identical — the differential tests in
+// shuffle_fastpath_test.go and the engine-level suite assert this
+// bit-for-bit.
+
+// fastPath reports whether the job runs the compiled shuffle path.
+func (j *Job) fastPath() bool { return !j.env.DisableFastPath }
+
+// sortPairsByKey stably sorts shuffle pairs into reduce key order:
+// by normalized key when every pair has one, otherwise by data.Compare.
+// Both arms use a stable sort, and a stable sort's output permutation
+// is a pure function of the comparator's verdicts, so the fast arm's
+// ordering is identical to the legacy sort.SliceStable over
+// data.Compare on every encodable batch.
+func sortPairsByKey(pairs []kvPair) {
+	for i := range pairs {
+		if pairs[i].nk == "" {
+			slices.SortStableFunc(pairs, func(a, b kvPair) int {
+				return data.Compare(a.key, b.key)
+			})
+			return
+		}
+	}
+	slices.SortStableFunc(pairs, func(a, b kvPair) int {
+		if a.nk < b.nk {
+			return -1
+		}
+		if a.nk > b.nk {
+			return 1
+		}
+		return 0
+	})
+}
+
+// samePairKey reports whether two adjacent sorted pairs share a key.
+func samePairKey(a, b *kvPair) bool {
+	if a.nk != "" && b.nk != "" {
+		return a.nk == b.nk
+	}
+	return data.Equal(a.key, b.key)
+}
+
+// Pools recycle the shuffle's large transient buffers across tasks and
+// jobs. Slices are cleared before being pooled so they do not pin
+// record trees, and are only released once a job has fully finished
+// (every Run closure executes at most once, so no retry can observe a
+// recycled buffer).
+var (
+	kvSlicePool sync.Pool // *[]kvPair
+	taggedPool  sync.Pool // *[]Tagged
+	rowPool     sync.Pool // *[]data.Value
+)
+
+func getKVSlice(capacity int) []kvPair {
+	if p, _ := kvSlicePool.Get().(*[]kvPair); p != nil && cap(*p) >= capacity {
+		return (*p)[:0]
+	}
+	return make([]kvPair, 0, capacity)
+}
+
+func putKVSlice(s []kvPair) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	kvSlicePool.Put(&s)
+}
+
+func getRowSlice(capacity int) []data.Value {
+	if p, _ := rowPool.Get().(*[]data.Value); p != nil && cap(*p) >= capacity {
+		return (*p)[:0]
+	}
+	return make([]data.Value, 0, capacity)
+}
+
+func putRowSlice(s []data.Value) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	rowPool.Put(&s)
+}
+
+func getTaggedSlab(capacity int) []Tagged {
+	if p, _ := taggedPool.Get().(*[]Tagged); p != nil && cap(*p) >= capacity {
+		return (*p)[:0]
+	}
+	return make([]Tagged, 0, capacity)
+}
+
+func putTaggedSlab(s []Tagged) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	taggedPool.Put(&s)
+}

@@ -82,6 +82,13 @@ type Env struct {
 	// grouping job the compiler schedules after the join block. Off by
 	// default to keep the evaluation's published numbers stable.
 	UseCombiner bool
+	// DisableFastPath turns off the compiled shuffle fast path
+	// (normalized sort/group keys, pooled shuffle buffers, the
+	// normalized-key hash-table index — see fastpath.go), forcing the
+	// legacy Compare/Hash64-based implementations everywhere. Results,
+	// traces, and statistics are bit-identical either way; the switch
+	// exists for differential testing and as an escape hatch.
+	DisableFastPath bool
 }
 
 // VirtualSize returns the virtual on-disk size of a record.
@@ -138,6 +145,8 @@ type MapCtx struct {
 	task   *mapTaskState
 	ectx   *expr.Ctx
 	builds map[string]*HashTable
+	fast   bool   // normalize shuffle keys at emit time
+	nkBuf  []byte // scratch for key normalization, reused across emits
 }
 
 // ExprCtx returns the expression evaluation context (UDF registry plus
@@ -154,10 +163,24 @@ func (mc *MapCtx) Emit(rec data.Value) {
 }
 
 // EmitKV routes a record through the shuffle, keyed for the reduce
-// phase.
+// phase. Partition assignment is data.Hash64(key) % numReducers in both
+// fast and legacy modes — it decides which reduce task (and therefore
+// which output position) a record lands in, so it must never vary with
+// the fast-path switch. The fast path additionally normalizes the key
+// once here so downstream sorting and grouping compare strings instead
+// of walking the key tree per comparison.
 func (mc *MapCtx) EmitKV(key data.Value, tag string, rec data.Value) {
 	p := int(data.Hash64(key) % uint64(mc.job.numReducers))
-	mc.task.buckets[p] = append(mc.task.buckets[p], kvPair{key: key, tag: tag, rec: rec})
+	kv := kvPair{key: key, tag: tag, rec: rec}
+	if mc.fast {
+		if b, ok := data.AppendNormKey(mc.nkBuf[:0], key); ok {
+			kv.nk = string(b)
+			mc.nkBuf = b
+		} else {
+			mc.nkBuf = b[:0]
+		}
+	}
+	mc.task.buckets[p] = append(mc.task.buckets[p], kv)
 }
 
 // MapFunc processes one input record.
@@ -216,10 +239,18 @@ type Broadcast struct {
 	Filter   expr.Expr   // optional predicate applied during the build
 }
 
-// HashTable is an in-memory build side keyed by join key hash.
+// HashTable is an in-memory build side indexed by join key. The fast
+// path keys buckets by the normalized key encoding (exact equality, no
+// collision re-checks on probe); the legacy path, and any build side
+// containing an unencodable key, keys them by data.Hash64 with
+// per-candidate equality checks. Both return identical probe results:
+// the rows whose key equals the probe key, in build scan order.
 type HashTable struct {
-	buckets    map[uint64][]data.Value
+	nkBuckets  map[string][]data.Value // fast: normalized key -> rows (scan order)
+	scanRows   []data.Value            // fast: all rows in scan order, for unencodable probes
+	buckets    map[uint64][]data.Value // legacy: key hash -> candidate rows
 	keyPaths   []data.Path
+	keyAccs    []*data.Accessor
 	rows       int
 	builtBytes int64   // virtual size of the retained (filtered) rows
 	prepBytes  int64   // one-time scan volume to produce the build
@@ -229,22 +260,69 @@ type HashTable struct {
 // buildHashTable indexes a broadcast side, wrapping and filtering as
 // declared.
 func buildHashTable(env *Env, b Broadcast) (*HashTable, error) {
-	ht := &HashTable{buckets: make(map[uint64][]data.Value), keyPaths: b.KeyPaths}
+	ht := &HashTable{keyPaths: b.KeyPaths}
 	ectx := &expr.Ctx{Reg: env.Reg}
+	fast := !env.DisableFastPath
+	filter := b.Filter
+	// When every filter column is rooted at the wrap alias, evaluate the
+	// filter on the raw record before wrapping (identical semantics, see
+	// expr.StripAlias) so dropped records never allocate the wrap object.
+	var stripped expr.Expr
+	if fast && filter != nil && b.Wrap != "" {
+		if s, ok := expr.StripAlias(filter, b.Wrap); ok {
+			if rec, okr := b.File.FirstRecord(); okr {
+				s = expr.Compile(s, rec)
+			}
+			stripped = s
+			filter = nil
+		}
+	}
+	var nkBuf []byte
 	for _, blk := range b.File.Blocks() {
 		for _, rec := range blk.Records() {
+			if stripped != nil && !stripped.Eval(ectx, rec).Truthy() {
+				continue
+			}
 			row := rec
 			if b.Wrap != "" {
-				row = data.Object(data.Field{Name: b.Wrap, Value: rec})
+				row = data.ObjectFromSorted([]data.Field{{Name: b.Wrap, Value: rec}})
 			}
-			if b.Filter != nil && !b.Filter.Eval(ectx, row).Truthy() {
+			if fast && ht.keyAccs == nil {
+				// Compile key paths (and the build filter) against the
+				// first row; accessors verify positions per record, so
+				// heterogeneous rows still resolve correctly.
+				ht.keyAccs = data.CompileAccessors(b.KeyPaths, row)
+				if filter != nil {
+					filter = expr.Compile(filter, row)
+				}
+			}
+			if filter != nil && !filter.Eval(ectx, row).Truthy() {
 				continue
+			}
+			ht.rows++
+			ht.builtBytes += env.VirtualSize(row)
+			if fast && ht.nkBuckets == nil && ht.buckets == nil {
+				ht.nkBuckets = make(map[string][]data.Value)
+			}
+			if ht.nkBuckets != nil {
+				k := ht.compositeKeyFast(row)
+				b, ok := data.AppendNormKey(nkBuf[:0], k)
+				nkBuf = b
+				if ok {
+					ht.nkBuckets[string(b)] = append(ht.nkBuckets[string(b)], row)
+					ht.scanRows = append(ht.scanRows, row)
+					continue
+				}
+				// Unencodable build key: demote the whole table to the
+				// legacy hash index so probe semantics stay uniform.
+				ht.demote()
+			}
+			if ht.buckets == nil {
+				ht.buckets = make(map[uint64][]data.Value)
 			}
 			k := CompositeKey(row, b.KeyPaths)
 			h := data.Hash64(k)
 			ht.buckets[h] = append(ht.buckets[h], row)
-			ht.rows++
-			ht.builtBytes += env.VirtualSize(row)
 		}
 	}
 	if ectx.Err != nil {
@@ -257,12 +335,44 @@ func buildHashTable(env *Env, b Broadcast) (*HashTable, error) {
 	return ht, nil
 }
 
-// Probe returns the build rows whose key equals k. The returned slice
-// aliases the table's bucket when every candidate matches (the common
-// case without hash collisions) and must not be mutated; probes are
-// safe from concurrent tasks because buckets are read-only after the
-// build.
+// demote converts a partially built fast index into the legacy hash
+// index, preserving scan order within each hash bucket.
+func (h *HashTable) demote() {
+	h.buckets = make(map[uint64][]data.Value)
+	for _, row := range h.scanRows {
+		k := CompositeKey(row, h.keyPaths)
+		hh := data.Hash64(k)
+		h.buckets[hh] = append(h.buckets[hh], row)
+	}
+	h.nkBuckets = nil
+	h.scanRows = nil
+}
+
+// compositeKeyFast is CompositeKey through the compiled key accessors.
+func (h *HashTable) compositeKeyFast(row data.Value) data.Value {
+	return CompositeKeyCompiled(row, h.keyAccs)
+}
+
+// Probe returns the build rows whose key equals k, in build scan order.
+// The returned slice aliases the table's bucket in the common case and
+// must not be mutated; probes are safe from concurrent tasks because
+// buckets are read-only after the build.
 func (h *HashTable) Probe(k data.Value) []data.Value {
+	if h.nkBuckets != nil {
+		var arr [48]byte
+		if nk, ok := data.AppendNormKey(arr[:0], k); ok {
+			return h.nkBuckets[string(nk)]
+		}
+		// Unencodable probe key (never produced by TPC-H): exhaustive
+		// scan in build order, matching legacy probe results exactly.
+		var out []data.Value
+		for _, r := range h.scanRows {
+			if data.Equal(CompositeKey(r, h.keyPaths), k) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
 	cands := h.buckets[data.Hash64(k)]
 	if len(cands) == 0 {
 		return nil
@@ -293,6 +403,19 @@ func CompositeKey(row data.Value, paths []data.Path) data.Value {
 	vals := make([]data.Value, len(paths))
 	for i, p := range paths {
 		vals[i] = p.Eval(row)
+	}
+	return data.Array(vals...)
+}
+
+// CompositeKeyCompiled is CompositeKey through compiled accessors; the
+// accessors must have been compiled from the same paths, in order.
+func CompositeKeyCompiled(row data.Value, accs []*data.Accessor) data.Value {
+	if len(accs) == 1 {
+		return accs[0].Eval(row)
+	}
+	vals := make([]data.Value, len(accs))
+	for i, a := range accs {
+		vals[i] = a.Eval(row)
 	}
 	return data.Array(vals...)
 }
@@ -338,6 +461,7 @@ type Spec struct {
 
 type kvPair struct {
 	key data.Value
+	nk  string // normalized key (fast path); "" when disabled or unencodable
 	tag string
 	rec data.Value
 }
@@ -573,22 +697,32 @@ func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (clu
 	// Size output buffers from the split: most maps emit at most one
 	// row per input record, so this avoids the append growth ladder in
 	// the shuffle hot path.
+	fast := j.fastPath()
 	if n := block.NumRecords(); n > 0 {
 		if j.spec.Reduce == nil {
 			if st.outRows == nil {
-				st.outRows = make([]data.Value, 0, n)
+				if fast {
+					st.outRows = getRowSlice(n)
+				} else {
+					st.outRows = make([]data.Value, 0, n)
+				}
 			}
 		} else {
 			per := n/j.numReducers + 1
 			for p := range st.buckets {
 				if st.buckets[p] == nil {
-					st.buckets[p] = make([]kvPair, 0, per)
+					if fast {
+						st.buckets[p] = getKVSlice(per)
+					} else {
+						st.buckets[p] = make([]kvPair, 0, per)
+					}
 				}
 			}
 		}
 	}
 	ectx := &expr.Ctx{Reg: j.env.Reg}
-	mc := &MapCtx{job: j, task: st, ectx: ectx, builds: j.builds}
+	mc := &MapCtx{job: j, task: st, ectx: ectx, builds: j.builds,
+		fast: fast && j.spec.Reduce != nil}
 	for _, rec := range block.Records() {
 		if st.collector != nil {
 			st.collector.ObserveInput()
@@ -633,33 +767,52 @@ func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (clu
 }
 
 // combineBuckets folds each map bucket's rows per key through the
-// combiner.
+// combiner. Groups handed to the combiner are valid only for the
+// duration of the call (the fast path carves them out of a pooled
+// slab); combiners must copy anything they keep, as all in-repo
+// combiners do.
 func (j *Job) combineBuckets(st *mapTaskState, ectx *expr.Ctx) error {
+	fast := j.fastPath()
 	for p, bucket := range st.buckets {
 		if len(bucket) == 0 {
 			continue
 		}
-		sort.SliceStable(bucket, func(a, b int) bool {
-			return data.Compare(bucket[a].key, bucket[b].key) < 0
-		})
+		sortPairsByKey(bucket)
 		cst := &reduceTaskState{partition: p}
 		rc := &ReduceCtx{task: cst, ectx: ectx}
 		var combined []kvPair
+		var slab []Tagged
+		if fast {
+			slab = getTaggedSlab(len(bucket))
+		}
 		for lo := 0; lo < len(bucket); {
 			hi := lo + 1
-			for hi < len(bucket) && data.Equal(bucket[hi].key, bucket[lo].key) {
+			for hi < len(bucket) && samePairKey(&bucket[hi], &bucket[lo]) {
 				hi++
 			}
-			group := make([]Tagged, hi-lo)
-			for i := lo; i < hi; i++ {
-				group[i-lo] = Tagged{Tag: bucket[i].tag, Rec: bucket[i].rec}
+			var group []Tagged
+			if fast {
+				start := len(slab)
+				for i := lo; i < hi; i++ {
+					slab = append(slab, Tagged{Tag: bucket[i].tag, Rec: bucket[i].rec})
+				}
+				group = slab[start:len(slab):len(slab)]
+			} else {
+				group = make([]Tagged, hi-lo)
+				for i := lo; i < hi; i++ {
+					group[i-lo] = Tagged{Tag: bucket[i].tag, Rec: bucket[i].rec}
+				}
 			}
 			cst.outRows = cst.outRows[:0]
 			j.spec.Combine(rc, bucket[lo].key, group)
 			for _, rec := range cst.outRows {
-				combined = append(combined, kvPair{key: bucket[lo].key, rec: rec})
+				combined = append(combined, kvPair{key: bucket[lo].key, nk: bucket[lo].nk, rec: rec})
 			}
 			lo = hi
+		}
+		if fast {
+			putTaggedSlab(slab)
+			putKVSlice(bucket)
 		}
 		st.buckets[p] = combined
 	}
@@ -755,9 +908,21 @@ func (j *Job) makeReduceTasks() []*cluster.Task {
 
 func (j *Job) runReduce(st *reduceTaskState, partition int) (cluster.Usage, error) {
 	var u cluster.Usage
+	fast := j.fastPath()
 	// Gather this partition's pairs from all map tasks in submission
 	// order, then sort by key for grouping.
+	total := 0
+	for _, ms := range j.mapStates {
+		if partition < len(ms.buckets) {
+			total += len(ms.buckets[partition])
+		}
+	}
 	var pairs []kvPair
+	if fast {
+		pairs = getKVSlice(total)
+	} else {
+		pairs = make([]kvPair, 0, total)
+	}
 	for _, ms := range j.mapStates {
 		if partition < len(ms.buckets) {
 			bucket := ms.buckets[partition]
@@ -767,25 +932,46 @@ func (j *Job) runReduce(st *reduceTaskState, partition int) (cluster.Usage, erro
 			}
 		}
 	}
-	sort.SliceStable(pairs, func(a, b int) bool {
-		return data.Compare(pairs[a].key, pairs[b].key) < 0
-	})
+	sortPairsByKey(pairs)
+	if fast && st.outRows == nil {
+		st.outRows = getRowSlice(0)
+	}
 	ectx := &expr.Ctx{Reg: j.env.Reg}
 	rc := &ReduceCtx{task: st, ectx: ectx}
+	// Groups handed to the reducer are valid only for the duration of
+	// the call (the fast path carves them out of a pooled slab);
+	// reducers must copy anything they keep, as all in-repo reducers do.
+	var slab []Tagged
+	if fast {
+		slab = getTaggedSlab(total)
+	}
 	for lo := 0; lo < len(pairs); {
 		hi := lo + 1
-		for hi < len(pairs) && data.Equal(pairs[hi].key, pairs[lo].key) {
+		for hi < len(pairs) && samePairKey(&pairs[hi], &pairs[lo]) {
 			hi++
 		}
-		group := make([]Tagged, hi-lo)
-		for i := lo; i < hi; i++ {
-			group[i-lo] = Tagged{Tag: pairs[i].tag, Rec: pairs[i].rec}
+		var group []Tagged
+		if fast {
+			start := len(slab)
+			for i := lo; i < hi; i++ {
+				slab = append(slab, Tagged{Tag: pairs[i].tag, Rec: pairs[i].rec})
+			}
+			group = slab[start:len(slab):len(slab)]
+		} else {
+			group = make([]Tagged, hi-lo)
+			for i := lo; i < hi; i++ {
+				group[i-lo] = Tagged{Tag: pairs[i].tag, Rec: pairs[i].rec}
+			}
 		}
 		j.spec.Reduce(rc, pairs[lo].key, group)
 		lo = hi
 	}
 	u.Records += int64(len(pairs))
 	u.CPUSeconds += ectx.CPUSeconds
+	if fast {
+		putTaggedSlab(slab)
+		putKVSlice(pairs)
+	}
 	if ectx.Err != nil {
 		return u, ectx.Err
 	}
@@ -854,6 +1040,25 @@ func (j *Job) finish(sub *cluster.Submission) {
 	res.OutputVirtual = res.Output.Size()
 	if len(parts) > 0 {
 		res.Stats = stats.MergePartials(parts)
+	}
+	// The shuffle and output buffers are fully consumed once the job
+	// finishes (the writer copied every record into its blocks); recycle
+	// them for later tasks and jobs. Every Run closure executes at most
+	// once (injected failures skip execution, backups replay the
+	// primary's usage), so no retry can observe a recycled buffer.
+	if j.fastPath() {
+		for _, ms := range j.mapStates {
+			for p := range ms.buckets {
+				putKVSlice(ms.buckets[p])
+				ms.buckets[p] = nil
+			}
+			putRowSlice(ms.outRows)
+			ms.outRows = nil
+		}
+		for _, st := range j.reduceStates {
+			putRowSlice(st.outRows)
+			st.outRows = nil
+		}
 	}
 	j.result = res
 }

@@ -1,0 +1,278 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/stats"
+)
+
+// The differential tests in this file run the same job twice — once
+// with the compiled shuffle fast path, once with the legacy per-record
+// path — and assert the outputs are bit-identical: same records, same
+// order, same statistics. The fast path is a pure host-side
+// optimization; any observable divergence is a bug.
+
+func diffEnv(disable bool) *Env {
+	env := benchEnv()
+	env.DisableFastPath = disable
+	return env
+}
+
+// mixedKeyTable writes records whose shuffle keys cycle through every
+// scalar kind the normalized encoding supports — including negative
+// doubles, the empty string, strings containing 0x00 (the terminator
+// byte that must be escaped), and nulls — so sorting and grouping are
+// exercised across kind boundaries.
+func mixedKeyTable(env *Env, name string, n int) *dfs.File {
+	w := env.FS.Create(name)
+	for i := 0; i < n; i++ {
+		var key data.Value
+		switch i % 7 {
+		case 0:
+			key = data.Int(int64(i%13 - 6))
+		case 1:
+			key = data.Double(float64(i%11) - 5.5)
+		case 2:
+			key = data.String(fmt.Sprintf("k%02d", i%9))
+		case 3:
+			key = data.Bool(i%2 == 0)
+		case 4:
+			key = data.Null()
+		case 5:
+			key = data.String("a\x00" + string(rune('a'+i%3))) // embedded terminator byte
+		case 6:
+			key = data.Double(-0.0)
+		}
+		w.Append(data.Object(
+			data.Field{Name: "k", Value: key},
+			data.Field{Name: "seq", Value: data.Int(int64(i))},
+		))
+	}
+	return w.Close()
+}
+
+// hugeKeyTable mixes encodable keys with integers beyond ±2^53, which
+// the normalized encoding refuses — forcing the Compare-based fallback
+// arm of sortPairsByKey on every batch containing one.
+func hugeKeyTable(env *Env, name string, n int) *dfs.File {
+	w := env.FS.Create(name)
+	for i := 0; i < n; i++ {
+		var key data.Value
+		if i%5 == 0 {
+			key = data.Int(int64(1)<<60 + int64(i%7))
+		} else {
+			key = data.Int(int64(i % 17))
+		}
+		w.Append(data.Object(
+			data.Field{Name: "k", Value: key},
+			data.Field{Name: "seq", Value: data.Int(int64(i))},
+		))
+	}
+	return w.Close()
+}
+
+// runShuffle executes the canonical identity shuffle (key by .k, emit
+// group members in order) with statistics collection on .k.
+func runShuffle(t *testing.T, env *Env, f *dfs.File) *Result {
+	t.Helper()
+	key := data.MustParsePath("k")
+	res, err := Run(env, Spec{
+		Name: "diff-shuffle",
+		Inputs: []Input{{File: f, Map: func(mc *MapCtx, rec data.Value) {
+			mc.EmitKV(key.Eval(rec), "L", rec)
+		}}},
+		Reduce: func(rc *ReduceCtx, key data.Value, group []Tagged) {
+			for _, g := range group {
+				rc.Emit(g.Rec)
+			}
+		},
+		NumReducers:  4,
+		Output:       "diff-shuffled",
+		CollectStats: []data.Path{data.MustParsePath("k")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertSameRecords(t *testing.T, fast, legacy []data.Value) {
+	t.Helper()
+	if len(fast) != len(legacy) {
+		t.Fatalf("record count diverged: fast %d, legacy %d", len(fast), len(legacy))
+	}
+	for i := range fast {
+		if !data.Equal(fast[i], legacy[i]) {
+			t.Fatalf("record %d diverged:\n  fast:   %v\n  legacy: %v", i, fast[i], legacy[i])
+		}
+	}
+}
+
+func assertSameStats(t *testing.T, fast, legacy *stats.Partial) {
+	t.Helper()
+	if fast.InRecords != legacy.InRecords || fast.OutRecords != legacy.OutRecords || fast.OutBytes != legacy.OutBytes {
+		t.Fatalf("partial counters diverged: fast{in=%d out=%d bytes=%d} legacy{in=%d out=%d bytes=%d}",
+			fast.InRecords, fast.OutRecords, fast.OutBytes,
+			legacy.InRecords, legacy.OutRecords, legacy.OutBytes)
+	}
+	fe, le := fast.Exact(), legacy.Exact()
+	if fe.Card != le.Card || fe.AvgRecSize != le.AvgRecSize {
+		t.Fatalf("exact stats diverged: fast{card=%v avg=%v} legacy{card=%v avg=%v}",
+			fe.Card, fe.AvgRecSize, le.Card, le.AvgRecSize)
+	}
+	if len(fe.Cols) != len(le.Cols) {
+		t.Fatalf("column stats diverged: fast has %d cols, legacy %d", len(fe.Cols), len(le.Cols))
+	}
+	for path, fc := range fe.Cols {
+		lc, ok := le.Cols[path]
+		if !ok {
+			t.Fatalf("column %q present only in fast stats", path)
+		}
+		if fc.NDV != lc.NDV || !data.Equal(fc.Min, lc.Min) || !data.Equal(fc.Max, lc.Max) {
+			t.Fatalf("column %q stats diverged: fast{ndv=%v min=%v max=%v} legacy{ndv=%v min=%v max=%v}",
+				path, fc.NDV, fc.Min, fc.Max, lc.NDV, lc.Min, lc.Max)
+		}
+	}
+}
+
+// TestShuffleFastVsLegacyIdentical asserts the shuffle produces
+// bit-identical output with the fast path on and off over keys of
+// every encodable kind.
+func TestShuffleFastVsLegacyIdentical(t *testing.T) {
+	fastEnv, legacyEnv := diffEnv(false), diffEnv(true)
+	fastRes := runShuffle(t, fastEnv, mixedKeyTable(fastEnv, "t", 1500))
+	legacyRes := runShuffle(t, legacyEnv, mixedKeyTable(legacyEnv, "t", 1500))
+	if fastRes.OutRecords != 1500 || legacyRes.OutRecords != 1500 {
+		t.Fatalf("out records: fast %d, legacy %d, want 1500", fastRes.OutRecords, legacyRes.OutRecords)
+	}
+	assertSameRecords(t, fastRes.Output.AllRecords(), legacyRes.Output.AllRecords())
+	assertSameStats(t, fastRes.Stats, legacyRes.Stats)
+}
+
+// TestShuffleFallbackKeysIdentical covers the wholesale fallback to
+// Compare-based sorting: batches containing a key the normalized
+// encoding cannot represent (|int| > 2^53) must still match the legacy
+// path exactly.
+func TestShuffleFallbackKeysIdentical(t *testing.T) {
+	fastEnv, legacyEnv := diffEnv(false), diffEnv(true)
+	fastRes := runShuffle(t, fastEnv, hugeKeyTable(fastEnv, "t", 900))
+	legacyRes := runShuffle(t, legacyEnv, hugeKeyTable(legacyEnv, "t", 900))
+	assertSameRecords(t, fastRes.Output.AllRecords(), legacyRes.Output.AllRecords())
+	assertSameStats(t, fastRes.Stats, legacyRes.Stats)
+}
+
+// TestBroadcastJoinFastVsLegacyIdentical asserts the normalized-key
+// hash table used by map-side joins probes to exactly the same matches
+// as the legacy Compare-based table.
+func TestBroadcastJoinFastVsLegacyIdentical(t *testing.T) {
+	probeKey := data.MustParsePath("k")
+	buildKey := data.MustParsePath("k")
+	run := func(env *Env) []data.Value {
+		probe := mixedKeyTable(env, "probe", 800)
+		build := mixedKeyTable(env, "build", 120)
+		res, err := Run(env, Spec{
+			Name: "diff-bjoin",
+			Inputs: []Input{{File: probe, Map: func(mc *MapCtx, rec data.Value) {
+				for _, m := range mc.Build("b").Probe(probeKey.Eval(rec)) {
+					mc.Emit(data.MergeObjects(rec, m))
+				}
+			}}},
+			Broadcasts: []Broadcast{{Name: "b", File: build, KeyPaths: []data.Path{buildKey}}},
+			Output:     "diff-bjoined",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Output.AllRecords()
+	}
+	assertSameRecords(t, run(diffEnv(false)), run(diffEnv(true)))
+}
+
+// TestSortPairsByKeyMatchesCompareOrder asserts the two comparator
+// arms of sortPairsByKey produce the identical permutation: the same
+// random batch is sorted once with normalized keys attached and once
+// with them stripped (forcing the data.Compare arm), and the resulting
+// orders must agree element for element — including among equal keys,
+// by stability.
+func TestSortPairsByKeyMatchesCompareOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mkKey := func() data.Value {
+		switch rng.Intn(6) {
+		case 0:
+			return data.Int(int64(rng.Intn(21) - 10))
+		case 1:
+			return data.Double(rng.NormFloat64())
+		case 2:
+			return data.String(fmt.Sprintf("s%d", rng.Intn(8)))
+		case 3:
+			return data.Bool(rng.Intn(2) == 0)
+		case 4:
+			return data.Null()
+		default:
+			return data.Array(data.Int(int64(rng.Intn(4))), data.String("x"))
+		}
+	}
+	const n = 2000
+	withNK := make([]kvPair, 0, n)
+	withoutNK := make([]kvPair, 0, n)
+	for i := 0; i < n; i++ {
+		key := mkKey()
+		rec := data.Object(data.Field{Name: "seq", Value: data.Int(int64(i))})
+		nk, ok := data.NormKey(key)
+		if !ok {
+			t.Fatalf("key %v unexpectedly unencodable", key)
+		}
+		withNK = append(withNK, kvPair{key: key, nk: nk, tag: "T", rec: rec})
+		withoutNK = append(withoutNK, kvPair{key: key, tag: "T", rec: rec})
+	}
+	sortPairsByKey(withNK)
+	sortPairsByKey(withoutNK)
+	for i := range withNK {
+		if !data.Equal(withNK[i].rec, withoutNK[i].rec) {
+			t.Fatalf("permutation diverged at %d: fast key %v rec %v, legacy key %v rec %v",
+				i, withNK[i].key, withNK[i].rec, withoutNK[i].key, withoutNK[i].rec)
+		}
+	}
+}
+
+// BenchmarkSortPairsByKey measures the normalized-key sort arm — the
+// comparator on the shuffle's critical path (CI tracks its allocs/op).
+func BenchmarkSortPairsByKey(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 4096
+	base := make([]kvPair, n)
+	for i := range base {
+		key := data.Int(int64(rng.Intn(1 << 20)))
+		nk, _ := data.NormKey(key)
+		base[i] = kvPair{key: key, nk: nk, tag: "T"}
+	}
+	scratch := make([]kvPair, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, base)
+		sortPairsByKey(scratch)
+	}
+}
+
+// BenchmarkSortPairsByKeyCompare measures the data.Compare fallback
+// arm over the same batch, for the legacy-vs-fast comparator ratio.
+func BenchmarkSortPairsByKeyCompare(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 4096
+	base := make([]kvPair, n)
+	for i := range base {
+		base[i] = kvPair{key: data.Int(int64(rng.Intn(1 << 20))), tag: "T"}
+	}
+	scratch := make([]kvPair, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, base)
+		sortPairsByKey(scratch)
+	}
+}

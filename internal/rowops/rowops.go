@@ -90,25 +90,30 @@ func aggValue(ectx *expr.Ctx, it sqlparse.SelectItem, group []data.Value) data.V
 // Sort orders projected output records by the query's ORDER BY. Keys
 // resolve as column paths over the record, falling back to select-item
 // output names for single-component paths.
+//
+// Keys are evaluated once per row up front (not per comparison inside
+// the comparator), then the rows are stably sorted on the precomputed
+// keys — the same comparator verdicts in the same stable sort, so the
+// ordering is identical to sorting with inline key evaluation.
 func Sort(rows []data.Value, order []sqlparse.OrderItem) {
-	keyFor := func(row data.Value, item sqlparse.OrderItem) data.Value {
-		ectx := &expr.Ctx{}
-		v := item.E.Eval(ectx, row)
-		if !v.IsNull() {
-			return v
-		}
-		// Projection flattens rows to their output names, so "r.id"
-		// resolves as the field "id" and "revenue" as itself.
-		if c, ok := item.E.(*expr.Col); ok {
-			if last := c.Path[len(c.Path)-1]; !last.IsIndex {
-				return row.FieldOr(last.Name)
-			}
-		}
-		return v
+	if len(rows) < 2 || len(order) == 0 {
+		return
 	}
-	sort.SliceStable(rows, func(a, b int) bool {
-		for _, item := range order {
-			c := data.Compare(keyFor(rows[a], item), keyFor(rows[b], item))
+	m := len(order)
+	keys := make([]data.Value, len(rows)*m)
+	for i, row := range rows {
+		for j, item := range order {
+			keys[i*m+j] = sortKey(row, item)
+		}
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]*m:], keys[idx[b]*m:]
+		for j, item := range order {
+			c := data.Compare(ka[j], kb[j])
 			if c == 0 {
 				continue
 			}
@@ -119,6 +124,27 @@ func Sort(rows []data.Value, order []sqlparse.OrderItem) {
 		}
 		return false
 	})
+	sorted := make([]data.Value, len(rows))
+	for i, from := range idx {
+		sorted[i] = rows[from]
+	}
+	copy(rows, sorted)
+}
+
+func sortKey(row data.Value, item sqlparse.OrderItem) data.Value {
+	ectx := &expr.Ctx{}
+	v := item.E.Eval(ectx, row)
+	if !v.IsNull() {
+		return v
+	}
+	// Projection flattens rows to their output names, so "r.id"
+	// resolves as the field "id" and "revenue" as itself.
+	if c, ok := item.E.(*expr.Col); ok {
+		if last := c.Path[len(c.Path)-1]; !last.IsIndex {
+			return row.FieldOr(last.Name)
+		}
+	}
+	return v
 }
 
 // GroupKey evaluates the GROUP BY expressions over a row into a

@@ -63,7 +63,11 @@ func (t TableStats) String() string {
 // KMV size); columns exceeding it are treated as high-cardinality.
 const freqCap = 4
 
-// colAcc accumulates per-column observations inside a task.
+// colAcc accumulates per-column observations inside a task. The KMV
+// synopsis and frequency sketch are allocated on the first observation
+// (kmvSize is threaded through observe), so tasks that never see a
+// non-null value for a column — the common case across a job's many
+// map tasks — cost two nil pointers instead of a map and a synopsis.
 type colAcc struct {
 	min, max data.Value
 	seenAny  bool
@@ -75,7 +79,11 @@ type colAcc struct {
 	overflow bool
 }
 
-func (a *colAcc) observe(h uint64) {
+func (a *colAcc) observe(h uint64, kmvSize int) {
+	if a.kmv == nil {
+		a.kmv = NewKMV(kmvSize)
+		a.freq = map[uint64]int64{}
+	}
 	a.kmv.Add(h)
 	if a.overflow {
 		return
@@ -103,6 +111,7 @@ type Partial struct {
 // track (only join-relevant attributes, per §4.3, to bound overhead).
 type Collector struct {
 	paths   []data.Path
+	accs    []*data.Accessor // compiled against the first observed record
 	keys    []string
 	partial *Partial
 }
@@ -116,7 +125,7 @@ func NewCollector(paths []data.Path, kmvSize int) *Collector {
 	keys := make([]string, len(paths))
 	for i, path := range paths {
 		keys[i] = path.String()
-		p.cols[keys[i]] = &colAcc{kmv: NewKMV(kmvSize), freq: map[uint64]int64{}}
+		p.cols[keys[i]] = &colAcc{}
 	}
 	return &Collector{paths: paths, keys: keys, partial: p}
 }
@@ -125,11 +134,18 @@ func NewCollector(paths []data.Path, kmvSize int) *Collector {
 func (c *Collector) ObserveInput() { c.partial.InRecords++ }
 
 // ObserveOutput records one output record and its virtual byte size.
+// Column paths are compiled into positional accessors against the first
+// record seen (collectors are per-task, so this is race-free); the
+// accessors verify field positions per record and fall back to name
+// lookup, so values are identical to Path.Eval on any record mix.
 func (c *Collector) ObserveOutput(rec data.Value, sizeBytes int64) {
 	c.partial.OutRecords++
 	c.partial.OutBytes += sizeBytes
-	for i, path := range c.paths {
-		v := path.Eval(rec)
+	if c.accs == nil && len(c.paths) > 0 {
+		c.accs = data.CompileAccessors(c.paths, rec)
+	}
+	for i := range c.paths {
+		v := c.accs[i].Eval(rec)
 		if v.IsNull() {
 			continue
 		}
@@ -141,7 +157,7 @@ func (c *Collector) ObserveOutput(rec data.Value, sizeBytes int64) {
 			acc.max = v
 		}
 		acc.seenAny = true
-		acc.observe(data.Hash64(v))
+		acc.observe(data.Hash64(v), c.partial.kmvSize)
 	}
 }
 
@@ -166,7 +182,7 @@ func MergePartials(parts []*Partial) *Partial {
 		for k, acc := range p.cols {
 			dst, ok := out.cols[k]
 			if !ok {
-				dst = &colAcc{kmv: NewKMV(acc.kmv.K()), freq: map[uint64]int64{}}
+				dst = &colAcc{}
 				out.cols[k] = dst
 			}
 			if acc.seenAny {
@@ -178,7 +194,15 @@ func MergePartials(parts []*Partial) *Partial {
 				}
 				dst.seenAny = true
 			}
-			dst.kmv.Merge(acc.kmv)
+			if acc.kmv != nil {
+				if dst.kmv == nil {
+					dst.kmv = NewKMV(acc.kmv.K())
+					if !dst.overflow {
+						dst.freq = map[uint64]int64{}
+					}
+				}
+				dst.kmv.Merge(acc.kmv)
+			}
 			if acc.overflow {
 				dst.overflow = true
 				dst.freq = nil
@@ -255,7 +279,10 @@ func (p *Partial) Extrapolate(totalInput float64) TableStats {
 // High-cardinality columns (frequency sketch overflow, or nearly all
 // sample values distinct) keep the paper's linear rule.
 func extrapolateNDV(acc *colAcc, scale, card float64) float64 {
-	linear := math.Min(acc.kmv.Estimate()*scale, card)
+	var linear float64
+	if acc.kmv != nil {
+		linear = math.Min(acc.kmv.Estimate()*scale, card)
+	}
 	if acc.overflow || len(acc.freq) == 0 {
 		return linear
 	}
@@ -288,7 +315,11 @@ func (p *Partial) Exact() TableStats {
 		Cols:       make(map[string]ColStats, len(p.cols)),
 	}
 	for k, acc := range p.cols {
-		ts.Cols[k] = ColStats{Min: acc.min, Max: acc.max, NDV: math.Min(acc.kmv.Estimate(), ts.Card)}
+		var ndv float64
+		if acc.kmv != nil {
+			ndv = math.Min(acc.kmv.Estimate(), ts.Card)
+		}
+		ts.Cols[k] = ColStats{Min: acc.min, Max: acc.max, NDV: ndv}
 	}
 	return ts
 }

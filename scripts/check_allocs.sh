@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Benchmark allocation guard: runs the hot-path benchmarks with
+# -benchmem and fails if any allocs/op exceeds its committed ceiling in
+# BENCH_allocs_baseline.txt. ns/op is too noisy for shared CI runners;
+# allocs/op is deterministic enough to gate on, and it is exactly what
+# the compiled fast path exists to keep low.
+#
+# Usage: scripts/check_allocs.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=BENCH_allocs_baseline.txt
+out="${1:-bench_allocs.txt}"
+
+: >"$out"
+# Micro benchmarks amortize one-time init over 100 iterations; the job
+# benchmarks run full map-reduce executions, so one iteration is enough
+# signal and keeps the smoke fast.
+go test -run='^$' -bench='^(BenchmarkHash64|BenchmarkAccessorEval|BenchmarkNormKeyEncode)$' \
+    -benchtime=100x -benchmem ./internal/data | tee -a "$out"
+go test -run='^$' -bench='^(BenchmarkShuffle|BenchmarkSortPairsByKey|BenchmarkSortPairsByKeyCompare)$' \
+    -benchtime=1x -benchmem ./internal/mapreduce | tee -a "$out"
+
+# Extract "name allocs" pairs (the GOMAXPROCS suffix varies by runner).
+measured=$(awk '/allocs\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print name, $(i-1)
+}' "$out")
+
+fail=0
+while read -r name ceiling; do
+    [[ "$name" =~ ^#.*$ || -z "$name" ]] && continue
+    got=$(awk -v n="$name" '$1 == n { print $2 }' <<<"$measured")
+    if [[ -z "$got" ]]; then
+        echo "check_allocs: $name: no measurement (benchmark renamed or removed?)" >&2
+        fail=1
+    elif (( got > ceiling )); then
+        echo "check_allocs: $name: $got allocs/op exceeds ceiling $ceiling" >&2
+        fail=1
+    else
+        echo "check_allocs: $name: $got allocs/op (ceiling $ceiling) ok"
+    fi
+done <"$baseline"
+
+exit $fail
