@@ -5,6 +5,7 @@ import (
 
 	"dyno/internal/baselines"
 	"dyno/internal/experiments"
+	"dyno/internal/optimizer"
 )
 
 // benchConfig keeps a single benchmark iteration around a second; the
@@ -163,6 +164,31 @@ func BenchmarkDynOptEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// benchOptimize runs one exhaustive enumeration of a synthetic join
+// graph per iteration; allocs/op gates memo-table allocation churn.
+func benchOptimize(b *testing.B, kind string, n int) {
+	block, err := experiments.SyntheticJoinBlock(kind, n, 2014)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := optimizer.DefaultConfig(experiments.OptBenchSlotMemory)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.Optimize(block, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeChain12 enumerates a 12-relation chain, the smallest
+// graph the PR's >=5x re-optimization acceptance bar applies to.
+func BenchmarkOptimizeChain12(b *testing.B) { benchOptimize(b, "chain", 12) }
+
+// BenchmarkOptimizeStar10 enumerates a 10-relation star — dense in
+// connected splits, so it stresses branch-and-bound pruning hardest.
+func BenchmarkOptimizeStar10(b *testing.B) { benchOptimize(b, "star", 10) }
 
 // BenchmarkPilotRunsOnly isolates the PILR phase (Algorithm 1).
 func BenchmarkPilotRunsOnly(b *testing.B) {

@@ -7,6 +7,7 @@
 //	dynobench -exp all
 //	dynobench -exp fig7 -scale 0.25
 //	dynobench -exp table1,fig6 -seed 2014
+//	dynobench -exp optbench -optbenchout BENCH_optbench.json
 //	dynobench -parbench BENCH_parallel.json
 //	dynobench -hotpath BENCH_hotpath.json
 //	dynobench -exp fig7 -cpuprofile cpu.prof -memprofile mem.prof
@@ -30,13 +31,15 @@ func main() {
 
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, all (comma-separated)")
+		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, optbench, all (comma-separated)")
 		scale      = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
 		seed       = flag.Int64("seed", 2014, "data generation seed")
 		faultsOut  = flag.String("faultsout", "BENCH_faults.json", "file for the faults experiment's raw sweep points (JSON)")
 		serviceOut = flag.String("serviceout", "BENCH_service.json", "file for the service experiment's report (JSON)")
 		svcClients = flag.Int("service-clients", 4, "concurrent clients for the service experiment")
 		svcQueries = flag.Int("service-queries", 3, "queries per client for the service experiment")
+		optOut     = flag.String("optbenchout", "BENCH_optbench.json", "file for the optbench experiment's report (JSON)")
+		optRepeats = flag.Int("optbench-repeats", 3, "runs per arm for optbench; the best wall time is kept")
 		parbench   = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
 		repeats    = flag.Int("parbench-repeats", 3, "runs per mode for -parbench; the best time is kept")
 		hotpath    = flag.String("hotpath", "", "measure compiled fast path vs legacy wall-clock time and write a JSON report to this file (skips -exp)")
@@ -147,6 +150,30 @@ func run() int {
 	all := want["all"]
 
 	ran := 0
+	if all || want["optbench"] {
+		rep, err := experiments.OptBench(*seed, *optRepeats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: optbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("optimizer bench (GOMAXPROCS=%d, seed %d)\n", rep.GOMAXPROCS, rep.Seed)
+		for _, e := range rep.Entries {
+			ok := "plans identical"
+			if !e.CostsIdentical || !e.PlansIdentical {
+				ok = "PLANS DIVERGED"
+			}
+			fmt.Printf("  %-10s expanded scratch %5d  incremental %5d  pruned %5d  reopt reduction %5.1fx  [%s]\n",
+				e.Graph, e.ScratchExpanded, e.IncrementalExpanded, e.PrunedExpanded, e.ReoptReduction, ok)
+		}
+		if *optOut != "" {
+			if err := writeJSON(*optOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: optbench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("optbench report written to %s\n\n", *optOut)
+		}
+		ran++
+	}
 	if all || want["service"] {
 		rep, err := experiments.ServiceBench(cfg, *svcClients, *svcQueries)
 		if err != nil {

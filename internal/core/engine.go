@@ -118,6 +118,13 @@ type Engine struct {
 	Opt      optimizer.Config
 	Options  Options
 
+	// MemoCache, when set, shares proven optimizer group winners across
+	// queries (and across engines pointing at the same cache). The
+	// owner is responsible for epoch invalidation: swap in a fresh
+	// cache whenever catalog statistics change. Ignored when
+	// Opt.DisableIncremental is set or a Planner override is in use.
+	MemoCache *optimizer.SharedCache
+
 	rng     *rand.Rand
 	queries int
 	pruner  func(data.Value) data.Value
@@ -169,6 +176,14 @@ type Result struct {
 	PlanChanges   int
 	Evolution     []IterationInfo
 	FinalPlan     string
+
+	// Optimizer search-work counters summed over every DYNOPT round:
+	// groups whose splits were enumerated, searches skipped by
+	// branch-and-bound, and winners reused from the previous round's
+	// memo or a shared cross-query cache.
+	OptGroupsExpanded int
+	OptGroupsPruned   int
+	OptGroupsReused   int
 
 	// ResubmittedJobs counts leaf jobs recovered by resubmission after
 	// task-retry exhaustion; Warnings records each degradation the
@@ -294,12 +309,26 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *sqlparse.Query) (*Result
 	return res, nil
 }
 
+// MemoHitOptSec is the constant virtual client time charged for a
+// DYNOPT round whose plan is answered without enumeration — the
+// remainder of the previous plan under the re-optimization threshold,
+// or a memo whose reused winners left nothing to consider. It prices a
+// lookup-and-extract, well under one expression's default
+// OptTimePerExpr charge, and keeps Result.OptimizeSec the exact sum of
+// the per-iteration charges. Charged only when OptTimePerExpr > 0.
+const MemoHitOptSec = 0.0005
+
 // runBlock implements Algorithm 2 (DYNOPT) over one join block.
 func (e *Engine) runBlock(block *plan.JoinBlock, name string, res *Result) (*plan.Rel, error) {
 	relCounter := 0
 	var prevRoot plan.Node
 	executed := map[string]*plan.Rel{} // alias-set key → materialized rel
 	skipReopt := false
+	// One memo session per query: rounds reuse every group the
+	// substitutions left intact, and the shared cache (when the service
+	// attached one) warms the first round from overlapping queries.
+	inc := optimizer.NewIncremental(e.Opt)
+	inc.Shared = e.MemoCache
 	for iter := 1; ; iter++ {
 		if err := e.ctxErr(); err != nil {
 			return nil, err
@@ -318,6 +347,11 @@ func (e *Engine) runBlock(block *plan.JoinBlock, name string, res *Result) (*pla
 		var optSec float64
 		if skipReopt && prevRoot != nil {
 			root = pruneExecuted(prevRoot, executed)
+			if e.Options.OptTimePerExpr > 0 {
+				optSec = MemoHitOptSec
+				e.Env.Advance(optSec)
+				res.OptimizeSec += optSec
+			}
 		} else {
 			var considered int
 			var err error
@@ -325,15 +359,22 @@ func (e *Engine) runBlock(block *plan.JoinBlock, name string, res *Result) (*pla
 				root, considered, err = e.Options.Planner(block, e.Opt)
 			} else {
 				var optRes *optimizer.Result
-				optRes, err = optimizer.Optimize(block, e.Opt)
+				optRes, err = inc.Optimize(block)
 				if err == nil {
 					root, considered = optRes.Root, optRes.ExprsConsidered
+					res.OptGroupsExpanded += optRes.GroupsExpanded
+					res.OptGroupsPruned += optRes.GroupsPruned
+					res.OptGroupsReused += optRes.GroupsReused
 				}
 			}
 			if err != nil {
 				return nil, err
 			}
 			optSec = float64(considered) * e.Options.OptTimePerExpr
+			if optSec == 0 && e.Options.OptTimePerExpr > 0 {
+				// Answered entirely from reused winners.
+				optSec = MemoHitOptSec
+			}
 			e.Env.Advance(optSec)
 			res.OptimizeSec += optSec
 		}

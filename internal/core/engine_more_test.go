@@ -180,3 +180,44 @@ func TestProjectionPushdownWithWholeRecordUDF(t *testing.T) {
 	}
 	checkOracle(t, f, sql, res.Rows)
 }
+
+// TestOptimizeSecSumsExactly pins the accounting contract: the
+// per-iteration OptimizeSec charges recorded in Evolution sum — in
+// order, with no float slack — to Result.OptimizeSec, and a round
+// answered without enumeration (remainder kept under the
+// re-optimization threshold) is charged exactly MemoHitOptSec.
+func TestOptimizeSecSumsExactly(t *testing.T) {
+	sql := `SELECT r.id FROM r, s, u WHERE r.sid = s.id AND s.uid = u.id`
+	run := func(threshold float64) *Result {
+		f := newFixture()
+		opts := smallOpts()
+		opts.ReoptThreshold = threshold
+		e := f.engine(opts)
+		e.Opt.DisableBroadcast = true // multiple iterations
+		res, err := e.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, threshold := range []float64{0, 100.0} {
+		res := run(threshold)
+		var sum float64
+		hits := 0
+		for i, it := range res.Evolution {
+			sum += it.OptimizeSec
+			if it.OptimizeSec == MemoHitOptSec {
+				hits++
+			} else if it.OptimizeSec <= 0 {
+				t.Errorf("threshold %v: iteration %d charged %v", threshold, i+1, it.OptimizeSec)
+			}
+		}
+		if sum != res.OptimizeSec {
+			t.Errorf("threshold %v: evolution sum %v != OptimizeSec %v",
+				threshold, sum, res.OptimizeSec)
+		}
+		if threshold == 100.0 && len(res.Evolution) >= 2 && hits == 0 {
+			t.Error("lenient threshold skipped no round at MemoHitOptSec")
+		}
+	}
+}

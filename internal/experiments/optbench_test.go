@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"dyno/internal/baselines"
+	"dyno/internal/optimizer"
+)
+
+func TestSyntheticJoinBlockShapes(t *testing.T) {
+	cases := []struct {
+		kind  string
+		n     int
+		preds int
+	}{
+		{"chain", 5, 4},
+		{"chain", 20, 19},
+		{"star", 8, 7},
+		{"clique", 6, 15},
+	}
+	for _, c := range cases {
+		b, err := SyntheticJoinBlock(c.kind, c.n, 7)
+		if err != nil {
+			t.Fatalf("%s-%d: %v", c.kind, c.n, err)
+		}
+		if len(b.Rels) != c.n || len(b.JoinPreds) != c.preds {
+			t.Errorf("%s-%d: got %d rels, %d preds, want %d, %d",
+				c.kind, c.n, len(b.Rels), len(b.JoinPreds), c.n, c.preds)
+		}
+		for _, r := range b.Rels {
+			if r.Stats.Card < 1 || r.Stats.AvgRecSize <= 0 || len(r.Stats.Cols) == 0 {
+				t.Errorf("%s-%d: relation %s has degenerate stats %+v", c.kind, c.n, r.Name, r.Stats)
+			}
+		}
+		// Seeded: the same seed must regenerate the same graph.
+		b2, _ := SyntheticJoinBlock(c.kind, c.n, 7)
+		for i := range b.Rels {
+			if b.Rels[i].Stats.Card != b2.Rels[i].Stats.Card {
+				t.Errorf("%s-%d: generation is not deterministic", c.kind, c.n)
+				break
+			}
+		}
+	}
+	if _, err := SyntheticJoinBlock("ring", 5, 7); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := SyntheticJoinBlock("chain", 1, 7); err == nil {
+		t.Error("n=1 should error")
+	}
+}
+
+// TestOptBenchReductionAndIdentity is the PR's acceptance gate: every
+// graph's three arms must choose byte-identical plans with identical
+// costs every round, and the 12+-relation graphs must show at least a
+// 5x reduction in groups expanded during re-optimization rounds
+// (incremental+pruned vs. from-scratch). The clique entry is exempt
+// from the reduction bar by staying below 12 relations — dense graphs
+// have no reuse locality, which EXPERIMENTS.md documents.
+func TestOptBenchReductionAndIdentity(t *testing.T) {
+	rep, err := OptBench(2014, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) == 0 {
+		t.Fatal("no entries")
+	}
+	for _, e := range rep.Entries {
+		if !e.CostsIdentical {
+			t.Errorf("%s: arms chose plans with different costs", e.Graph)
+		}
+		if !e.PlansIdentical {
+			t.Errorf("%s: arms chose structurally different plans", e.Graph)
+		}
+		if e.Rounds != e.Relations-1 {
+			t.Errorf("%s: %d rounds, want %d (one join materialized per round)",
+				e.Graph, e.Rounds, e.Relations-1)
+		}
+		if e.Relations >= 12 && e.ReoptReduction < 5 {
+			t.Errorf("%s: re-optimization reduction %.1fx, want >= 5x (scratch %d vs pruned %d)",
+				e.Graph, e.ReoptReduction, e.ScratchReoptExpanded, e.PrunedReoptExpanded)
+		}
+		if e.IncrementalExpanded > e.ScratchExpanded {
+			t.Errorf("%s: incremental expanded %d > scratch %d",
+				e.Graph, e.IncrementalExpanded, e.ScratchExpanded)
+		}
+	}
+}
+
+// TestIncrementalTPCHByteIdentical runs the evaluation queries the
+// acceptance criteria name through the DYNOPT engine with incremental
+// reuse and pruning on (the default) and off, and asserts the plans
+// are byte-identical: same plan every iteration, same final plan, same
+// rows. Only the virtual optimizer-time charge may differ — that is
+// the point of the feature.
+func TestIncrementalTPCHByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TPC-H differential is slow")
+	}
+	cfg := testConfig()
+	for _, query := range []string{"Q8p", "Q9p", "Q10"} {
+		query := query
+		t.Run(query, func(t *testing.T) {
+			on, err := runVariantFull(baselines.VariantDynOpt, 100, cfg, query, false, nil, nil)
+			if err != nil {
+				t.Fatalf("incremental on: %v", err)
+			}
+			off, err := runVariantFull(baselines.VariantDynOpt, 100, cfg, query, false, nil,
+				func(o *optimizer.Config) {
+					o.DisableIncremental = true
+					o.DisablePruning = true
+				})
+			if err != nil {
+				t.Fatalf("incremental off: %v", err)
+			}
+			if on.res.FinalPlan != off.res.FinalPlan {
+				t.Errorf("final plans differ:\non:\n%s\noff:\n%s", on.res.FinalPlan, off.res.FinalPlan)
+			}
+			if len(on.res.Evolution) != len(off.res.Evolution) {
+				t.Fatalf("iteration counts differ: %d vs %d", len(on.res.Evolution), len(off.res.Evolution))
+			}
+			for i := range on.res.Evolution {
+				if on.res.Evolution[i].Plan != off.res.Evolution[i].Plan {
+					t.Errorf("iteration %d plans differ:\non:\n%s\noff:\n%s",
+						i+1, on.res.Evolution[i].Plan, off.res.Evolution[i].Plan)
+				}
+			}
+			if !reflect.DeepEqual(on.res.Rows, off.res.Rows) {
+				t.Error("result rows differ")
+			}
+			if on.res.Jobs != off.res.Jobs || on.res.PlanChanges != off.res.PlanChanges {
+				t.Errorf("execution traces differ: jobs %d vs %d, plan changes %d vs %d",
+					on.res.Jobs, off.res.Jobs, on.res.PlanChanges, off.res.PlanChanges)
+			}
+		})
+	}
+}

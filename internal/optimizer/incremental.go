@@ -1,0 +1,574 @@
+// Incremental optimization: DYNOPT re-optimizes after every checkpoint
+// (§5.1), but each round's block differs from the previous one only
+// where executed sub-plans were replaced by materialized relations with
+// measured statistics. Rebuilding the memo from scratch every round
+// makes optimizer time grow with round count and join-graph size; an
+// Incremental session instead carries the memo across rounds,
+// invalidating only groups whose bitmask intersects the affected
+// leaves, and re-costs the previous winner to seed the
+// branch-and-bound upper bound for the groups it must re-enumerate.
+// A SharedCache extends the same reuse across queries that share join
+// sub-graphs over one catalog epoch.
+package optimizer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dyno/internal/expr"
+	"dyno/internal/plan"
+	"dyno/internal/stats"
+)
+
+// Incremental is a per-query optimization session that reuses memo
+// state between successive Optimize calls over evolving versions of the
+// same join block. Reuse is sound only when the blocks are related the
+// way core.Engine relates them — surviving relations keep their
+// *plan.Rel identity and order while executed sub-plans collapse into
+// fresh relations appended at the end — and is verified structurally:
+// when a block cannot be mapped onto the previous one the session
+// silently falls back to a from-scratch search. Not safe for
+// concurrent use; Shared may be a SharedCache used by many sessions.
+type Incremental struct {
+	Cfg    Config
+	Shared *SharedCache
+
+	prev     *memo
+	prevRels []*plan.Rel
+	prevFPs  []uint64
+	prevPlan *shapeNode
+}
+
+// NewIncremental starts a session with the given search configuration.
+func NewIncremental(cfg Config) *Incremental {
+	return &Incremental{Cfg: cfg}
+}
+
+// Optimize behaves exactly like the package-level Optimize — same plan,
+// same errors — but reuses unaffected memo groups from the previous
+// round and, when a SharedCache is attached, from other queries.
+// Cfg.DisableIncremental turns both off.
+func (inc *Incremental) Optimize(block *plan.JoinBlock) (*Result, error) {
+	m, err := newMemoChecked(block, inc.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	seed := math.Inf(1)
+	if !inc.Cfg.DisableIncremental {
+		if inc.prev != nil {
+			seed = inc.adopt(m, block)
+		}
+		if inc.Shared != nil {
+			m.importShared(inc.Shared)
+		}
+	}
+	res, err := m.run(seed)
+	if err != nil {
+		inc.prev, inc.prevRels, inc.prevFPs, inc.prevPlan = nil, nil, nil, nil
+		return nil, err
+	}
+	if !inc.Cfg.DisableIncremental {
+		if inc.Shared != nil {
+			m.exportShared(inc.Shared)
+		}
+		inc.remember(m, block)
+	}
+	return res, nil
+}
+
+// remember snapshots the round's memo and the identity of its leaves so
+// the next round can map its block back onto this one.
+func (inc *Incremental) remember(m *memo, block *plan.JoinBlock) {
+	inc.prev = m
+	inc.prevRels = append([]*plan.Rel(nil), block.Rels...)
+	inc.prevFPs = make([]uint64, len(block.Rels))
+	for i, r := range block.Rels {
+		inc.prevFPs[i] = statsFP(r.Stats)
+	}
+	inc.prevPlan = m.shape(uint64(1)<<uint(len(block.Rels)) - 1)
+}
+
+// adopt seeds the fresh memo from the previous round's: groups composed
+// entirely of surviving relations (same *plan.Rel, same statistics)
+// keep their proven winners and lower bounds under a bit relabeling,
+// and the previous winning plan — executed sub-plans collapsed to
+// their materialized relations — is re-costed under the new statistics
+// to produce the branch-and-bound seed it returns (+Inf when no
+// mapping exists). The relabeling is order-preserving, so a translated
+// winner is exactly what a fresh search of that group would have
+// chosen, tie-breaks included.
+func (inc *Incremental) adopt(m *memo, block *plan.JoinBlock) float64 {
+	inf := math.Inf(1)
+	oldIdx := make(map[*plan.Rel]int, len(inc.prevRels))
+	aliasOld := map[string]int{}
+	for i, r := range inc.prevRels {
+		oldIdx[r] = i
+		for _, a := range r.Aliases {
+			aliasOld[a] = i
+		}
+	}
+	// Map every new relation to the old relation(s) it came from:
+	// survivors by pointer identity (statistics unchanged), new
+	// intermediates by the set of old relations their aliases cover.
+	oldBitToNew := make(map[int]uint64)
+	collapsed := make(map[uint64]uint64)
+	var survivors uint64
+	for i, r := range block.Rels {
+		if j, ok := oldIdx[r]; ok && inc.prevFPs[j] == statsFP(r.Stats) {
+			oldBitToNew[j] = 1 << uint(i)
+			survivors |= 1 << uint(j)
+			continue
+		}
+		var om uint64
+		ok := true
+		for _, a := range r.Aliases {
+			j, found := aliasOld[a]
+			if !found {
+				ok = false
+				break
+			}
+			om |= 1 << uint(j)
+		}
+		if !ok || om == 0 {
+			return inf
+		}
+		aliases := 0
+		for rem := om; rem != 0; rem &= rem - 1 {
+			aliases += len(inc.prevRels[bits.TrailingZeros64(rem)].Aliases)
+		}
+		if aliases != len(r.Aliases) {
+			return inf // partial coverage: not a clean collapse
+		}
+		collapsed[om] = 1 << uint(i)
+	}
+	translateSurvivors := func(old uint64) uint64 {
+		var out uint64
+		for rem := old; rem != 0; rem &= rem - 1 {
+			out |= oldBitToNew[bits.TrailingZeros64(rem)]
+		}
+		return out
+	}
+	// Install every survivor-pure group: proven winners verbatim
+	// (children of a proven winner are themselves survivor-pure and
+	// proven, so the closure extract needs is preserved), failed-search
+	// lower bounds as a head start for bounded searches.
+	for omask, oe := range inc.prev.entries {
+		if oe == nil || omask&^survivors != 0 || bits.OnesCount64(omask) <= 1 {
+			continue
+		}
+		nmask := translateSurvivors(omask)
+		if oe.proven && oe.w != nil {
+			w := *oe.w
+			w.leftMask = translateSurvivors(oe.w.leftMask)
+			w.rightMask = translateSurvivors(oe.w.rightMask)
+			m.entries[nmask] = &entry{w: &w, proven: true, lb: math.Inf(-1)}
+			m.reused++
+		} else if !oe.proven && !math.IsInf(oe.lb, -1) {
+			if ne := m.entries[nmask]; ne == nil {
+				m.entries[nmask] = &entry{lb: oe.lb}
+			} else if !ne.proven && oe.lb > ne.lb {
+				ne.lb = oe.lb
+			}
+		}
+	}
+	// Seed: the previous winner with executed sub-trees collapsed to
+	// leaves is a valid plan for the new block; its cost under the new
+	// statistics upper-bounds the new optimum.
+	ts := translateShape(inc.prevPlan, func(old uint64) (uint64, bool) {
+		var out uint64
+		rem := old
+		for om, nb := range collapsed {
+			if rem&om == om {
+				out |= nb
+				rem &^= om
+			} else if rem&om != 0 {
+				return 0, false // straddles a collapsed sub-plan
+			}
+		}
+		if rem&^survivors != 0 {
+			return 0, false
+		}
+		return out | translateSurvivors(rem), true
+	})
+	if ts == nil {
+		return inf
+	}
+	if cost, ok := m.costShape(ts); ok {
+		return cost
+	}
+	return inf
+}
+
+// shapeNode is a structural snapshot of a winning plan — masks,
+// methods, orientation — detached from the memo that produced it.
+type shapeNode struct {
+	mask        uint64
+	leaf        bool
+	method      plan.JoinMethod
+	left, right *shapeNode
+}
+
+// shape captures the winning tree of a group as shapeNodes.
+func (m *memo) shape(mask uint64) *shapeNode {
+	if bits.OnesCount64(mask) == 1 {
+		return &shapeNode{mask: mask, leaf: true}
+	}
+	e := m.entries[mask]
+	if e == nil || e.w == nil {
+		return nil
+	}
+	l, r := m.shape(e.w.leftMask), m.shape(e.w.rightMask)
+	if l == nil || r == nil {
+		return nil
+	}
+	return &shapeNode{mask: mask, method: e.w.method, left: l, right: r}
+}
+
+// translateShape rewrites a shape's masks through tr; a subtree whose
+// whole mask maps to a single bit collapses into a leaf (its interior
+// was executed and materialized).
+func translateShape(s *shapeNode, tr func(uint64) (uint64, bool)) *shapeNode {
+	if s == nil {
+		return nil
+	}
+	nm, ok := tr(s.mask)
+	if !ok || nm == 0 {
+		return nil
+	}
+	if s.leaf || bits.OnesCount64(nm) == 1 {
+		return &shapeNode{mask: nm, leaf: true}
+	}
+	l, r := translateShape(s.left, tr), translateShape(s.right, tr)
+	if l == nil || r == nil {
+		return nil
+	}
+	return &shapeNode{mask: nm, method: s.method, left: l, right: r}
+}
+
+// costShape prices a fixed plan shape under this memo's statistics with
+// exactly the search's cost formulas, including chain anticipation and
+// broadcast memory eligibility (an ineligible shape yields no bound).
+func (m *memo) costShape(s *shapeNode) (float64, bool) {
+	if s.leaf {
+		return 0, true
+	}
+	lc, ok := m.costShape(s.left)
+	if !ok {
+		return 0, false
+	}
+	rc, ok := m.costShape(s.right)
+	if !ok {
+		return 0, false
+	}
+	childCost := lc + rc
+	outCost := m.cfg.COut * m.propsFor(s.mask).bytes()
+	lp, rp := m.propsFor(s.left.mask), m.propsFor(s.right.mask)
+	switch s.method {
+	case plan.Repartition:
+		return childCost + m.cfg.CRep*(lp.bytes()+rp.bytes()) + outCost + m.cfg.CJob, true
+	case plan.BroadcastJoin:
+		if m.cfg.DisableBroadcast {
+			return 0, false
+		}
+		if m.cfg.LeftDeepOnly && bits.OnesCount64(s.right.mask) > 1 {
+			return 0, false
+		}
+		bp := m.propsFor(s.right.mask)
+		budget := m.cfg.Mmax
+		if m.cfg.RiskFactor > 1 {
+			for joins := bits.OnesCount64(s.right.mask) - 1; joins > 0; joins-- {
+				budget /= m.cfg.RiskFactor
+			}
+		}
+		if bp.bytesUp() > budget && m.cfg.Mmax > 0 {
+			return 0, false
+		}
+		probeBytes := lp.bytes()
+		c := childCost + m.cfg.CProbe*probeBytes +
+			m.cfg.CBuild*bp.bytes()*m.replication(probeBytes) + outCost
+		chains := !m.cfg.DisableChaining && !s.left.leaf && s.left.method == plan.BroadcastJoin
+		if !chains {
+			c += m.cfg.CJob
+		}
+		return c, true
+	}
+	return 0, false
+}
+
+// statsFP fingerprints the statistics fields the search actually reads
+// (cardinality, record size, per-column NDVs); matching fingerprints
+// make two relations interchangeable for costing.
+func statsFP(s stats.TableStats) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	put(s.Card)
+	put(s.AvgRecSize)
+	cols := make([]string, 0, len(s.Cols))
+	for c := range s.Cols {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		h.Write([]byte(c))
+		put(s.Cols[c].NDV)
+	}
+	return h.Sum64()
+}
+
+// SharedCache stores proven group winners keyed by content — leaf scan
+// signatures plus statistics fingerprints plus the join/residual
+// predicate signatures and cost configuration — so structurally
+// overlapping queries over the same catalog epoch start their searches
+// warm. Epoch invalidation is the owner's job: the server swaps the
+// whole cache when statistics change. Safe for concurrent use.
+//
+// Identity caveat: across queries only cost equality is guaranteed.
+// Two queries may enumerate the same logical group in different split
+// orders, so on exact cost ties a cached winner can differ structurally
+// from the one a cold search would pick (within one session adopt()
+// preserves tie-breaks exactly; DisableIncremental restores cold
+// behavior everywhere).
+type SharedCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]sharedGroup
+	order   []string
+}
+
+type sharedGroup struct {
+	cost     float64
+	method   plan.JoinMethod
+	keys     []string // sorted leaf keys of the whole group
+	leftKeys []string // leaf keys of the winner's left (probe) side
+}
+
+// DefaultSharedCacheGroups bounds a SharedCache when no capacity is
+// given.
+const DefaultSharedCacheGroups = 8192
+
+// NewSharedCache returns a cache bounded to max groups (FIFO eviction;
+// max <= 0 means DefaultSharedCacheGroups).
+func NewSharedCache(max int) *SharedCache {
+	if max <= 0 {
+		max = DefaultSharedCacheGroups
+	}
+	return &SharedCache{max: max, entries: make(map[string]sharedGroup)}
+}
+
+// Len reports the number of cached group winners.
+func (c *SharedCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *SharedCache) putAll(keys []string, groups []sharedGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, k := range keys {
+		if _, ok := c.entries[k]; ok {
+			continue // first winner sticks: deterministic under concurrency
+		}
+		c.entries[k] = groups[i]
+		c.order = append(c.order, k)
+	}
+	for len(c.entries) > c.max && len(c.order) > 0 {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+func (c *SharedCache) snapshot() (keys []string, groups []sharedGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys = make([]string, 0, len(c.entries))
+	groups = make([]sharedGroup, 0, len(c.entries))
+	for _, k := range c.order {
+		if g, ok := c.entries[k]; ok {
+			keys = append(keys, k)
+			groups = append(groups, g)
+		}
+	}
+	return keys, groups
+}
+
+// relKeys returns each relation's content key — scan signature plus
+// statistics fingerprint — or "" for relations that are not base scans
+// (materialized intermediates are query-local and never shared).
+func (m *memo) relKeys() []string {
+	keys := make([]string, len(m.block.Rels))
+	for i, r := range m.block.Rels {
+		if r.Leaf == nil {
+			continue
+		}
+		keys[i] = r.Leaf.Signature() + "#" + strconv.FormatUint(statsFP(r.Stats), 16)
+	}
+	return keys
+}
+
+func (m *memo) cfgSig() string {
+	return fmt.Sprintf("%+v", m.cfg)
+}
+
+// groupKey builds the content key of a subset: configuration, sorted
+// leaf keys, and the signatures of every join predicate and residual
+// the subset carries. Two groups with equal keys cost identically in
+// any memo.
+func (m *memo) groupKey(mask uint64, keys []string, cfgSig string) (string, bool) {
+	parts := make([]string, 0, bits.OnesCount64(mask))
+	for rem := mask; rem != 0; rem &= rem - 1 {
+		k := keys[bits.TrailingZeros64(rem)]
+		if k == "" {
+			return "", false
+		}
+		parts = append(parts, k)
+	}
+	sort.Strings(parts)
+	var preds []string
+	for _, e := range m.edges {
+		if mask&(1<<uint(e.li)) != 0 && mask&(1<<uint(e.ri)) != 0 {
+			preds = append(preds, expr.Signature(e.pred))
+		}
+	}
+	for _, r := range m.residuals {
+		if r.mask&mask == r.mask {
+			preds = append(preds, expr.Signature(r.pred))
+		}
+	}
+	sort.Strings(preds)
+	return cfgSig + "\x01" + strings.Join(parts, "\x02") + "\x01" + strings.Join(preds, "\x02"), true
+}
+
+// exportShared publishes this memo's proven multi-relation winners over
+// base scans into the cache (sorted for deterministic insertion order).
+func (m *memo) exportShared(c *SharedCache) {
+	keys := m.relKeys()
+	sig := m.cfgSig()
+	var ks []string
+	var gs []sharedGroup
+	for mask, e := range m.entries {
+		if e == nil || !e.proven || e.w == nil || e.w.leaf || bits.OnesCount64(mask) < 2 {
+			continue
+		}
+		gk, ok := m.groupKey(mask, keys, sig)
+		if !ok {
+			continue
+		}
+		g := sharedGroup{cost: e.w.cost, method: e.w.method}
+		for rem := mask; rem != 0; rem &= rem - 1 {
+			g.keys = append(g.keys, keys[bits.TrailingZeros64(rem)])
+		}
+		sort.Strings(g.keys)
+		for rem := e.w.leftMask; rem != 0; rem &= rem - 1 {
+			g.leftKeys = append(g.leftKeys, keys[bits.TrailingZeros64(rem)])
+		}
+		ks = append(ks, gk)
+		gs = append(gs, g)
+	}
+	idx := make([]int, len(ks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
+	sk := make([]string, len(ks))
+	sg := make([]sharedGroup, len(gs))
+	for i, j := range idx {
+		sk[i] = ks[j]
+		sg[i] = gs[j]
+	}
+	c.putAll(sk, sg)
+}
+
+// importShared installs cached winners whose leaves all appear in this
+// block, smallest groups first so every installed winner's children are
+// single relations or already-installed groups (the closure extract
+// relies on). Keys are recomputed locally and must match exactly, which
+// re-verifies predicates and configuration.
+func (m *memo) importShared(c *SharedCache) {
+	keys := m.relKeys()
+	bit := make(map[string]uint64, len(keys))
+	for i, k := range keys {
+		if k != "" {
+			bit[k] = 1 << uint(i)
+		}
+	}
+	if len(bit) == 0 {
+		return
+	}
+	cks, cgs := c.snapshot()
+	idx := make([]int, len(cks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if la, lb := len(cgs[idx[a]].keys), len(cgs[idx[b]].keys); la != lb {
+			return la < lb
+		}
+		return cks[idx[a]] < cks[idx[b]]
+	})
+	sig := m.cfgSig()
+	for _, i := range idx {
+		g := cgs[i]
+		var mask, lmask uint64
+		ok := true
+		for _, k := range g.keys {
+			b, found := bit[k]
+			if !found {
+				ok = false
+				break
+			}
+			mask |= b
+		}
+		if !ok || bits.OnesCount64(mask) != len(g.keys) {
+			continue
+		}
+		for _, k := range g.leftKeys {
+			b, found := bit[k]
+			if !found {
+				ok = false
+				break
+			}
+			lmask |= b
+		}
+		if !ok || lmask == 0 || lmask&^mask != 0 || lmask == mask {
+			continue
+		}
+		if gk, built := m.groupKey(mask, keys, sig); !built || gk != cks[i] {
+			continue
+		}
+		if e := m.entries[mask]; e != nil && e.proven {
+			continue
+		}
+		rmask := mask &^ lmask
+		if bits.OnesCount64(lmask) > 1 {
+			if e := m.entries[lmask]; e == nil || !e.proven || e.w == nil {
+				continue
+			}
+		}
+		if bits.OnesCount64(rmask) > 1 {
+			if e := m.entries[rmask]; e == nil || !e.proven || e.w == nil {
+				continue
+			}
+		}
+		m.entries[mask] = &entry{
+			w:      &winner{cost: g.cost, method: g.method, leftMask: lmask, rightMask: rmask},
+			proven: true,
+			lb:     math.Inf(-1),
+		}
+		m.reused++
+	}
+}

@@ -1,0 +1,233 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dyno/internal/plan"
+	"dyno/internal/stats"
+)
+
+// testPickLeafJoin mirrors the engine's leaf-unit selection: the
+// cheapest join with two scan inputs, ties by tree order.
+func testPickLeafJoin(root plan.Node) *plan.Join {
+	var best *plan.Join
+	for _, j := range plan.Joins(root) {
+		if _, ok := j.Left.(*plan.Scan); !ok {
+			continue
+		}
+		if _, ok := j.Right.(*plan.Scan); !ok {
+			continue
+		}
+		if best == nil || j.CostVal < best.CostVal {
+			best = j
+		}
+	}
+	return best
+}
+
+// testMaterialize builds the intermediate relation an executed join
+// leaves behind, with a deterministically perturbed cardinality (the
+// statistics update is what forces re-optimization).
+func testMaterialize(j *plan.Join, name string, rng *rand.Rand, block *plan.JoinBlock) *plan.Rel {
+	factor := math.Exp(rng.NormFloat64() * 0.8)
+	factor = math.Max(0.02, math.Min(factor, 50))
+	card := math.Max(1, math.Round(j.EstCard*factor))
+	covered := map[string]bool{}
+	for _, a := range j.Aliases() {
+		covered[a] = true
+	}
+	var avg float64
+	cols := map[string]stats.ColStats{}
+	for _, r := range block.Rels {
+		in := false
+		for _, a := range r.Aliases {
+			if covered[a] {
+				in = true
+				break
+			}
+		}
+		if !in {
+			continue
+		}
+		avg += r.Stats.AvgRecSize
+		for c, cs := range r.Stats.Cols {
+			cols[c] = stats.ColStats{NDV: math.Min(cs.NDV, card)}
+		}
+	}
+	return &plan.Rel{
+		Name:    name,
+		Aliases: append([]string(nil), j.Aliases()...),
+		Stats:   stats.TableStats{Card: card, AvgRecSize: avg, Cols: cols},
+	}
+}
+
+// testSubstitute replaces the covered relations by the materialized
+// one, mirroring core.substituteRel: survivors keep order, new last.
+func testSubstitute(block *plan.JoinBlock, aliases []string, rel *plan.Rel) {
+	covered := map[string]bool{}
+	for _, a := range aliases {
+		covered[a] = true
+	}
+	var kept []*plan.Rel
+	for _, r := range block.Rels {
+		drop := false
+		for _, a := range r.Aliases {
+			if covered[a] {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			kept = append(kept, r)
+		}
+	}
+	block.Rels = append(kept, rel)
+}
+
+// TestPropertyIncrementalMatchesExhaustive is the PR's determinism
+// contract: across randomized join graphs and randomized DYNOPT-style
+// re-optimization rounds, the incremental session with pruning on must
+// choose exactly the plan (cost AND rendered structure, i.e. the same
+// tie-breaks) a fresh exhaustive enumeration chooses every round.
+func TestPropertyIncrementalMatchesExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		block := randomBlock(r)
+		cfg := DefaultConfig(float64(1+r.Intn(4)) * 1e9 / BroadcastSafety)
+
+		exCfg := cfg
+		exCfg.DisableIncremental = true
+		exCfg.DisablePruning = true
+
+		inc := NewIncremental(cfg)
+		rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+		for round := 0; len(block.Rels) > 1; round++ {
+			fast, err := inc.Optimize(block)
+			if err != nil {
+				t.Logf("seed %d round %d: incremental: %v", seed, round, err)
+				return false
+			}
+			slow, err := Optimize(block, exCfg)
+			if err != nil {
+				t.Logf("seed %d round %d: exhaustive: %v", seed, round, err)
+				return false
+			}
+			if fast.Root.Cost() != slow.Root.Cost() {
+				t.Logf("seed %d round %d: cost %v != exhaustive %v",
+					seed, round, fast.Root.Cost(), slow.Root.Cost())
+				return false
+			}
+			if plan.Format(fast.Root) != plan.Format(slow.Root) {
+				t.Logf("seed %d round %d: plans diverge:\n%s\nvs\n%s",
+					seed, round, plan.Format(fast.Root), plan.Format(slow.Root))
+				return false
+			}
+			// The fail-once policy expands a group at most twice (one
+			// bounded failure, then proven unbounded), so pruned work is
+			// bounded by 2x the exhaustive group count even when seeds
+			// mispredict.
+			if fast.GroupsExpanded > 2*slow.GroupsExpanded {
+				t.Logf("seed %d round %d: incremental expanded %d > 2x exhaustive %d",
+					seed, round, fast.GroupsExpanded, slow.GroupsExpanded)
+				return false
+			}
+			leaf := testPickLeafJoin(fast.Root)
+			if leaf == nil {
+				break // single join left and it is the root; done
+			}
+			rel := testMaterialize(leaf, fmt.Sprintf("t%d", round), rng, block)
+			testSubstitute(block, leaf.Aliases(), rel)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSharedCacheCrossQueryReuse checks that a second session running
+// the same query over a shared memo cache reuses proven groups and
+// still produces exactly the exhaustive plan.
+func TestSharedCacheCrossQueryReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	block := randomBlock(r)
+	for len(block.Rels) < 4 { // ensure the memo has interior groups
+		block = randomBlock(r)
+	}
+	cfg := DefaultConfig(2 << 30)
+	shared := NewSharedCache(0)
+
+	first := NewIncremental(cfg)
+	first.Shared = shared
+	a, err := first.Optimize(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Len() == 0 {
+		t.Fatal("first session exported nothing to the shared cache")
+	}
+
+	second := NewIncremental(cfg)
+	second.Shared = shared
+	b, err := second.Optimize(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GroupsReused == 0 {
+		t.Error("second session reused no groups from the shared cache")
+	}
+	if a.Root.Cost() != b.Root.Cost() || plan.Format(a.Root) != plan.Format(b.Root) {
+		t.Errorf("cached plan differs from first session's:\n%s\nvs\n%s",
+			plan.Format(a.Root), plan.Format(b.Root))
+	}
+}
+
+// TestSharedCacheConcurrent hammers one SharedCache from concurrent
+// sessions over a mix of graphs (run under -race in CI); every session
+// must still produce a plan with exactly the exhaustive plan's cost.
+func TestSharedCacheConcurrent(t *testing.T) {
+	cfg := DefaultConfig(2 << 30)
+	exCfg := cfg
+	exCfg.DisableIncremental = true
+	exCfg.DisablePruning = true
+
+	shared := NewSharedCache(256)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w % 3))) // overlapping graphs
+			block := randomBlock(r)
+			inc := NewIncremental(cfg)
+			inc.Shared = shared
+			got, err := inc.Optimize(block)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, err := Optimize(block, exCfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.Root.Cost() != want.Root.Cost() {
+				errs <- fmt.Errorf("worker %d: cost %v, exhaustive %v",
+					w, got.Root.Cost(), want.Root.Cost())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

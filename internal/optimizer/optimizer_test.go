@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -345,8 +346,11 @@ func TestOptimizeErrors(t *testing.T) {
 	for i := 0; i < 21; i++ {
 		big.Rels = append(big.Rels, mkRel(string(rune('a'+i)), 10, 10, nil))
 	}
-	if _, err := Optimize(big, cfgWithMmax(1)); err == nil {
-		t.Error("oversized block should error")
+	if _, err := Optimize(big, cfgWithMmax(1)); !errors.Is(err, ErrTooManyRelations) {
+		t.Errorf("oversized block: got %v, want ErrTooManyRelations", err)
+	}
+	if _, err := Optimize(starBlock(3, 500), cfgWithMmax(1e9)); errors.Is(err, ErrTooManyRelations) {
+		t.Error("small block must not report ErrTooManyRelations")
 	}
 }
 

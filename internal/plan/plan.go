@@ -267,6 +267,21 @@ func IsLeftDeep(n Node) bool {
 	return true
 }
 
+// Fingerprint renders the plan's structural identity — join methods,
+// chain marks, and leaf alias lists, no cardinality or cost floats —
+// so plans from different optimizer arms can be byte-compared even
+// when their estimate annotations were recomputed.
+func Fingerprint(n Node) string {
+	if j, ok := n.(*Join); ok {
+		label := j.Method.String()
+		if j.Chained {
+			label += "+"
+		}
+		return label + "(" + Fingerprint(j.Left) + "," + Fingerprint(j.Right) + ")"
+	}
+	return strings.Join(n.Aliases(), ",")
+}
+
 // Format renders the plan as an indented tree, in the spirit of the
 // paper's Figures 2 and 3.
 func Format(n Node) string {

@@ -140,3 +140,37 @@ func TestFormatRendersTree(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprintStructureOnly(t *testing.T) {
+	a, b, c := rel("a", 100), rel("b", 10), rel("c", 5)
+	tree := func(cost float64) *Join {
+		inner := &Join{
+			Method: BroadcastJoin, Chained: true,
+			Left: &Scan{Rel: a}, Right: &Scan{Rel: b},
+			EstCard: cost, CostVal: cost,
+		}
+		return &Join{
+			Method: Repartition,
+			Left:   inner, Right: &Scan{Rel: c},
+			EstCard: cost, CostVal: cost,
+		}
+	}
+	x, y := tree(1), tree(99)
+	if Fingerprint(x) != Fingerprint(y) {
+		t.Error("fingerprint must ignore estimate annotations")
+	}
+	if want := "⋈r(⋈b+(a,b),c)"; Fingerprint(x) != want {
+		t.Errorf("Fingerprint = %q, want %q", Fingerprint(x), want)
+	}
+	// Structure changes must change the fingerprint.
+	z := tree(1)
+	z.Method = BroadcastJoin
+	if Fingerprint(x) == Fingerprint(z) {
+		t.Error("fingerprint must reflect the join method")
+	}
+	w := tree(1)
+	w.Left.(*Join).Chained = false
+	if Fingerprint(x) == Fingerprint(w) {
+		t.Error("fingerprint must reflect chain marks")
+	}
+}

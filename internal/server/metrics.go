@@ -19,6 +19,7 @@ type counters struct {
 
 	statsReused atomic.Int64 // leaves whose statistics came from the shared store
 	pilotJobs   atomic.Int64 // pilot jobs actually executed
+	memoReused  atomic.Int64 // optimizer groups answered from reused memo state
 }
 
 // latencySample keeps the last up-to-cap query latencies for
@@ -83,6 +84,9 @@ type MetricsSnapshot struct {
 	StatsReusedLeaves int64 `json:"statsReusedLeaves"`
 	PilotJobs         int64 `json:"pilotJobs"`
 	StatsStoreLeaves  int   `json:"statsStoreLeaves"`
+
+	MemoCacheGroups  int   `json:"memoCacheGroups"`
+	MemoGroupsReused int64 `json:"memoGroupsReused"`
 
 	P50Millis float64 `json:"p50Millis"`
 	P95Millis float64 `json:"p95Millis"`

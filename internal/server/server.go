@@ -50,11 +50,15 @@ type Config struct {
 	MaxQueue     int
 	QueryTimeout time.Duration
 
-	// Cache switches (both caches are on by default) and the plan
-	// cache's entry bound.
+	// Cache switches (all caches are on by default) and the plan and
+	// memo caches' entry bounds. The memo cache shares proven optimizer
+	// group winners across structurally overlapping queries within one
+	// statistics epoch; POST /invalidate discards it with the rest.
 	DisablePlanCache  bool
 	DisableStatsCache bool
+	DisableMemoCache  bool
 	PlanCacheSize     int
+	MemoCacheSize     int
 }
 
 // DefaultConfig returns a service sized for interactive use on the
@@ -116,6 +120,9 @@ type Response struct {
 	PlanCacheHit bool `json:"planCacheHit"`
 	StatsReused  int  `json:"statsReusedLeaves"`
 	PilotJobs    int  `json:"pilotJobs"`
+	// MemoGroupsReused counts optimizer groups answered from a previous
+	// round's memo or the cross-query memo cache instead of enumerated.
+	MemoGroupsReused int `json:"memoGroupsReused,omitempty"`
 
 	Jobs        int     `json:"jobs"`
 	Iterations  int     `json:"iterations"`
@@ -145,10 +152,11 @@ type Server struct {
 	waiting atomic.Int64  // queued + executing requests
 	seq     atomic.Int64  // session tags
 
-	mu    sync.Mutex // guards epoch/store swaps
+	mu    sync.Mutex // guards epoch/store/memo swaps
 	epoch int64
 	store *stats.Store
 	plans *planCache
+	memos *optimizer.SharedCache
 
 	met   counters
 	lat   *latencySample
@@ -188,6 +196,7 @@ func New(cfg Config) (*Server, error) {
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		store:  stats.NewStore(),
 		plans:  newPlanCache(cfg.PlanCacheSize),
+		memos:  optimizer.NewSharedCache(cfg.MemoCacheSize),
 		lat:    newLatencySample(0),
 		start:  time.Now(),
 	}, nil
@@ -274,7 +283,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	s.mu.Lock()
-	epoch, store := s.epoch, s.store
+	epoch, store, memos := s.epoch, s.store, s.memos
 	s.mu.Unlock()
 	key := fmt.Sprintf("e%d|%s|%s|%s", epoch, variant, strategyName, norm)
 	var cached plan.Node
@@ -325,6 +334,11 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 			// expressions skip their pilots.
 			eng.Store = store
 		}
+		if !s.cfg.DisableMemoCache {
+			// Share proven group winners: queries with overlapping join
+			// sub-graphs over this epoch start their searches warm.
+			eng.MemoCache = memos
+		}
 	}
 
 	res, execErr := eng.ExecuteSQLContext(ctx, sql)
@@ -355,6 +369,8 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 		FinalPlan:    res.FinalPlan,
 		Warnings:     res.Warnings,
 	}
+	resp.MemoGroupsReused = res.OptGroupsReused
+	s.met.memoReused.Add(int64(res.OptGroupsReused))
 	if res.Pilot != nil {
 		resp.StatsReused = res.Pilot.Reused
 		resp.PilotJobs = res.Pilot.Jobs
@@ -380,15 +396,16 @@ func (s *Server) cleanupSession(tag string) {
 }
 
 // Invalidate bumps the statistics epoch: the shared statistics store
-// is replaced and the plan cache cleared, so the next queries re-run
-// pilots against the current base tables. Call it after changing base
-// data. Returns the new epoch.
+// and memo cache are replaced and the plan cache cleared, so the next
+// queries re-run pilots and full searches against the current base
+// tables. Call it after changing base data. Returns the new epoch.
 func (s *Server) Invalidate() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.epoch++
 	s.store = stats.NewStore()
 	s.plans.clear()
+	s.memos = optimizer.NewSharedCache(s.cfg.MemoCacheSize)
 	return s.epoch
 }
 
@@ -402,7 +419,7 @@ func (s *Server) Epoch() int64 {
 // Metrics snapshots the service counters.
 func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Lock()
-	epoch, store := s.epoch, s.store
+	epoch, store, memos := s.epoch, s.store, s.memos
 	s.mu.Unlock()
 	inFlight := len(s.sem)
 	queued := int(s.waiting.Load()) - inFlight
@@ -425,6 +442,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 		StatsReusedLeaves: s.met.statsReused.Load(),
 		PilotJobs:         s.met.pilotJobs.Load(),
 		StatsStoreLeaves:  store.Len(),
+		MemoCacheGroups:   memos.Len(),
+		MemoGroupsReused:  s.met.memoReused.Load(),
 		P50Millis:         s.lat.percentile(0.50),
 		P95Millis:         s.lat.percentile(0.95),
 		VirtualSec:        s.gate.Now(),

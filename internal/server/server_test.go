@@ -256,3 +256,66 @@ func TestMaxRowsTruncation(t *testing.T) {
 		t.Errorf("rows=%d truncated=%v, want 1/true", len(r.Rows), r.Truncated)
 	}
 }
+
+func TestMemoCacheReusedAcrossQueries(t *testing.T) {
+	// Disable the plan cache so repeated queries re-optimize and
+	// exercise the shared memo; statistics reuse stays on so the
+	// second query's leaves carry identical fingerprints.
+	s := newTestServer(t, func(c *Config) { c.DisablePlanCache = true })
+	ctx := context.Background()
+
+	r1, err := s.Execute(ctx, Request{Query: "Q8p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.MemoCacheGroups == 0 {
+		t.Fatal("first query exported no memo groups")
+	}
+
+	r2, err := s.Execute(ctx, Request{Query: "Q8p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first run can only reuse groups within its own session
+	// (across DYNOPT rounds); the second also imports the shared
+	// memo, so it must reuse strictly more.
+	if r2.MemoGroupsReused <= r1.MemoGroupsReused {
+		t.Errorf("memo reuse did not grow across queries: %d then %d",
+			r1.MemoGroupsReused, r2.MemoGroupsReused)
+	}
+	if got, want := rowsKey(t, r2.Rows), rowsKey(t, r1.Rows); got != want {
+		t.Fatalf("rows differ under memo reuse:\n%s\nvs\n%s", got, want)
+	}
+
+	// Invalidation drops the shared memo with the statistics epoch:
+	// the next run repeats the first run's behavior exactly.
+	s.Invalidate()
+	r3, err := s.Execute(ctx, Request{Query: "Q8p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.MemoGroupsReused != r1.MemoGroupsReused {
+		t.Errorf("post-invalidate reuse = %d, want %d (fresh cache)",
+			r3.MemoGroupsReused, r1.MemoGroupsReused)
+	}
+
+	// The kill switch pins reuse at the session-local level.
+	off := newTestServer(t, func(c *Config) {
+		c.DisablePlanCache = true
+		c.DisableMemoCache = true
+	})
+	if _, err := off.Execute(ctx, Request{Query: "Q8p"}); err != nil {
+		t.Fatal(err)
+	}
+	r5, err := off.Execute(ctx, Request{Query: "Q8p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.MemoGroupsReused != r1.MemoGroupsReused {
+		t.Errorf("DisableMemoCache run reused %d groups, want session-local %d",
+			r5.MemoGroupsReused, r1.MemoGroupsReused)
+	}
+	if got, want := rowsKey(t, r5.Rows), rowsKey(t, r2.Rows); got != want {
+		t.Fatal("rows differ with the memo cache disabled")
+	}
+}
