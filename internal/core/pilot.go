@@ -200,8 +200,9 @@ func (e *Engine) submitPilot(rel *plan.Rel, queryName string, block *plan.JoinBl
 		Name:   fmt.Sprintf("pilot/%s/%s", queryName, leaf.Alias),
 		Output: fmt.Sprintf("pilot/%s/%s", queryName, leaf.Alias),
 		Inputs: []mapreduce.Input{{
-			File: rel.File,
-			Map:  pilotMap(leaf, rel.File, !e.Env.DisableFastPath),
+			File:     rel.File,
+			Map:      pilotMap(leaf, rel.File, !e.Env.DisableFastPath),
+			BatchMap: pilotBatchMap(leaf),
 		}},
 		CollectStats:         statsPaths,
 		KMVSize:              e.Options.KMVSize,
@@ -251,6 +252,28 @@ func pilotMap(leaf *plan.Leaf, f *dfs.File, fast bool) mapreduce.MapFunc {
 		}
 		mc.Emit(row)
 	}
+}
+
+// pilotBatchMap builds the columnar batch arm of the pilot scan: the
+// alias-stripped leaf predicate evaluated column-wise over the split,
+// survivors emitted from the split's cached wrapped-row slab. Pilots
+// and the final execution scan the same immutable base splits, so the
+// extraction is paid once and shared. Returns nil (no batch arm) when
+// the predicate mentions columns outside the leaf alias or is not
+// batch-evaluable; the per-record pilotMap then runs as before. Early
+// termination (StopAfter) is unaffected — it cancels whole queued
+// tasks, and batch handling still processes exactly one split per
+// task.
+func pilotBatchMap(leaf *plan.Leaf) mapreduce.BatchFunc {
+	pred := leaf.Pred
+	if pred != nil {
+		stripped, ok := expr.StripAlias(pred, leaf.Alias)
+		if !ok {
+			return nil
+		}
+		pred = stripped
+	}
+	return mapreduce.ScanBatch(leaf.Alias, pred)
 }
 
 // finish extracts extrapolated statistics from a completed pilot run.

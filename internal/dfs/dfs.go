@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dyno/internal/data"
 )
@@ -93,11 +94,18 @@ type Block struct {
 	Node     int
 	rawBytes int64
 	records  []data.Value
+	aux      atomic.Value
 }
 
 // Records returns the block's records. Callers must not mutate the
 // slice.
 func (b *Block) Records() []data.Value { return b.records }
+
+// Aux returns the block's auxiliary cache slot. Blocks are immutable
+// once written, so derived read-side state (e.g. a columnar image of
+// the records) may be attached here and shared by every job that scans
+// the split; it is reclaimed with the block itself.
+func (b *Block) Aux() *atomic.Value { return &b.aux }
 
 // NumRecords returns the number of records in the block.
 func (b *Block) NumRecords() int { return len(b.records) }

@@ -13,13 +13,15 @@ import (
 )
 
 // TestFastPathDifferentialWorkload runs the full TPC-H query set
-// through the DYNOPT engine with the compiled fast path forced on and
-// forced off, and asserts the two arms are indistinguishable: same
+// through the DYNOPT engine three ways — columnar batch arm (the
+// default), compiled fast path with batching disabled, and the legacy
+// per-record path — and asserts all arms are indistinguishable: same
 // result rows bit for bit, same virtual-time trace, same job counts,
-// same plan evolution. The fast arm is additionally checked against
+// same plan evolution. The batch arm is additionally checked against
 // the naive relational-algebra oracle so "identical" can never mean
 // "identically wrong". CI runs this under -race, which also guards the
-// fast path's pooled buffers against cross-task sharing bugs.
+// batch layer's shared per-split caches and the fast path's pooled
+// buffers against cross-task sharing bugs.
 func TestFastPathDifferentialWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full differential workload is slow")
@@ -32,11 +34,17 @@ func TestFastPathDifferentialWorkload(t *testing.T) {
 	for _, query := range tpch.QueryNames {
 		query := query
 		t.Run(query, func(t *testing.T) {
-			fastCfg := testConfig()
-			legacyCfg := fastCfg
+			batchCfg := testConfig()
+			fastCfg := batchCfg
+			fastCfg.DisableBatch = true
+			legacyCfg := batchCfg
 			legacyCfg.DisableFastPath = true
 
 			for _, a := range arms {
+				batchRes, err := runVariant(baselines.VariantDynOpt, 100, batchCfg, query, false, a.tweak)
+				if err != nil {
+					t.Fatalf("%s batch: %v", a.name, err)
+				}
 				fast, err := runVariant(baselines.VariantDynOpt, 100, fastCfg, query, false, a.tweak)
 				if err != nil {
 					t.Fatalf("%s fast: %v", a.name, err)
@@ -45,15 +53,16 @@ func TestFastPathDifferentialWorkload(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s legacy: %v", a.name, err)
 				}
-				assertSameResult(t, fast.res, legacy.res)
+				assertSameResult(t, batchRes.res, fast.res)
+				assertSameResult(t, batchRes.res, legacy.res)
 
-				// Oracle check on the fast arm (legacy is transitively
-				// covered by the bit-identical assertion above).
-				l, err := getLab(100, fastCfg)
+				// Oracle check on the batch arm (the other arms are
+				// transitively covered by the bit-identical assertions).
+				l, err := getLab(100, batchCfg)
 				if err != nil {
 					t.Fatal(err)
 				}
-				env := l.newEnv(false, fastCfg)
+				env := l.newEnv(false, batchCfg)
 				q := sqlparse.MustParse(tpch.MustQuerySQL(query))
 				want, err := naive.Evaluate(q, l.cat, env.Reg)
 				if err != nil {
@@ -62,12 +71,12 @@ func TestFastPathDifferentialWorkload(t *testing.T) {
 				if len(want) == 0 {
 					t.Fatalf("%s yields no rows at test scale; assertion vacuous", query)
 				}
-				if len(fast.res.Rows) != len(want) {
-					t.Fatalf("%s: %d rows, oracle %d", a.name, len(fast.res.Rows), len(want))
+				if len(batchRes.res.Rows) != len(want) {
+					t.Fatalf("%s: %d rows, oracle %d", a.name, len(batchRes.res.Rows), len(want))
 				}
 				for i := range want {
-					if !naive.ApproxEqual(fast.res.Rows[i], want[i], 1e-9) {
-						t.Fatalf("%s row %d:\n got %v\nwant %v", a.name, i, fast.res.Rows[i], want[i])
+					if !naive.ApproxEqual(batchRes.res.Rows[i], want[i], 1e-9) {
+						t.Fatalf("%s row %d:\n got %v\nwant %v", a.name, i, batchRes.res.Rows[i], want[i])
 					}
 				}
 			}
@@ -87,10 +96,16 @@ func TestFastPathDifferentialPilotMT(t *testing.T) {
 		o.PilotMode = core.PilotMT
 		o.Strategy = core.Uncertain{N: 2}
 	}
-	fastCfg := testConfig()
-	legacyCfg := fastCfg
+	batchCfg := testConfig()
+	fastCfg := batchCfg
+	fastCfg.DisableBatch = true
+	legacyCfg := batchCfg
 	legacyCfg.DisableFastPath = true
 	for _, query := range []string{"Q8p", "Q10"} {
+		batchRes, err := runVariant(baselines.VariantDynOpt, 100, batchCfg, query, false, tweak)
+		if err != nil {
+			t.Fatalf("%s batch: %v", query, err)
+		}
 		fast, err := runVariant(baselines.VariantDynOpt, 100, fastCfg, query, false, tweak)
 		if err != nil {
 			t.Fatalf("%s fast: %v", query, err)
@@ -99,7 +114,8 @@ func TestFastPathDifferentialPilotMT(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s legacy: %v", query, err)
 		}
-		assertSameResult(t, fast.res, legacy.res)
+		assertSameResult(t, batchRes.res, fast.res)
+		assertSameResult(t, batchRes.res, legacy.res)
 	}
 }
 

@@ -44,6 +44,11 @@ type Config struct {
 	// are bit-identical either way; used by differential tests and the
 	// hotpath benchmark's baseline arm.
 	DisableFastPath bool
+	// DisableBatch turns off the columnar batch arm while keeping the
+	// rest of the fast path on (see mapreduce.Env.DisableBatch).
+	// Results are bit-identical either way; used by differential tests
+	// and the batch benchmark's middle arm.
+	DisableBatch bool
 
 	// Fault-injection knobs for the faults experiment, passed through
 	// to the cluster simulator (zero values disable each mechanism).
@@ -147,6 +152,7 @@ func (l *lab) newEnv(hiveProfile bool, cfg Config) *mapreduce.Env {
 	}
 	env.DistributedCache = hiveProfile
 	env.DisableFastPath = cfg.DisableFastPath
+	env.DisableBatch = cfg.DisableBatch
 	return env
 }
 

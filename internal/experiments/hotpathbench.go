@@ -10,24 +10,28 @@ import (
 )
 
 // HotpathBenchEntry is one query's wall-clock comparison of the
-// compiled execution fast path against the legacy per-record path,
-// both under the serial executor so the measurement isolates
-// per-record cost rather than scheduling. VirtualSec is the simulated
-// query time, asserted equal between the two arms (the fast path must
-// not change what the engine computes, only how fast the host computes
-// it).
+// execution arms under the serial executor, so the measurement
+// isolates per-record cost rather than scheduling: the columnar batch
+// arm (the default), the compiled fast path with batching disabled
+// (PR 4's configuration), and the legacy per-record path. VirtualSec
+// is the simulated query time, asserted equal across all three arms
+// (the accelerators must not change what the engine computes, only how
+// fast the host computes it).
 type HotpathBenchEntry struct {
-	Name       string  `json:"name"`
-	Query      string  `json:"query"`
-	SF         float64 `json:"sf"`
-	FastSec    float64 `json:"fast_sec"`
-	LegacySec  float64 `json:"legacy_sec"`
-	Speedup    float64 `json:"speedup"` // legacy_sec / fast_sec
-	VirtualSec float64 `json:"virtual_sec"`
+	Name         string  `json:"name"`
+	Query        string  `json:"query"`
+	SF           float64 `json:"sf"`
+	BatchSec     float64 `json:"batch_sec"`
+	FastSec      float64 `json:"fast_sec"`
+	LegacySec    float64 `json:"legacy_sec"`
+	Speedup      float64 `json:"speedup"`       // legacy_sec / fast_sec
+	BatchSpeedup float64 `json:"batch_speedup"` // fast_sec / batch_sec
+	VirtualSec   float64 `json:"virtual_sec"`
 }
 
 // HotpathBenchReport is the machine-readable output of HotpathBench
-// (written to BENCH_hotpath.json by cmd/dynobench).
+// (written to BENCH_hotpath.json and BENCH_batch.json by
+// cmd/dynobench).
 type HotpathBenchReport struct {
 	GOMAXPROCS int                 `json:"gomaxprocs"`
 	Scale      float64             `json:"scale"`
@@ -37,10 +41,12 @@ type HotpathBenchReport struct {
 }
 
 // HotpathBench measures wall-clock time of representative DYNOPT
-// executions with the compiled fast path enabled versus disabled
-// (Config.DisableFastPath). Each query runs `repeats` times per arm
-// and keeps the best time. Both arms run serially so the ratio
-// reflects per-record execution cost only.
+// executions across the three execution arms: batch (fast path +
+// columnar batching, the default), fast (Config.DisableBatch — PR 4's
+// fast path alone), and legacy (Config.DisableFastPath — the
+// per-record baseline). Each query runs `repeats` times per arm and
+// keeps the best time. All arms run serially so the ratios reflect
+// per-record execution cost only.
 func HotpathBench(cfg Config, repeats int) (*HotpathBenchReport, error) {
 	cfg = cfg.normalized()
 	if repeats < 1 {
@@ -61,7 +67,7 @@ func HotpathBench(cfg Config, repeats int) (*HotpathBenchReport, error) {
 		{"hotpath-q10", "Q10", 100},
 	}
 	// Warm the dataset cache so generation cost stays out of the
-	// measurements (both arms share the lab).
+	// measurements (all arms share the lab).
 	if _, err := getLab(100, cfg); err != nil {
 		return nil, err
 	}
@@ -81,11 +87,18 @@ func HotpathBench(cfg Config, repeats int) (*HotpathBenchReport, error) {
 		return wall, virtual, nil
 	}
 	for _, sc := range scenarios {
-		fastCfg := cfg
-		fastCfg.Parallelism = -1
-		fastCfg.DisableFastPath = false
+		batchCfg := cfg
+		batchCfg.Parallelism = -1
+		batchCfg.DisableFastPath = false
+		batchCfg.DisableBatch = false
+		fastCfg := batchCfg
+		fastCfg.DisableBatch = true
 		legacyCfg := fastCfg
 		legacyCfg.DisableFastPath = true
+		bWall, bVirt, err := measure(batchCfg, sc.query, sc.sf)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hotpath %s batch: %w", sc.name, err)
+		}
 		fWall, fVirt, err := measure(fastCfg, sc.query, sc.sf)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: hotpath %s fast: %w", sc.name, err)
@@ -94,22 +107,28 @@ func HotpathBench(cfg Config, repeats int) (*HotpathBenchReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: hotpath %s legacy: %w", sc.name, err)
 		}
-		if fVirt != lVirt {
-			return nil, fmt.Errorf("experiments: hotpath %s: virtual time diverged (fast %v, legacy %v)",
-				sc.name, fVirt, lVirt)
+		if fVirt != lVirt || bVirt != lVirt {
+			return nil, fmt.Errorf("experiments: hotpath %s: virtual time diverged (batch %v, fast %v, legacy %v)",
+				sc.name, bVirt, fVirt, lVirt)
 		}
 		speedup := 0.0
 		if fWall > 0 {
 			speedup = lWall / fWall
 		}
+		batchSpeedup := 0.0
+		if bWall > 0 {
+			batchSpeedup = fWall / bWall
+		}
 		rep.Entries = append(rep.Entries, HotpathBenchEntry{
-			Name:       sc.name,
-			Query:      sc.query,
-			SF:         sc.sf,
-			FastSec:    fWall,
-			LegacySec:  lWall,
-			Speedup:    speedup,
-			VirtualSec: fVirt,
+			Name:         sc.name,
+			Query:        sc.query,
+			SF:           sc.sf,
+			BatchSec:     bWall,
+			FastSec:      fWall,
+			LegacySec:    lWall,
+			Speedup:      speedup,
+			BatchSpeedup: batchSpeedup,
+			VirtualSec:   fVirt,
 		})
 	}
 	return rep, nil

@@ -3,6 +3,7 @@ package jaql
 import (
 	"fmt"
 
+	"dyno/internal/batch"
 	"dyno/internal/cluster"
 	"dyno/internal/data"
 	"dyno/internal/dfs"
@@ -118,7 +119,13 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 		if err != nil {
 			return spec, err
 		}
-		spec.Inputs = []mapreduce.Input{{File: file, Map: scanMap(sourceRowFn(u.Probe, file, fast), prune)}}
+		in := mapreduce.Input{File: file, Map: scanMap(sourceRowFn(u.Probe, file, fast), prune)}
+		if prune == nil {
+			if alias, pred, ok := batchSource(u.Probe); ok {
+				in.BatchMap = mapreduce.ScanBatch(alias, pred)
+			}
+		}
+		spec.Inputs = []mapreduce.Input{in}
 	case UnitRepartition:
 		j := u.Chain[0]
 		lf, err := u.Probe.file()
@@ -152,6 +159,14 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 		spec.Inputs = []mapreduce.Input{
 			{File: lf, Map: shuffleMap(sourceRowFn(u.Probe, lf, fast), u.Probe, lf, lKeys, "L", prune, fast)},
 			{File: rf, Map: shuffleMap(sourceRowFn(u.Right, rf, fast), u.Right, rf, rKeys, "R", prune, fast)},
+		}
+		if prune == nil {
+			if alias, pred, ok := batchSource(u.Probe); ok {
+				spec.Inputs[0].BatchMap = mapreduce.ShuffleBatch(alias, pred, lKeys, "L")
+			}
+			if alias, pred, ok := batchSource(u.Right); ok {
+				spec.Inputs[1].BatchMap = mapreduce.ShuffleBatch(alias, pred, rKeys, "R")
+			}
 		}
 		residual := expr.Conjoin(j.Residual)
 		if fast && residual != nil {
@@ -251,6 +266,16 @@ type buildStep struct {
 	join *plan.Join
 }
 
+// probeStep is one compiled link of a broadcast probe chain: the build
+// table's registered name, the probe-side key columns, and the join's
+// residual filter.
+type probeStep struct {
+	name     string
+	keys     []data.Path
+	keyAccs  []*data.Accessor // fast path; nil = interpret keys
+	residual expr.Expr
+}
+
 // broadcastSpec assembles a map-only hash-join job: the probe input
 // streams through the chain of builds, merging and applying each
 // join's residual filters inline. With the fast path on, the probe
@@ -260,12 +285,6 @@ type buildStep struct {
 // without positional hints and resolve through the accessor's name
 // fallback, no slower than the interpreted path.
 func broadcastSpec(spec mapreduce.Spec, probe Source, probeFile *dfs.File, steps []buildStep, prune func(data.Value) data.Value, fast bool) (mapreduce.Spec, error) {
-	type probeStep struct {
-		name     string
-		keys     []data.Path
-		keyAccs  []*data.Accessor // fast path; nil = interpret keys
-		residual expr.Expr
-	}
 	plans := make([]probeStep, len(steps))
 	probeAliases := append([]string(nil), probe.aliases()...)
 	for i, st := range steps {
@@ -339,7 +358,95 @@ func broadcastSpec(spec mapreduce.Spec, probe Source, probeFile *dfs.File, steps
 			mc.Emit(r)
 		}
 	}}}
+	if fast && prune == nil {
+		if alias, pred, ok := batchSource(probe); ok {
+			spec.Inputs[0].BatchMap = batchProbeChain(alias, pred, plans)
+		}
+	}
 	return spec, nil
+}
+
+// batchProbeChain builds the batch arm of a broadcast-chain probe:
+// filter the split column-wise, then drive each surviving row through
+// the build chain. The first step's probe keys come from the split's
+// cached key columns — normalized, interned, and shared across jobs —
+// so the hash-table lookup is a direct map probe with no per-record
+// key evaluation or normalization; later steps see chain-merged rows
+// that exist only within this call and probe exactly like the
+// per-record path, reusing two scratch buffers across rows. Residuals
+// run per merged row in the same order as the per-record path, so UDF
+// cost accounting and emitted rows are identical. Returns nil when the
+// predicate is not batch-evaluable.
+func batchProbeChain(alias string, pred expr.Expr, plans []probeStep) mapreduce.BatchFunc {
+	if pred != nil && !batch.Supported(pred) {
+		return nil
+	}
+	sig := ""
+	if pred != nil {
+		sig = pred.String()
+	}
+	keySig := batch.KeySig(alias, plans[0].keys)
+	return func(mc *mapreduce.MapCtx, blk *dfs.Block) bool {
+		d := batch.For(blk.Aux(), blk.Records())
+		sel, ok := d.Select(pred, sig)
+		if !ok {
+			return false
+		}
+		if len(sel) == 0 {
+			return true
+		}
+		rows := d.Wrapped(alias)
+		st0 := &plans[0]
+		ht0 := mc.Build(st0.name)
+		kc := d.Keys(keySig, alias, st0.keys)
+		var cur, next []data.Value
+		for _, i := range sel {
+			var matches []data.Value
+			if ht0.FastIndexed() && kc.NK[i] != "" {
+				matches = ht0.ProbeNK(kc.NK[i])
+			} else {
+				// Demoted table or unencodable probe key: the generic
+				// probe reproduces the legacy lookup exactly.
+				matches = ht0.Probe(kc.Vals[i])
+			}
+			if len(matches) == 0 {
+				continue
+			}
+			cur = cur[:0]
+			for _, m := range matches {
+				merged := data.MergeObjects(rows[i], m)
+				if st0.residual != nil && !st0.residual.Eval(mc.ExprCtx(), merged).Truthy() {
+					continue
+				}
+				cur = append(cur, merged)
+			}
+			for si := 1; si < len(plans) && len(cur) > 0; si++ {
+				st := &plans[si]
+				ht := mc.Build(st.name)
+				next = next[:0]
+				for _, r := range cur {
+					var key data.Value
+					if st.keyAccs != nil {
+						key = mapreduce.CompositeKeyCompiled(r, st.keyAccs)
+					} else {
+						key = mapreduce.CompositeKey(r, st.keys)
+					}
+					for _, m := range ht.Probe(key) {
+						merged := data.MergeObjects(r, m)
+						if st.residual != nil && !st.residual.Eval(mc.ExprCtx(), merged).Truthy() {
+							continue
+						}
+						next = append(next, merged)
+					}
+				}
+				cur, next = next, cur
+			}
+			for _, r := range cur {
+				mc.Emit(r)
+			}
+		}
+		return true
+	}
 }
 
 // reducersFor converts an estimated shuffle volume to a reduce-task
@@ -404,6 +511,29 @@ func sourceRowFn(s Source, f *dfs.File, fast bool) rowFn {
 	return func(ectx *expr.Ctx, rec data.Value) data.Value {
 		return wrapFilter(ectx, s, rec)
 	}
+}
+
+// batchSource reduces a source to the (alias, raw-record predicate)
+// form the columnar batch arm evaluates: pred is the source filter
+// rewritten to apply directly to stored records (alias-stripped for
+// wrapped scans, as-is for pre-wrapped intermediates), uncompiled so
+// the batch layer can inspect its shape. ok is false when no such form
+// exists (a filter mentioning columns outside the wrap alias); whether
+// pred itself is batch-evaluable is decided by the batch builders,
+// which return nil for unsupported shapes. The per-record map function
+// always remains installed as the fallback, so declining here only
+// costs the acceleration.
+func batchSource(s Source) (alias string, pred expr.Expr, ok bool) {
+	if s.Filter == nil {
+		return s.Wrap, nil, true
+	}
+	if s.Wrap == "" {
+		return "", s.Filter, true
+	}
+	if stripped, sok := expr.StripAlias(s.Filter, s.Wrap); sok {
+		return s.Wrap, stripped, true
+	}
+	return "", nil, false
 }
 
 // scanMap emits wrapped, filtered rows.

@@ -1,0 +1,298 @@
+package mapreduce
+
+import (
+	"sync"
+	"testing"
+
+	"dyno/internal/batch"
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+)
+
+// The differential tests in this file run the same job three ways —
+// columnar batch arm (the default), shuffle fast path with batching
+// disabled, and the legacy per-record path — and assert the outputs
+// are bit-identical: same records, same order, same statistics. The
+// batch arm is a pure host-side accelerator layered on the fast path;
+// any observable divergence is a bug. The input tables reuse the
+// adversarial key mixes from the fast-path suite: every scalar kind,
+// strings with embedded 0x00 terminator bytes, nulls, -0.0, and
+// integers beyond ±2^53 that the normalized encoding refuses.
+
+// batchDiffEnvs returns the three arms' environments: batch (both
+// switches off — the default), fast (batching disabled), and legacy
+// (fast path disabled, which alone must also disable batching).
+func batchDiffEnvs() (batchEnv, fastEnv, legacyEnv *Env) {
+	batchEnv = benchEnv()
+	fastEnv = benchEnv()
+	fastEnv.DisableBatch = true
+	legacyEnv = benchEnv()
+	legacyEnv.DisableFastPath = true
+	return
+}
+
+// batchDiffPred is a filter over the mixed-kind key column and the
+// integer sequence column that exercises every supported predicate
+// shape: comparisons against a vecMixed column (nulls, booleans, 0x00
+// strings, -0.0), an int column, and And/Or/Not combinators.
+func batchDiffPred() expr.Expr {
+	return &expr.Or{Terms: []expr.Expr{
+		&expr.And{Terms: []expr.Expr{
+			&expr.Cmp{Op: expr.GE, L: expr.NewCol("seq"), R: expr.NewLit(data.Int(100))},
+			&expr.Cmp{Op: expr.LT, L: expr.NewCol("seq"), R: expr.NewLit(data.Int(1200))},
+		}},
+		&expr.Not{E: &expr.Cmp{Op: expr.LT, L: expr.NewCol("k"), R: expr.NewLit(data.String("k05"))}},
+	}}
+}
+
+// wrapRec builds the {alias: rec} row a scan-shaped map emits — the
+// per-record mirror of batch.Data.Wrapped.
+func wrapRec(alias string, rec data.Value) data.Value {
+	return data.Object(data.Field{Name: alias, Value: rec})
+}
+
+// runScanBatch executes a scan→filter→project job (filter raw records
+// with pred, wrap survivors as {t: rec}) with the batch arm wired; the
+// environment's switches decide which arm actually runs.
+func runScanBatch(t *testing.T, env *Env, f *dfs.File, pred expr.Expr) *Result {
+	t.Helper()
+	res, err := Run(env, Spec{
+		Name: "diff-batch-scan",
+		Inputs: []Input{{
+			File: f,
+			Map: func(mc *MapCtx, rec data.Value) {
+				if pred == nil || pred.Eval(mc.ExprCtx(), rec).Truthy() {
+					mc.Emit(wrapRec("t", rec))
+				}
+			},
+			BatchMap: ScanBatch("t", pred),
+		}},
+		Output:       "diff-batch-scanned",
+		CollectStats: []data.Path{data.MustParsePath("t.k")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runShuffleBatch executes the identity shuffle keyed by t.k over
+// wrapped rows with the batch arm wired.
+func runShuffleBatch(t *testing.T, env *Env, f *dfs.File, pred expr.Expr) *Result {
+	t.Helper()
+	key := data.MustParsePath("t.k")
+	res, err := Run(env, Spec{
+		Name: "diff-batch-shuffle",
+		Inputs: []Input{{
+			File: f,
+			Map: func(mc *MapCtx, rec data.Value) {
+				if pred == nil || pred.Eval(mc.ExprCtx(), rec).Truthy() {
+					row := wrapRec("t", rec)
+					mc.EmitKV(key.Eval(row), "L", row)
+				}
+			},
+			BatchMap: ShuffleBatch("t", pred, []data.Path{key}, "L"),
+		}},
+		Reduce: func(rc *ReduceCtx, key data.Value, group []Tagged) {
+			for _, g := range group {
+				rc.Emit(g.Rec)
+			}
+		},
+		NumReducers:  4,
+		Output:       "diff-batch-shuffled",
+		CollectStats: []data.Path{key},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestScanBatchVsFastVsLegacy asserts the columnar scan→filter→project
+// arm emits exactly the per-record map's output over the adversarial
+// key table, in all three modes.
+func TestScanBatchVsFastVsLegacy(t *testing.T) {
+	t.Parallel()
+	pred := batchDiffPred()
+	bEnv, fEnv, lEnv := batchDiffEnvs()
+	bRes := runScanBatch(t, bEnv, mixedKeyTable(bEnv, "t", 1500), pred)
+	fRes := runScanBatch(t, fEnv, mixedKeyTable(fEnv, "t", 1500), pred)
+	lRes := runScanBatch(t, lEnv, mixedKeyTable(lEnv, "t", 1500), pred)
+	assertSameRecords(t, bRes.Output.AllRecords(), fRes.Output.AllRecords())
+	assertSameRecords(t, bRes.Output.AllRecords(), lRes.Output.AllRecords())
+	assertSameStats(t, bRes.Stats, fRes.Stats)
+	assertSameStats(t, bRes.Stats, lRes.Stats)
+	if bRes.OutRecords == 0 || bRes.OutRecords == 1500 {
+		t.Fatalf("filter not selective: %d of 1500 rows survived", bRes.OutRecords)
+	}
+}
+
+// TestShuffleBatchVsFastVsLegacy asserts the columnar shuffle arm —
+// split-wide key evaluation, normalization, and partition hashing —
+// routes every record to the same reducer position as EmitKV, over
+// keys of every encodable kind.
+func TestShuffleBatchVsFastVsLegacy(t *testing.T) {
+	t.Parallel()
+	pred := batchDiffPred()
+	bEnv, fEnv, lEnv := batchDiffEnvs()
+	bRes := runShuffleBatch(t, bEnv, mixedKeyTable(bEnv, "t", 1500), pred)
+	fRes := runShuffleBatch(t, fEnv, mixedKeyTable(fEnv, "t", 1500), pred)
+	lRes := runShuffleBatch(t, lEnv, mixedKeyTable(lEnv, "t", 1500), pred)
+	assertSameRecords(t, bRes.Output.AllRecords(), fRes.Output.AllRecords())
+	assertSameRecords(t, bRes.Output.AllRecords(), lRes.Output.AllRecords())
+	assertSameStats(t, bRes.Stats, fRes.Stats)
+	assertSameStats(t, bRes.Stats, lRes.Stats)
+}
+
+// TestShuffleBatchUnencodableKeys covers keys the normalized encoding
+// refuses (|int| > 2^53): the batch arm records an empty normalized
+// key for them, which must route and sort exactly like EmitKV's
+// fallback in both fast and legacy modes.
+func TestShuffleBatchUnencodableKeys(t *testing.T) {
+	t.Parallel()
+	bEnv, fEnv, lEnv := batchDiffEnvs()
+	bRes := runShuffleBatch(t, bEnv, hugeKeyTable(bEnv, "t", 900), nil)
+	fRes := runShuffleBatch(t, fEnv, hugeKeyTable(fEnv, "t", 900), nil)
+	lRes := runShuffleBatch(t, lEnv, hugeKeyTable(lEnv, "t", 900), nil)
+	if bRes.OutRecords != 900 {
+		t.Fatalf("out records: %d, want 900", bRes.OutRecords)
+	}
+	assertSameRecords(t, bRes.Output.AllRecords(), fRes.Output.AllRecords())
+	assertSameRecords(t, bRes.Output.AllRecords(), lRes.Output.AllRecords())
+	assertSameStats(t, bRes.Stats, fRes.Stats)
+	assertSameStats(t, bRes.Stats, lRes.Stats)
+}
+
+// runProbeBatch executes a broadcast join whose batch arm probes the
+// hash table through the split's cached key columns — ProbeNK against
+// the normalized-key index when the table has one and the key
+// normalized, Probe otherwise — mirroring the per-record arm exactly.
+func runProbeBatch(t *testing.T, env *Env, probe, build *dfs.File) *Result {
+	t.Helper()
+	key := data.MustParsePath("k")
+	keySig := batch.KeySig("", []data.Path{key})
+	res, err := Run(env, Spec{
+		Name: "diff-batch-bjoin",
+		Inputs: []Input{{
+			File: probe,
+			Map: func(mc *MapCtx, rec data.Value) {
+				for _, m := range mc.Build("b").Probe(key.Eval(rec)) {
+					mc.Emit(data.MergeObjects(rec, m))
+				}
+			},
+			BatchMap: func(mc *MapCtx, blk *dfs.Block) bool {
+				d := batch.For(blk.Aux(), blk.Records())
+				sel, ok := d.Select(nil, "")
+				if !ok {
+					return false
+				}
+				ht := mc.Build("b")
+				rows := d.Records()
+				kc := d.Keys(keySig, "", []data.Path{key})
+				for _, i := range sel {
+					var matches []data.Value
+					if ht.FastIndexed() && kc.NK[i] != "" {
+						matches = ht.ProbeNK(kc.NK[i])
+					} else {
+						matches = ht.Probe(kc.Vals[i])
+					}
+					for _, m := range matches {
+						mc.Emit(data.MergeObjects(rows[i], m))
+					}
+				}
+				return true
+			},
+		}},
+		Broadcasts: []Broadcast{{Name: "b", File: build, KeyPaths: []data.Path{key}}},
+		Output:     "diff-batch-bjoined",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestProbeBatchVsFastVsLegacy asserts the vectorized probe produces
+// the identical join result over mixed-kind keys in all three modes
+// (legacy builds a Compare-based table, fast a normalized-key index,
+// batch probes that index with cached per-split encodings).
+func TestProbeBatchVsFastVsLegacy(t *testing.T) {
+	t.Parallel()
+	run := func(env *Env) *Result {
+		return runProbeBatch(t, env, mixedKeyTable(env, "probe", 800), mixedKeyTable(env, "build", 120))
+	}
+	bEnv, fEnv, lEnv := batchDiffEnvs()
+	bRes, fRes, lRes := run(bEnv), run(fEnv), run(lEnv)
+	if bRes.OutRecords == 0 {
+		t.Fatal("join produced no rows; test is vacuous")
+	}
+	assertSameRecords(t, bRes.Output.AllRecords(), fRes.Output.AllRecords())
+	assertSameRecords(t, bRes.Output.AllRecords(), lRes.Output.AllRecords())
+}
+
+// TestProbeBatchDemotedTable covers the build side containing an
+// unencodable key, which demotes the whole table to Compare-based
+// probing (FastIndexed false): the batch arm must fall back to Probe
+// per row and still match.
+func TestProbeBatchDemotedTable(t *testing.T) {
+	t.Parallel()
+	run := func(env *Env) *Result {
+		return runProbeBatch(t, env, hugeKeyTable(env, "probe", 800), hugeKeyTable(env, "build", 120))
+	}
+	bEnv, fEnv, lEnv := batchDiffEnvs()
+	bRes, fRes, lRes := run(bEnv), run(fEnv), run(lEnv)
+	if bRes.OutRecords == 0 {
+		t.Fatal("join produced no rows; test is vacuous")
+	}
+	assertSameRecords(t, bRes.Output.AllRecords(), fRes.Output.AllRecords())
+	assertSameRecords(t, bRes.Output.AllRecords(), lRes.Output.AllRecords())
+}
+
+// TestBatchCacheConcurrentJobs runs the same scan concurrently over
+// one shared file from independent environments (each with its own
+// single-threaded cluster simulator, sharing only the file system),
+// so racing jobs contend on each split's auxiliary cache slot (CAS
+// attach) and on lazy vector/selection construction under the split
+// mutex — the sharing pattern of the concurrent query service. Run
+// with -race, the test asserts the per-block cache is safe to share
+// and that every job still observes identical output.
+func TestBatchCacheConcurrentJobs(t *testing.T) {
+	t.Parallel()
+	pred := batchDiffPred()
+	base := benchEnv()
+	f := mixedKeyTable(base, "t", 1500)
+	const jobs = 4
+	results := make([][]data.Value, jobs)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			env := benchEnv()
+			env.FS = base.FS // shared blocks, private simulator
+			res, err := Run(env, Spec{
+				Name: "diff-batch-concurrent",
+				Inputs: []Input{{
+					File: f,
+					Map: func(mc *MapCtx, rec data.Value) {
+						if pred.Eval(mc.ExprCtx(), rec).Truthy() {
+							mc.Emit(wrapRec("t", rec))
+						}
+					},
+					BatchMap: ScanBatch("t", pred),
+				}},
+				Output: "diff-batch-concurrent-out-" + string(rune('a'+j)),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[j] = res.Output.AllRecords()
+		}(j)
+	}
+	wg.Wait()
+	for j := 1; j < jobs; j++ {
+		assertSameRecords(t, results[0], results[j])
+	}
+}

@@ -89,6 +89,15 @@ type Env struct {
 	// traces, and statistics are bit-identical either way; the switch
 	// exists for differential testing and as an escape hatch.
 	DisableFastPath bool
+	// DisableBatch turns off the columnar batch arm layered on top of
+	// the fast path (per-split column vectors, cached selection vectors,
+	// vectorized shuffle/probe keys — see batchexec.go and
+	// internal/batch), forcing record-at-a-time map functions while
+	// keeping the rest of the fast path on. Mirrors DisableFastPath:
+	// results, traces, and statistics are bit-identical either way.
+	// Disabling the fast path disables the batch arm too — batching is
+	// built on the fast path's compiled substrate.
+	DisableBatch bool
 }
 
 // VirtualSize returns the virtual on-disk size of a record.
@@ -183,6 +192,22 @@ func (mc *MapCtx) EmitKV(key data.Value, tag string, rec data.Value) {
 	mc.task.buckets[p] = append(mc.task.buckets[p], kv)
 }
 
+// emitPair is EmitKV with the key's partition hash and normalized
+// encoding already computed — the batch arm evaluates keys column-wise
+// once per split and routes rows through here, skipping the per-record
+// Hash64 and AppendNormKey work. nk must be the key's normalized
+// encoding ("" when unencodable or the fast path is off) and hash its
+// data.Hash64, so the pair is indistinguishable from one built by
+// EmitKV.
+func (mc *MapCtx) emitPair(key data.Value, nk string, tag string, rec data.Value, hash uint64) {
+	p := int(hash % uint64(mc.job.numReducers))
+	kv := kvPair{key: key, tag: tag, rec: rec}
+	if mc.fast {
+		kv.nk = nk
+	}
+	mc.task.buckets[p] = append(mc.task.buckets[p], kv)
+}
+
 // MapFunc processes one input record.
 type MapFunc func(mc *MapCtx, rec data.Value)
 
@@ -216,6 +241,13 @@ type Input struct {
 	// Splits selects block indexes to process; nil means all.
 	Splits []int
 	Map    MapFunc
+	// BatchMap, when set and the batch arm is on, is offered each split
+	// before the per-record loop. If it returns true it has fully
+	// processed the split (emitting exactly what Map would have emitted,
+	// in the same order); if it returns false — an unsupported predicate,
+	// a demoted hash table — the per-record Map runs instead. See
+	// BatchFunc in batchexec.go for the contract.
+	BatchMap BatchFunc
 }
 
 // Broadcast declares a build side loaded into every map task (or once
@@ -392,6 +424,18 @@ func (h *HashTable) Probe(k data.Value) []data.Value {
 	}
 	return cands
 }
+
+// FastIndexed reports whether the table is indexed by normalized key,
+// i.e. ProbeNK answers probes for encodable keys. False for legacy
+// builds and tables demoted by an unencodable build key.
+func (h *HashTable) FastIndexed() bool { return h.nkBuckets != nil }
+
+// ProbeNK returns the build rows whose key normalizes to nk, in build
+// scan order. Valid only when FastIndexed() is true and nk is the
+// non-empty normalized encoding of the probe key; it is then exactly
+// Probe(key) without re-normalizing. The batch probe arm uses this with
+// pre-computed (interned) key encodings.
+func (h *HashTable) ProbeNK(nk string) []data.Value { return h.nkBuckets[nk] }
 
 // CompositeKey evaluates the key columns over a row. A single path
 // yields the bare value; multiple paths yield an array, so single- and
@@ -723,11 +767,17 @@ func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (clu
 	ectx := &expr.Ctx{Reg: j.env.Reg}
 	mc := &MapCtx{job: j, task: st, ectx: ectx, builds: j.builds,
 		fast: fast && j.spec.Reduce != nil}
-	for _, rec := range block.Records() {
+	if j.batchOn() && input.BatchMap != nil && input.BatchMap(mc, block) {
 		if st.collector != nil {
-			st.collector.ObserveInput()
+			st.collector.ObserveInputs(block.NumRecords())
 		}
-		input.Map(mc, rec)
+	} else {
+		for _, rec := range block.Records() {
+			if st.collector != nil {
+				st.collector.ObserveInput()
+			}
+			input.Map(mc, rec)
+		}
 	}
 	u.Records += int64(block.NumRecords())
 	u.CPUSeconds += ectx.CPUSeconds

@@ -7,32 +7,52 @@ package rowops
 import (
 	"sort"
 	"strconv"
+	"sync"
 
 	"dyno/internal/data"
 	"dyno/internal/expr"
 	"dyno/internal/sqlparse"
 )
 
+// fieldScratch pools the transient []data.Field slices Project and
+// AggregateGroup assemble per row/group. data.Object copies its field
+// arguments into the new record, so the scratch never escapes and can
+// be recycled immediately after the call.
+var fieldScratch = sync.Pool{
+	New: func() any { s := make([]data.Field, 0, 16); return &s },
+}
+
 // Project evaluates a non-aggregate select list over a row. A star item
 // returns the row unchanged.
 func Project(ectx *expr.Ctx, items []sqlparse.SelectItem, row data.Value) data.Value {
-	fields := make([]data.Field, 0, len(items))
+	sp := fieldScratch.Get().(*[]data.Field)
+	fields := (*sp)[:0]
 	for _, it := range items {
 		if it.Star {
+			fieldScratch.Put(sp)
 			return row
 		}
 		fields = append(fields, data.Field{Name: it.Name(), Value: it.E.Eval(ectx, row)})
 	}
-	return data.Object(fields...)
+	out := data.Object(fields...)
+	clear(fields)
+	*sp = fields[:0]
+	fieldScratch.Put(sp)
+	return out
 }
 
 // AggregateGroup computes one output record for a group of rows.
 func AggregateGroup(ectx *expr.Ctx, items []sqlparse.SelectItem, group []data.Value) data.Value {
-	fields := make([]data.Field, 0, len(items))
+	sp := fieldScratch.Get().(*[]data.Field)
+	fields := (*sp)[:0]
 	for _, it := range items {
 		fields = append(fields, data.Field{Name: it.Name(), Value: aggValue(ectx, it, group)})
 	}
-	return data.Object(fields...)
+	out := data.Object(fields...)
+	clear(fields)
+	*sp = fields[:0]
+	fieldScratch.Put(sp)
+	return out
 }
 
 func aggValue(ectx *expr.Ctx, it sqlparse.SelectItem, group []data.Value) data.Value {

@@ -133,6 +133,10 @@ func NewCollector(paths []data.Path, kmvSize int) *Collector {
 // ObserveInput counts a record read before filtering.
 func (c *Collector) ObserveInput() { c.partial.InRecords++ }
 
+// ObserveInputs counts n records read before filtering — the batch
+// equivalent of n ObserveInput calls.
+func (c *Collector) ObserveInputs(n int) { c.partial.InRecords += int64(n) }
+
 // ObserveOutput records one output record and its virtual byte size.
 // Column paths are compiled into positional accessors against the first
 // record seen (collectors are per-task, so this is race-free); the

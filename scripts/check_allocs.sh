@@ -23,6 +23,9 @@ go test -run='^$' -bench='^(BenchmarkShuffle|BenchmarkSortPairsByKey|BenchmarkSo
 # Optimizer enumeration benchmarks: memo-table churn per full Optimize.
 go test -run='^$' -bench='^(BenchmarkOptimizeChain12|BenchmarkOptimizeStar10)$' \
     -benchtime=10x -benchmem . | tee -a "$out"
+# Columnar batch layer: per-split (not per-row) allocation invariant.
+go test -run='^$' -bench='^(BenchmarkBatchFilterProject|BenchmarkBatchHashProbe|BenchmarkIntern)$' \
+    -benchtime=100x -benchmem . | tee -a "$out"
 
 # Extract "name allocs" pairs (the GOMAXPROCS suffix varies by runner).
 measured=$(awk '/allocs\/op/ {
