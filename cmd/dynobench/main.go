@@ -8,6 +8,7 @@
 //	dynobench -exp fig7 -scale 0.25
 //	dynobench -exp table1,fig6 -seed 2014
 //	dynobench -exp optbench -optbenchout BENCH_optbench.json
+//	dynobench -exp load -load-clients 1,16,256 -load-shards 1,4
 //	dynobench -parbench BENCH_parallel.json
 //	dynobench -hotpath BENCH_hotpath.json -batchbench BENCH_batch.json
 //	dynobench -exp fig7 -cpuprofile cpu.prof -memprofile mem.prof
@@ -20,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"dyno/internal/experiments"
@@ -31,13 +33,19 @@ func main() {
 
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, optbench, all (comma-separated)")
+		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, optbench, load, all (comma-separated; load is not part of all)")
 		scale      = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
 		seed       = flag.Int64("seed", 2014, "data generation seed")
 		faultsOut  = flag.String("faultsout", "BENCH_faults.json", "file for the faults experiment's raw sweep points (JSON)")
 		serviceOut = flag.String("serviceout", "BENCH_service.json", "file for the service experiment's report (JSON)")
 		svcClients = flag.Int("service-clients", 4, "concurrent clients for the service experiment")
 		svcQueries = flag.Int("service-queries", 3, "queries per client for the service experiment")
+		loadOut     = flag.String("loadout", "BENCH_load.json", "file for the load experiment's saturation curves (JSON)")
+		loadClients = flag.String("load-clients", "1,4,16,64,256,1024", "comma-separated client-count sweep for the load experiment")
+		loadShards  = flag.String("load-shards", "1,4", "comma-separated shard counts to compare in the load experiment")
+		loadQueries = flag.Int("load-queries", 20, "queries per client at each load sweep point")
+		loadZipf    = flag.Float64("load-zipf", 1.3, "Zipf skew (>1) of the load experiment's query mix")
+
 		optOut     = flag.String("optbenchout", "BENCH_optbench.json", "file for the optbench experiment's report (JSON)")
 		optRepeats = flag.Int("optbench-repeats", 3, "runs per arm for optbench; the best wall time is kept")
 		parbench   = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
@@ -180,6 +188,46 @@ func run() int {
 		}
 		ran++
 	}
+	if want["load"] { // deliberately not part of "all": the full sweep is long
+		clientSweep, err := parseIntList(*loadClients)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: load: -load-clients: %v\n", err)
+			return 1
+		}
+		shardArms, err := parseIntList(*loadShards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: load: -load-shards: %v\n", err)
+			return 1
+		}
+		rep, err := experiments.LoadBench(cfg, experiments.LoadOptions{
+			Shards:    shardArms,
+			Clients:   clientSweep,
+			PerClient: *loadQueries,
+			ZipfS:     *loadZipf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: load: %v\n", err)
+			return 1
+		}
+		fmt.Printf("load sweep (GOMAXPROCS=%d, zipf s=%.2f over %v, %d queries/client)\n",
+			rep.GOMAXPROCS, rep.ZipfS, rep.Mix, rep.PerClient)
+		for _, arm := range rep.Arms {
+			fmt.Printf("  shards=%d\n", arm.Shards)
+			for _, pt := range arm.Points {
+				fmt.Printf("    %5d clients  %8.0f q/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  result %3.0f%%  dedup %3.0f%%  plan %3.0f%%  full %d\n",
+					pt.Clients, pt.QPS, pt.P50Millis, pt.P95Millis, pt.P99Millis,
+					100*pt.ResultHitRate, 100*pt.DedupRate, 100*pt.PlanHitRate, pt.FullRuns)
+			}
+		}
+		if *loadOut != "" {
+			if err := writeJSON(*loadOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: load: %v\n", err)
+				return 1
+			}
+			fmt.Printf("load report written to %s\n\n", *loadOut)
+		}
+		ran++
+	}
 	if all || want["service"] {
 		rep, err := experiments.ServiceBench(cfg, *svcClients, *svcQueries)
 		if err != nil {
@@ -258,6 +306,26 @@ func run() int {
 		return 2
 	}
 	return 0
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 // writeJSON marshals v with indentation and writes it to path with a

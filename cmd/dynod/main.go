@@ -1,12 +1,15 @@
-// Command dynod runs the DYNO query service: a long-lived daemon that
-// owns one simulated cluster, DFS, and TPC-H catalog and answers many
-// queries concurrently over HTTP/JSON. Repeat queries hit the plan
-// cache (skipping optimization and pilot runs entirely) and queries
-// sharing leaf expressions reuse each other's pilot-run statistics.
+// Command dynod runs the DYNO query service: a long-lived daemon
+// answering many queries concurrently over HTTP/JSON. Queries route by
+// normalized SQL onto independent shards (each owning its own
+// simulated cluster, DFS, and TPC-H catalog); repeats are served from
+// the result cache without executing, concurrent identical queries
+// coalesce onto one in-flight execution, plan-cache hits skip
+// optimization and pilot runs, and queries sharing leaf expressions
+// reuse each other's pilot-run statistics.
 //
 // Usage:
 //
-//	dynod -addr :8642 -sf 10 -scale 0.05
+//	dynod -addr :8642 -sf 10 -scale 0.05 -shards 4
 //	curl -s localhost:8642/query -d '{"query":"Q8p","maxRows":3}'
 //	curl -s localhost:8642/metrics
 package main
@@ -34,8 +37,12 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 4, "queries executing concurrently")
 		maxQueue    = flag.Int("max-queue", 16, "queries waiting for admission")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-query wall-clock budget (0 disables)")
+		shards      = flag.Int("shards", 1, "independent shards queries are routed across by normalized SQL")
 		noPlanCache = flag.Bool("no-plan-cache", false, "disable the plan cache")
 		noStats     = flag.Bool("no-stats-cache", false, "disable cross-query statistics reuse")
+		noResults   = flag.Bool("no-result-cache", false, "disable the normalized-SQL result cache")
+		noDedup     = flag.Bool("no-dedup", false, "disable in-flight deduplication of identical queries")
+		resultSize  = flag.Int("result-cache-size", 0, "result cache entries per shard (0 = default)")
 		workers     = flag.Int("workers", 0, "cluster workers (0 = paper default)")
 		parallelism = flag.Int("parallelism", 0, "simulated task waves executed per step (0 = serial)")
 	)
@@ -48,8 +55,12 @@ func main() {
 	cfg.MaxInFlight = *maxInflight
 	cfg.MaxQueue = *maxQueue
 	cfg.QueryTimeout = *timeout
+	cfg.Shards = *shards
 	cfg.DisablePlanCache = *noPlanCache
 	cfg.DisableStatsCache = *noStats
+	cfg.DisableResultCache = *noResults
+	cfg.DisableDedup = *noDedup
+	cfg.ResultCacheSize = *resultSize
 	cfg.Workers = *workers
 	cfg.Parallelism = *parallelism
 

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"dyno/internal/server"
+)
+
+// LoadOptions shapes the load-generator experiment (ROADMAP item 1):
+// closed-loop simulated clients driving a Zipf-skewed query mix
+// through the sharded query service, swept over client counts to
+// produce saturation curves per shard-count arm.
+type LoadOptions struct {
+	// Shards lists the shard counts to compare; default {1, 4}. The
+	// single-shard arm is the pre-sharding service (one gate) and the
+	// baseline the others must beat.
+	Shards []int
+	// Clients is the sweep of concurrent client counts; default
+	// {1, 4, 16, 64, 256, 1024}.
+	Clients []int
+	// PerClient is the number of queries each client issues back to
+	// back at every sweep point; default 20.
+	PerClient int
+	// ZipfS is the skew of the query popularity distribution (> 1);
+	// default 1.3, under which the head request draws ~44% of traffic
+	// over the ten-key mix.
+	ZipfS float64
+	// ResultCacheEntries bounds each shard's result cache, matching
+	// server.Config.ResultCacheSize. The default 2 sits far below the
+	// ten-key request universe, so the Zipf tail keeps overflowing it:
+	// head requests mostly hit the result cache while tail repeats
+	// fall through to dedup, the plan cache, and full executions,
+	// keeping every serving tier populated in steady state (an
+	// unbounded cache would turn the sweep into a memcpy benchmark).
+	// Total capacity grows with the shard count — deliberately so:
+	// per-shard caching over a hash-partitioned keyspace is how
+	// scale-out serving stacks absorb a hot set, and it is part of the
+	// headroom the multi-shard arms measure (alongside independent
+	// gates, which need GOMAXPROCS > 1 to pay off in wall-clock).
+	ResultCacheEntries int
+	// Seed fixes the clients' query draws; 0 uses the dataset seed.
+	Seed int64
+}
+
+func (o LoadOptions) normalized(cfg Config) LoadOptions {
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 4}
+	}
+	if len(o.Clients) == 0 {
+		o.Clients = []int{1, 4, 16, 64, 256, 1024}
+	}
+	if o.PerClient <= 0 {
+		o.PerClient = 20
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.3
+	}
+	if o.ResultCacheEntries <= 0 {
+		o.ResultCacheEntries = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = cfg.Seed
+	}
+	return o
+}
+
+// loadMix is the request universe in popularity order: the Zipf head
+// lands on Q8p under the default DYNOPT variant. All five TPC-H
+// evaluation queries participate, crossed with the BESTSTATIC variant
+// (clients pinning a static plan are a realistic minority), so the
+// universe of distinct cache keys is ten — far above any arm's result
+// cache budget, forcing steady-state evictions. Cache keys carry the
+// variant but routing hashes only the normalized SQL, so both
+// variants of a query land on (and contend for) the same shard.
+var loadMix = []struct {
+	Query   string
+	Variant string
+}{
+	{"Q8p", "DYNOPT"}, {"Q8p", "BESTSTATIC"},
+	{"Q10", "DYNOPT"}, {"Q10", "BESTSTATIC"},
+	{"Q9p", "DYNOPT"}, {"Q9p", "BESTSTATIC"},
+	{"Q7", "DYNOPT"}, {"Q7", "BESTSTATIC"},
+	{"Q2", "DYNOPT"}, {"Q2", "BESTSTATIC"},
+}
+
+func loadMixLabels() []string {
+	labels := make([]string, len(loadMix))
+	for i, m := range loadMix {
+		labels[i] = m.Query + "/" + m.Variant
+	}
+	return labels
+}
+
+// TierStats summarizes one serving tier's latency at a sweep point.
+type TierStats struct {
+	Count      int64   `json:"count"`
+	MeanMillis float64 `json:"meanMillis"`
+	P95Millis  float64 `json:"p95Millis"`
+}
+
+// LoadPoint is one (shard count, client count) measurement.
+type LoadPoint struct {
+	Clients int   `json:"clients"`
+	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors"`
+
+	WallSec float64 `json:"wallSec"`
+	QPS     float64 `json:"qps"`
+
+	P50Millis float64 `json:"p50Millis"`
+	P95Millis float64 `json:"p95Millis"`
+	P99Millis float64 `json:"p99Millis"`
+
+	// Serving-tier counts for the point's requests: result-cache hits
+	// executed nothing, dedup followers waited on a concurrent
+	// identical execution, plan-cache hits re-executed a cached
+	// physical plan, and full runs went through pilots + DYNOPT.
+	ResultHits     int64 `json:"resultHits"`
+	DedupFollowers int64 `json:"dedupFollowers"`
+	PlanHits       int64 `json:"planHits"`
+	FullRuns       int64 `json:"fullRuns"`
+
+	ResultHitRate float64 `json:"resultHitRate"`
+	DedupRate     float64 `json:"dedupRate"`
+	PlanHitRate   float64 `json:"planHitRate"`
+
+	// Tiers keys: "result", "dedup", "plan", "full".
+	Tiers map[string]TierStats `json:"tiers"`
+}
+
+// LoadArm is one shard count's saturation curve.
+type LoadArm struct {
+	Shards int         `json:"shards"`
+	Points []LoadPoint `json:"points"`
+}
+
+// LoadReport is the JSON shape of BENCH_load.json.
+type LoadReport struct {
+	SF         float64  `json:"sf"`
+	Scale      float64  `json:"scale"`
+	ZipfS      float64  `json:"zipfS"`
+	Mix        []string `json:"mix"`
+	PerClient  int      `json:"perClient"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Arms       []LoadArm `json:"arms"`
+}
+
+// LoadBench sweeps client counts against the query service at each
+// shard count and reports saturation curves: throughput, latency
+// percentiles, and per-tier hit rates. One server per arm serves every
+// sweep point in sequence, so later points measure warm steady state;
+// the first point of each arm includes the arm's cold misses.
+func LoadBench(cfg Config, opts LoadOptions) (*LoadReport, error) {
+	cfg = cfg.normalized()
+	opts = opts.normalized(cfg)
+	maxClients := 0
+	for _, c := range opts.Clients {
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+
+	rep := &LoadReport{
+		ZipfS:      opts.ZipfS,
+		Mix:        loadMixLabels(),
+		PerClient:  opts.PerClient,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range opts.Shards {
+		scfg := server.DefaultConfig()
+		scfg.Scale = cfg.Scale * 0.2 // service queries answer interactively
+		scfg.Seed = cfg.Seed
+		scfg.Shards = shards
+		scfg.MaxInFlight = maxClients
+		scfg.MaxQueue = maxClients * 2
+		scfg.ResultCacheSize = opts.ResultCacheEntries
+		if cfg.Workers > 0 {
+			scfg.Workers = cfg.Workers
+		}
+		if cfg.Parallelism > 0 {
+			scfg.Parallelism = cfg.Parallelism
+		}
+		srv, err := server.New(scfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.SF, rep.Scale = scfg.SF, scfg.Scale
+
+		arm := LoadArm{Shards: shards}
+		for _, clients := range opts.Clients {
+			point, err := loadPoint(srv, clients, opts)
+			if err != nil {
+				return nil, err
+			}
+			arm.Points = append(arm.Points, *point)
+		}
+		rep.Arms = append(rep.Arms, arm)
+	}
+	return rep, nil
+}
+
+// loadPoint drives one closed-loop burst: clients goroutines, each
+// issuing PerClient Zipf-drawn queries back to back.
+func loadPoint(srv *server.Server, clients int, opts LoadOptions) (*LoadPoint, error) {
+	type sample struct {
+		ms   float64
+		tier string
+	}
+	var (
+		mu       sync.Mutex
+		samples  []sample
+		errCount int64
+		firstErr error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Deterministic per-client draw sequence; vary the stream
+			// by client so concurrent clients overlap on the Zipf head
+			// (the dedup scenario) without being identical.
+			rng := rand.New(rand.NewSource(opts.Seed + int64(c)*7919 + int64(clients)*104729))
+			zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(loadMix)-1))
+			for q := 0; q < opts.PerClient; q++ {
+				draw := loadMix[zipf.Uint64()]
+				t0 := time.Now()
+				resp, err := srv.Execute(context.Background(), server.Request{Query: draw.Query, Variant: draw.Variant})
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				if err != nil {
+					errCount++
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					tier := "full"
+					switch {
+					case resp.ResultCacheHit:
+						tier = "result"
+					case resp.Deduped:
+						tier = "dedup"
+					case resp.PlanCacheHit:
+						tier = "plan"
+					}
+					samples = append(samples, sample{ms: ms, tier: tier})
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	point := &LoadPoint{
+		Clients: clients,
+		Queries: int64(len(samples)),
+		Errors:  errCount,
+		WallSec: wall,
+		Tiers:   map[string]TierStats{},
+	}
+	if wall > 0 {
+		point.QPS = float64(len(samples)) / wall
+	}
+	all := make([]float64, 0, len(samples))
+	byTier := map[string][]float64{}
+	for _, s := range samples {
+		all = append(all, s.ms)
+		byTier[s.tier] = append(byTier[s.tier], s.ms)
+	}
+	point.P50Millis = server.Percentile(all, 0.50)
+	point.P95Millis = server.Percentile(all, 0.95)
+	point.P99Millis = server.Percentile(all, 0.99)
+	for tier, ms := range byTier {
+		var sum float64
+		for _, v := range ms {
+			sum += v
+		}
+		point.Tiers[tier] = TierStats{
+			Count:      int64(len(ms)),
+			MeanMillis: sum / float64(len(ms)),
+			P95Millis:  server.Percentile(ms, 0.95),
+		}
+	}
+	point.ResultHits = point.Tiers["result"].Count
+	point.DedupFollowers = point.Tiers["dedup"].Count
+	point.PlanHits = point.Tiers["plan"].Count
+	point.FullRuns = point.Tiers["full"].Count
+	if n := float64(point.Queries); n > 0 {
+		point.ResultHitRate = float64(point.ResultHits) / n
+		point.DedupRate = float64(point.DedupFollowers) / n
+		point.PlanHitRate = float64(point.PlanHits) / n
+	}
+	return point, nil
+}

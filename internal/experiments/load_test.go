@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+func TestLoadBenchSmoke(t *testing.T) {
+	opts := LoadOptions{
+		Shards:    []int{1, 2},
+		Clients:   []int{1, 4},
+		PerClient: 3,
+		// A budget above the ten-key universe makes repeat draws
+		// deterministic result-cache hits at this tiny sweep size.
+		ResultCacheEntries: 32,
+	}
+	rep, err := LoadBench(testConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Arms) != 2 || rep.Arms[0].Shards != 1 || rep.Arms[1].Shards != 2 {
+		t.Fatalf("arms = %+v, want shard counts 1 and 2", rep.Arms)
+	}
+	if len(rep.Mix) != len(loadMix) {
+		t.Fatalf("mix = %v, want %d entries", rep.Mix, len(loadMix))
+	}
+	for _, arm := range rep.Arms {
+		if len(arm.Points) != 2 {
+			t.Fatalf("shards=%d: %d points, want 2", arm.Shards, len(arm.Points))
+		}
+		var reuse int64
+		for i, pt := range arm.Points {
+			wantQ := int64(opts.Clients[i] * opts.PerClient)
+			if pt.Queries != wantQ || pt.Errors != 0 {
+				t.Errorf("shards=%d clients=%d: queries=%d errors=%d, want %d/0",
+					arm.Shards, pt.Clients, pt.Queries, pt.Errors, wantQ)
+			}
+			if pt.QPS <= 0 || pt.P95Millis <= 0 || pt.P95Millis < pt.P50Millis {
+				t.Errorf("shards=%d clients=%d: qps=%v p50=%v p95=%v",
+					arm.Shards, pt.Clients, pt.QPS, pt.P50Millis, pt.P95Millis)
+			}
+			if got := pt.ResultHits + pt.DedupFollowers + pt.PlanHits + pt.FullRuns; got != pt.Queries {
+				t.Errorf("shards=%d clients=%d: tiers sum to %d, want %d",
+					arm.Shards, pt.Clients, got, pt.Queries)
+			}
+			reuse += pt.ResultHits + pt.DedupFollowers + pt.PlanHits
+		}
+		// The Zipf head repeats across the arm's 15 draws, and with the
+		// cache oversized every repeat is served from a reuse tier.
+		if reuse == 0 {
+			t.Errorf("shards=%d: no reuse-tier traffic across the sweep", arm.Shards)
+		}
+	}
+	if rep.ZipfS != 1.3 || rep.PerClient != 3 {
+		t.Errorf("report metadata: zipf=%v perClient=%d", rep.ZipfS, rep.PerClient)
+	}
+}

@@ -89,6 +89,14 @@ type Env struct {
 	// traces, and statistics are bit-identical either way; the switch
 	// exists for differential testing and as an escape hatch.
 	DisableFastPath bool
+	// OnCreateFile, when non-nil, is invoked with the name of every
+	// output file a job in this environment creates. A query service
+	// installs a per-session callback to track the session's scratch
+	// files, so cleanup removes exactly those names instead of scanning
+	// the whole DFS namespace. Jobs can finish on any goroutine driving
+	// a shared simulator, so the callback must be safe for concurrent
+	// use and must not block.
+	OnCreateFile func(name string)
 	// DisableBatch turns off the columnar batch arm layered on top of
 	// the fast path (per-split column vectors, cached selection vectors,
 	// vectorized shuffle/probe keys — see batchexec.go and
@@ -1049,6 +1057,9 @@ func (j *Job) finish(sub *cluster.Submission) {
 	}
 	res.WholeInput = res.SplitsRun >= res.SplitsTotal
 	w := j.env.FS.Create(j.spec.Output)
+	if j.env.OnCreateFile != nil {
+		j.env.OnCreateFile(j.spec.Output)
+	}
 	var parts []*stats.Partial
 	if j.spec.Reduce == nil {
 		// Deterministic map-only output: submission order.

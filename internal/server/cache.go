@@ -1,65 +1,86 @@
 package server
 
-import (
-	"sync"
+import "sync"
 
-	"dyno/internal/plan"
-)
-
-// planCache maps "epoch|variant|strategy|normalized SQL" to the
-// physical plan a previous execution chose at its first optimization
-// point. Entries are immutable plan trees (core.Result.PlanRoot) that
-// hit sessions share read-only; eviction is FIFO. Keys embed the
-// statistics epoch, so bumping the epoch orphans every entry even
-// before clear() reclaims them.
-type planCache struct {
+// fifoCache is the bounded FIFO map behind both the plan cache
+// (instantiated with plan.Node values) and the result cache
+// (*Response values). Keys embed the statistics epoch
+// ("e<N>|variant|strategy|normalized SQL"), so bumping the epoch
+// orphans every entry even before clear reclaims them.
+//
+// put re-checks the epoch the caller computed its key against: a query
+// that started before an Invalidate would otherwise park its stale
+// entry in the freshly cleared cache, where the old-epoch key can
+// never hit again but permanently occupies a FIFO slot and evicts live
+// entries. Such puts are dropped atomically under the cache lock.
+type fifoCache[V any] struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]plan.Node
+	epoch   int64
+	entries map[string]V
 	order   []string
 }
 
-func newPlanCache(max int) *planCache {
+func newFIFOCache[V any](max int) *fifoCache[V] {
 	if max <= 0 {
 		max = 256
 	}
-	return &planCache{max: max, entries: make(map[string]plan.Node)}
+	return &fifoCache[V]{max: max, entries: make(map[string]V)}
 }
 
-func (c *planCache) get(key string) plan.Node {
+func (c *fifoCache[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.entries[key]
+	v, ok := c.entries[key]
+	return v, ok
 }
 
-func (c *planCache) put(key string, root plan.Node) {
-	if root == nil {
-		return
+// put stores v under key if epoch still matches the cache's epoch and
+// reports whether the entry was stored. Overwriting an existing key
+// replaces the value without duplicating its eviction-order slot.
+func (c *fifoCache[V]) put(key string, epoch int64, v V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.entries[key]; ok {
-		c.entries[key] = root
-		return
+		c.entries[key] = v
+		return true
 	}
 	for len(c.entries) >= c.max && len(c.order) > 0 {
 		oldest := c.order[0]
 		c.order = c.order[1:]
 		delete(c.entries, oldest)
 	}
-	c.entries[key] = root
+	c.entries[key] = v
 	c.order = append(c.order, key)
+	return true
 }
 
-func (c *planCache) clear() {
+// clear wipes the cache and advances it to the given epoch; later puts
+// computed against an older epoch are refused.
+func (c *fifoCache[V]) clear(epoch int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[string]plan.Node)
+	c.epoch = epoch
+	c.entries = make(map[string]V)
 	c.order = nil
 }
 
-func (c *planCache) size() int {
+func (c *fifoCache[V]) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// keys returns the cached keys in no particular order (tests only).
+func (c *fifoCache[V]) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	return out
 }

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFIFOCacheEvictsAtMax(t *testing.T) {
+	c := newFIFOCache[int](3)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("k%d", i), 0, i)
+	}
+	if c.size() != 3 {
+		t.Fatalf("size = %d, want 3", c.size())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d survived FIFO eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if v, ok := c.get(fmt.Sprintf("k%d", i)); !ok || v != i {
+			t.Errorf("k%d = %d/%v, want %d/true", i, v, ok, i)
+		}
+	}
+}
+
+func TestFIFOCacheOverwriteKeepsOneOrderSlot(t *testing.T) {
+	c := newFIFOCache[int](2)
+	c.put("a", 0, 1)
+	c.put("a", 0, 2) // overwrite must not duplicate the order entry
+	c.put("b", 0, 3)
+	c.put("c", 0, 4) // evicts "a" (oldest), not a phantom duplicate
+	if _, ok := c.get("a"); ok {
+		t.Error("overwritten key not evicted as the single oldest entry")
+	}
+	if v, _ := c.get("b"); v != 3 {
+		t.Errorf("b = %d, want 3", v)
+	}
+	if v, _ := c.get("c"); v != 4 {
+		t.Errorf("c = %d, want 4", v)
+	}
+	if len(c.order) != c.size() {
+		t.Errorf("order has %d entries for %d keys", len(c.order), c.size())
+	}
+}
+
+func TestFIFOCacheDropsStaleEpochPut(t *testing.T) {
+	c := newFIFOCache[int](8)
+	if !c.put("e0|q", 0, 1) {
+		t.Fatal("current-epoch put refused")
+	}
+	c.clear(1)
+	// A query that captured epoch 0 before the invalidate finishes now:
+	// its put must be dropped, not parked in the fresh cache.
+	if c.put("e0|q", 0, 1) {
+		t.Fatal("stale-epoch put accepted after clear")
+	}
+	if c.size() != 0 {
+		t.Fatalf("size = %d after stale put, want 0", c.size())
+	}
+	if !c.put("e1|q", 1, 2) {
+		t.Fatal("current-epoch put refused after clear")
+	}
+}
+
+func TestFIFOCacheClearRacesPut(t *testing.T) {
+	c := newFIFOCache[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.put(fmt.Sprintf("e0|g%d-%d", g, i), 0, i)
+				c.get(fmt.Sprintf("e0|g%d-%d", g, i))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := int64(1); e <= 50; e++ {
+			c.clear(e)
+		}
+	}()
+	wg.Wait()
+	// After the final clear (epoch 50), every surviving key must have
+	// been dropped: all puts carried epoch 0.
+	if c.size() != 0 {
+		t.Fatalf("%d stale entries survived racing clears", c.size())
+	}
+}

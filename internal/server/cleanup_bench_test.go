@@ -1,0 +1,66 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dyno/internal/dfs"
+)
+
+// The cleanup benchmarks compare the legacy full-namespace scan
+// (List() + prefix match per query) against tracked removal on a DFS
+// holding many files — the situation a load generator creates, where
+// per-query cleanup cost must not grow with the namespace. Both arms
+// recreate the session's scratch files each iteration, so the delta
+// between them is the cleanup strategy itself.
+
+const benchNamespaceFiles = 4096
+
+func benchScratchNames(tag string) []string {
+	return []string{
+		"tmp/" + tag + "q/j1", "tmp/" + tag + "q/j2", "tmp/" + tag + "q/final",
+		"pilot/" + tag + "q/a", "pilot/" + tag + "q/b", "pilot/" + tag + "q/c",
+	}
+}
+
+func benchNamespace(b *testing.B) *dfs.FS {
+	b.Helper()
+	fs := dfs.New()
+	for i := 0; i < benchNamespaceFiles; i++ {
+		fs.Create(fmt.Sprintf("data/table%04d/part", i))
+	}
+	return fs
+}
+
+func BenchmarkCleanupFullScan(b *testing.B) {
+	const tag = "s1-"
+	fs := benchNamespace(b)
+	scratch := benchScratchNames(tag)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range scratch {
+			fs.Create(name)
+		}
+		for _, name := range fs.List() {
+			if strings.HasPrefix(name, "tmp/"+tag) || strings.HasPrefix(name, "pilot/"+tag) {
+				_ = fs.Remove(name)
+			}
+		}
+	}
+}
+
+func BenchmarkCleanupTracked(b *testing.B) {
+	const tag = "s1-"
+	sh := &shard{fs: benchNamespace(b)}
+	scratch := benchScratchNames(tag)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := &scratchTracker{}
+		for _, name := range scratch {
+			sh.fs.Create(name)
+			tr.add(name)
+		}
+		sh.removeScratch(tr, tag)
+	}
+}

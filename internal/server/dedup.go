@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightCall is one in-flight execution followers can wait on.
+type flightCall struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// flightGroup coalesces concurrent identical cache-miss queries onto
+// one execution, singleflight-style: the first caller for a key (the
+// leader) runs the query; callers arriving while it is in flight (the
+// followers) wait for the leader's response and share it — and its
+// error — without executing anything themselves. Each shard owns one
+// group; keys are the same epoch|variant|strategy|normSQL strings the
+// caches use.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn for key, coalescing concurrent calls. leader reports
+// which role this call played: the leader's response is the execution
+// itself, a follower's is the leader's shared result. A follower whose
+// context is canceled while waiting returns its context error without
+// disturbing the leader.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Response, error)) (resp *Response, err error, leader bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.resp, c.err, false
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+	defer func() {
+		// Remove the entry and release followers even if fn panics, so
+		// a wedged key cannot strand future queries.
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.resp, c.err = fn()
+	return c.resp, c.err, true
+}
+
+// pending returns the number of in-flight keys (tests only).
+func (g *flightGroup) pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -1,14 +1,18 @@
-// Package server implements a long-running query service over one
-// simulated cluster, DFS, and catalog. Many queries execute
-// concurrently: each request gets its own core.Engine session whose
-// MapReduce jobs interleave with every other session's on the shared
-// cluster under the Fair scheduler. An admission controller bounds
-// in-flight work, a plan cache keyed by normalized query and
-// statistics epoch skips the optimizer (and pilot runs) for repeat
-// queries, and a cross-query statistics store reuses pilot-run results
-// across queries over the same leaf expressions, with epoch-based
-// invalidation when base tables change. cmd/dynod exposes the service
-// over HTTP/JSON.
+// Package server implements a long-running query service over N
+// independent shards, each owning a simulated cluster, DFS, and
+// catalog. Requests route to shards by hash of their normalized SQL;
+// within a shard, many queries execute concurrently: each request gets
+// its own core.Engine session whose MapReduce jobs interleave with
+// every other session's on the shard's cluster under the Fair
+// scheduler. An admission controller bounds in-flight work. Repeat
+// queries are served in tiers: a normalized-SQL result cache returns
+// rows without executing anything, in-flight deduplication coalesces
+// concurrent identical cache misses onto one execution, a plan cache
+// keyed by normalized query and statistics epoch skips the optimizer
+// (and pilot runs), and a cross-query statistics store reuses
+// pilot-run results across queries over the same leaf expressions —
+// all with epoch-based invalidation when base tables change.
+// cmd/dynod exposes the service over HTTP/JSON.
 package server
 
 import (

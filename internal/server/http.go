@@ -50,6 +50,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"status":      "ok",
 		"sf":          s.cfg.SF,
 		"scale":       s.cfg.Scale,
+		"shards":      s.cfg.Shards,
 		"maxInFlight": s.cfg.MaxInFlight,
 		"maxQueue":    s.cfg.MaxQueue,
 		"epoch":       s.Epoch(),

@@ -7,12 +7,24 @@ import (
 )
 
 // counters aggregates the service's monotonic counters.
+//
+// Outcome classification: every Execute call increments exactly one of
+// queries, rejected, timeouts, canceled, or errors. timeouts counts
+// queries that exceeded a deadline (the per-query timeout or the
+// caller's own); canceled counts queries the client canceled, whether
+// still queued or already executing; errors counts only the remaining
+// non-cancellation failures (bad requests, execution errors). The
+// three failure classes are disjoint.
 type counters struct {
 	queries  atomic.Int64 // completed successfully
-	errors   atomic.Int64 // failed for any reason
+	errors   atomic.Int64 // failed (excluding timeouts and cancellations)
 	rejected atomic.Int64 // turned away by admission control
-	timeouts atomic.Int64 // canceled by the per-query timeout
-	canceled atomic.Int64 // canceled by the client
+	timeouts atomic.Int64 // exceeded a deadline
+	canceled atomic.Int64 // canceled by the client (queued or executing)
+
+	resultHits   atomic.Int64 // served from the result cache, nothing executed
+	resultMisses atomic.Int64 // led an actual execution (result cache enabled)
+	deduped      atomic.Int64 // coalesced onto a concurrent identical execution
 
 	planHits   atomic.Int64
 	planMisses atomic.Int64
@@ -56,18 +68,40 @@ func (l *latencySample) percentile(p float64) float64 {
 	l.mu.Lock()
 	sorted := append([]float64(nil), l.buf...)
 	l.mu.Unlock()
-	if len(sorted) == 0 {
+	return Percentile(sorted, p)
+}
+
+// Percentile sorts values in place and returns their p-th percentile
+// (0..1) with linear interpolation between adjacent ranks. Truncating
+// the fractional rank — the previous behavior — reported ~p90 when
+// asked for p95 over small windows (10 samples → index 8, the exact
+// 90th percentile). Exported because the experiment harnesses compute
+// the same percentiles over their own latency samples.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
 		return 0
 	}
-	sort.Float64s(sorted)
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
+	sort.Float64s(values)
+	if p <= 0 {
+		return values[0]
+	}
+	if p >= 1 {
+		return values[len(values)-1]
+	}
+	rank := p * float64(len(values)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(values) {
+		return values[lo]
+	}
+	return values[lo] + frac*(values[lo+1]-values[lo])
 }
 
 // MetricsSnapshot is the JSON shape of GET /metrics.
 type MetricsSnapshot struct {
 	UptimeSec float64 `json:"uptimeSec"`
 	Epoch     int64   `json:"epoch"`
+	Shards    int     `json:"shards"`
 
 	Queries  int64 `json:"queries"`
 	Errors   int64 `json:"errors"`
@@ -76,6 +110,11 @@ type MetricsSnapshot struct {
 	Canceled int64 `json:"canceled"`
 	InFlight int   `json:"inFlight"`
 	Queued   int   `json:"queued"`
+
+	ResultCacheHits   int64 `json:"resultCacheHits"`
+	ResultCacheMisses int64 `json:"resultCacheMisses"`
+	ResultCacheSize   int   `json:"resultCacheSize"`
+	Deduped           int64 `json:"deduped"`
 
 	PlanCacheHits   int64 `json:"planCacheHits"`
 	PlanCacheMisses int64 `json:"planCacheMisses"`
@@ -90,6 +129,7 @@ type MetricsSnapshot struct {
 
 	P50Millis float64 `json:"p50Millis"`
 	P95Millis float64 `json:"p95Millis"`
+	P99Millis float64 `json:"p99Millis"`
 
-	VirtualSec float64 `json:"virtualSec"` // shared cluster clock
+	VirtualSec float64 `json:"virtualSec"` // most-advanced shard clock
 }

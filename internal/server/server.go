@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,12 +12,9 @@ import (
 
 	"dyno/internal/baselines"
 	"dyno/internal/cluster"
-	"dyno/internal/coord"
 	"dyno/internal/core"
 	"dyno/internal/data"
-	"dyno/internal/dfs"
 	"dyno/internal/expr"
-	"dyno/internal/jaql"
 	"dyno/internal/mapreduce"
 	"dyno/internal/optimizer"
 	"dyno/internal/plan"
@@ -42,6 +40,14 @@ type Config struct {
 	Workers     int
 	Parallelism int
 
+	// Shards is the number of independent cluster/DFS/catalog shards.
+	// Requests route to shards by hash of their normalized SQL, so
+	// each query text always lands on the same shard (and its caches).
+	// 0 or 1 runs a single shard, reproducing the unsharded service
+	// bit for bit. Every shard generates its own copy of the dataset
+	// from the same seed.
+	Shards int
+
 	// Admission control: at most MaxInFlight queries execute at once;
 	// up to MaxQueue more wait; beyond that requests fail fast with
 	// ErrOverloaded. QueryTimeout is the per-query wall-clock budget
@@ -50,20 +56,27 @@ type Config struct {
 	MaxQueue     int
 	QueryTimeout time.Duration
 
-	// Cache switches (all caches are on by default) and the plan and
-	// memo caches' entry bounds. The memo cache shares proven optimizer
-	// group winners across structurally overlapping queries within one
+	// Cache switches (all caches and deduplication are on by default)
+	// and the caches' entry bounds. The plan cache skips the optimizer
+	// and pilot runs for repeat queries; the result cache skips
+	// execution entirely, returning the cached rows; in-flight
+	// deduplication coalesces concurrent identical cache-miss queries
+	// onto one execution. The memo cache shares proven optimizer group
+	// winners across structurally overlapping queries within one
 	// statistics epoch; POST /invalidate discards it with the rest.
-	DisablePlanCache  bool
-	DisableStatsCache bool
-	DisableMemoCache  bool
-	PlanCacheSize     int
-	MemoCacheSize     int
+	DisablePlanCache   bool
+	DisableStatsCache  bool
+	DisableMemoCache   bool
+	DisableResultCache bool
+	DisableDedup       bool
+	PlanCacheSize      int
+	MemoCacheSize      int
+	ResultCacheSize    int
 }
 
 // DefaultConfig returns a service sized for interactive use on the
 // simulated cluster: a small dataset so queries answer in wall-clock
-// seconds, four concurrent queries, a short queue.
+// seconds, four concurrent queries, a short queue, one shard.
 func DefaultConfig() Config {
 	return Config{
 		SF:           10,
@@ -84,6 +97,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 2014
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 4
@@ -112,10 +128,23 @@ type Request struct {
 type Response struct {
 	Query   string `json:"query,omitempty"`
 	Variant string `json:"variant"`
+	// Shard identifies the shard that served the query (requests route
+	// by hash of the normalized SQL).
+	Shard int `json:"shard,omitempty"`
 
 	Rows      []data.Value `json:"rows"`
 	RowCount  int          `json:"rowCount"`
 	Truncated bool         `json:"truncated,omitempty"`
+
+	// ResultCacheHit reports that the rows came straight from the
+	// normalized-SQL result cache — nothing executed. Deduped reports
+	// that this request coalesced onto a concurrent identical
+	// execution: the leader ran the query, this request only waited
+	// for its result. In both cases the execution statistics below
+	// (Jobs, PilotJobs, OptimizeSec, ...) describe the execution that
+	// produced the rows, not work done by this request.
+	ResultCacheHit bool `json:"resultCacheHit,omitempty"`
+	Deduped        bool `json:"deduped,omitempty"`
 
 	PlanCacheHit bool `json:"planCacheHit"`
 	StatsReused  int  `json:"statsReusedLeaves"`
@@ -140,31 +169,29 @@ type Response struct {
 type Server struct {
 	cfg Config
 
-	fs     *dfs.FS
-	sim    *cluster.Sim
-	gate   *Gate
-	coord  *coord.Service
 	reg    *expr.Registry
-	cat    *jaql.Catalog
 	optCfg optimizer.Config
+	shards []*shard
 
 	sem     chan struct{} // in-flight slots
 	waiting atomic.Int64  // queued + executing requests
 	seq     atomic.Int64  // session tags
 
-	mu    sync.Mutex // guards epoch/store/memo swaps
-	epoch int64
-	store *stats.Store
-	plans *planCache
-	memos *optimizer.SharedCache
+	invMu sync.Mutex   // serializes Invalidate's shard sweep
+	epoch atomic.Int64 // current statistics epoch
 
 	met   counters
 	lat   *latencySample
 	start time.Time
+
+	// hookJobOutput, when non-nil, runs after each job output file is
+	// tracked. Tests use it to act at a provably mid-execution moment.
+	hookJobOutput func()
 }
 
-// New builds a service: it generates the TPC-H dataset once and owns
-// the simulated cluster, DFS, catalog, and caches for its lifetime.
+// New builds a service: each shard generates the TPC-H dataset once
+// and owns its simulated cluster, DFS, catalog, and caches for the
+// server's lifetime.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.normalized()
 	ccfg := cluster.DefaultConfig()
@@ -176,27 +203,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Parallelism > 0 {
 		ccfg.Parallelism = cfg.Parallelism
 	}
-	fs := dfs.New(dfs.WithNodes(ccfg.Workers))
-	cat, err := tpch.Generate(fs, tpch.Config{SF: cfg.SF, Scale: cfg.Scale, Seed: cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("server: generate dataset: %w", err)
-	}
 	reg := expr.NewRegistry()
 	tpch.RegisterUDFs(reg, tpch.DefaultUDFParams())
-	sim := cluster.New(ccfg)
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		sh, err := newShard(i, cfg, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sh
+	}
 	return &Server{
 		cfg:    cfg,
-		fs:     fs,
-		sim:    sim,
-		gate:   NewGate(sim),
-		coord:  coord.NewService(),
 		reg:    reg,
-		cat:    cat,
 		optCfg: optimizer.DefaultConfig(float64(ccfg.SlotMemory)),
+		shards: shards,
 		sem:    make(chan struct{}, cfg.MaxInFlight),
-		store:  stats.NewStore(),
-		plans:  newPlanCache(cfg.PlanCacheSize),
-		memos:  optimizer.NewSharedCache(cfg.MemoCacheSize),
 		lat:    newLatencySample(0),
 		start:  time.Now(),
 	}, nil
@@ -232,12 +254,17 @@ func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
 	resp, err := s.run(qctx, req)
 	wall := time.Since(start)
 	if err != nil {
-		s.met.errors.Add(1)
+		// Every failed outcome increments exactly one counter:
+		// timeouts and canceled are disjoint from each other and from
+		// errors, which counts only non-cancellation failures (see
+		// counters).
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.timeouts.Add(1)
 		case errors.Is(err, context.Canceled):
 			s.met.canceled.Add(1)
+		default:
+			s.met.errors.Add(1)
 		}
 		return nil, err
 	}
@@ -247,7 +274,35 @@ func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
 	return resp, nil
 }
 
-// run executes one admitted query in its own engine session.
+// shardFor routes a normalized query to its shard.
+func (s *Server) shardFor(norm string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := fnv.New64a()
+	h.Write([]byte(norm))
+	return s.shards[h.Sum64()%uint64(len(s.shards))]
+}
+
+// requestView adapts a shared response prototype — the execution's
+// full result, also stored in the result cache and handed to dedup
+// followers — to one request: a shallow copy with per-request flags
+// and MaxRows truncation. Rows and Warnings are shared read-only.
+func requestView(proto *Response, req Request, resultHit, deduped bool) *Response {
+	r := *proto
+	r.Query = req.Query
+	r.ResultCacheHit = resultHit
+	r.Deduped = deduped
+	if req.MaxRows > 0 && len(r.Rows) > req.MaxRows {
+		r.Rows = r.Rows[:req.MaxRows]
+		r.Truncated = true
+	}
+	return &r
+}
+
+// run resolves, routes, and serves one admitted query: result cache
+// first, then in-flight deduplication, then an engine session on the
+// query's shard.
 func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 	sql := req.SQL
 	if sql == "" {
@@ -282,22 +337,82 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 
-	s.mu.Lock()
-	epoch, store, memos := s.epoch, s.store, s.memos
-	s.mu.Unlock()
+	sh := s.shardFor(norm)
+	epoch, store, memos := sh.session()
 	key := fmt.Sprintf("e%d|%s|%s|%s", epoch, variant, strategyName, norm)
+
+	if !s.cfg.DisableResultCache {
+		if proto, ok := sh.results.get(key); ok {
+			s.met.resultHits.Add(1)
+			return requestView(proto, req, true, false), nil
+		}
+	}
+
+	var fromCache bool
+	exec := func() (*Response, error) {
+		if !s.cfg.DisableResultCache && !s.cfg.DisableDedup {
+			// Re-check under the in-flight slot: a leader that
+			// finished between our cache check and registration has
+			// already cached its result, and executing again would
+			// duplicate its work.
+			if proto, ok := sh.results.get(key); ok {
+				fromCache = true
+				return proto, nil
+			}
+		}
+		return s.execute(ctx, sh, sql, variant, strat, key, epoch, store, memos)
+	}
+
+	var proto *Response
+	leader := true
+	if s.cfg.DisableDedup {
+		proto, err = exec()
+	} else {
+		proto, err, leader = sh.flight.do(ctx, key, exec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case !leader:
+		s.met.deduped.Add(1)
+		return requestView(proto, req, false, true), nil
+	case fromCache:
+		s.met.resultHits.Add(1)
+		return requestView(proto, req, true, false), nil
+	default:
+		if !s.cfg.DisableResultCache {
+			s.met.resultMisses.Add(1)
+		}
+		return requestView(proto, req, false, false), nil
+	}
+}
+
+// execute runs one query in its own engine session on sh and returns
+// the full (untruncated) response prototype, caching it for repeats.
+func (s *Server) execute(ctx context.Context, sh *shard, sql string, variant baselines.Variant,
+	strat core.Strategy, key string, epoch int64, store *stats.Store, memos *optimizer.SharedCache) (*Response, error) {
 	var cached plan.Node
 	if !s.cfg.DisablePlanCache {
-		cached = s.plans.get(key)
+		cached, _ = sh.plans.get(key)
 	}
 
 	tag := fmt.Sprintf("s%d-", s.seq.Add(1))
+	scratch := &scratchTracker{}
+	onCreate := scratch.add
+	if hook := s.hookJobOutput; hook != nil {
+		onCreate = func(name string) {
+			scratch.add(name)
+			hook()
+		}
+	}
 	env := &mapreduce.Env{
-		FS:    s.fs,
-		Sim:   s.sim,
-		Coord: s.coord,
-		Reg:   s.reg,
-		Gate:  newSessionGate(s.gate, ctx),
+		FS:           sh.fs,
+		Sim:          sh.sim,
+		Coord:        sh.coord,
+		Reg:          s.reg,
+		Gate:         newSessionGate(sh.gate, ctx),
+		OnCreateFile: onCreate,
 	}
 
 	opts := core.DefaultOptions()
@@ -307,6 +422,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 	opts.Strategy = strat
 
 	var eng *core.Engine
+	var err error
 	planHit := cached != nil
 	if planHit {
 		// Plan-cache hit: re-execute the cached physical plan
@@ -321,16 +437,16 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 		opts.Planner = func(*plan.JoinBlock, optimizer.Config) (plan.Node, int, error) {
 			return root, 0, nil
 		}
-		eng = core.NewEngine(env, s.cat, s.optCfg, opts)
+		eng = core.NewEngine(env, sh.cat, s.optCfg, opts)
 	} else {
 		opts.ReuseStats = !s.cfg.DisableStatsCache
-		eng, err = baselines.NewEngine(variant, env, s.cat, s.optCfg, opts)
+		eng, err = baselines.NewEngine(variant, env, sh.cat, s.optCfg, opts)
 		if err != nil {
 			return nil, err
 		}
 		if !s.cfg.DisableStatsCache {
-			// Share the cross-query statistics store: pilot results
-			// land in it and later queries over the same leaf
+			// Share the shard's cross-query statistics store: pilot
+			// results land in it and later queries over the same leaf
 			// expressions skip their pilots.
 			eng.Store = store
 		}
@@ -342,7 +458,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	res, execErr := eng.ExecuteSQLContext(ctx, sql)
-	s.cleanupSession(tag)
+	sh.removeScratch(scratch, tag)
 	if execErr != nil {
 		return nil, execErr
 	}
@@ -350,15 +466,15 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 	if planHit {
 		s.met.planHits.Add(1)
 	} else {
-		if !s.cfg.DisablePlanCache {
-			s.plans.put(key, res.PlanRoot)
+		if !s.cfg.DisablePlanCache && res.PlanRoot != nil {
+			sh.plans.put(key, epoch, res.PlanRoot)
 		}
 		s.met.planMisses.Add(1)
 	}
 
 	resp := &Response{
-		Query:        req.Query,
 		Variant:      string(variant),
+		Shard:        sh.id,
 		RowCount:     len(res.Rows),
 		PlanCacheHit: planHit,
 		Jobs:         res.Jobs,
@@ -378,49 +494,47 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, error) {
 		s.met.pilotJobs.Add(int64(res.Pilot.Jobs))
 	}
 	resp.Rows = res.Rows
-	if req.MaxRows > 0 && len(res.Rows) > req.MaxRows {
-		resp.Rows = res.Rows[:req.MaxRows]
-		resp.Truncated = true
+	if !s.cfg.DisableResultCache {
+		// Guarded by the epoch like the plan cache: a put computed
+		// against a pre-Invalidate epoch is dropped.
+		sh.results.put(key, epoch, resp)
 	}
 	return resp, nil
 }
 
-// cleanupSession removes the session's scratch DFS files (tmp/ and
-// pilot/ trees under its tag). Result rows were already copied out.
-func (s *Server) cleanupSession(tag string) {
-	for _, name := range s.fs.List() {
-		if strings.HasPrefix(name, "tmp/"+tag) || strings.HasPrefix(name, "pilot/"+tag) {
-			_ = s.fs.Remove(name)
-		}
-	}
-}
-
-// Invalidate bumps the statistics epoch: the shared statistics store
-// and memo cache are replaced and the plan cache cleared, so the next
-// queries re-run pilots and full searches against the current base
-// tables. Call it after changing base data. Returns the new epoch.
+// Invalidate bumps the statistics epoch on every shard: shared
+// statistics stores and memo caches are replaced and plan and result
+// caches cleared, so the next queries re-run pilots and full searches
+// against the current base tables. Call it after changing base data.
+// Returns the new epoch.
 func (s *Server) Invalidate() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.epoch++
-	s.store = stats.NewStore()
-	s.plans.clear()
-	s.memos = optimizer.NewSharedCache(s.cfg.MemoCacheSize)
-	return s.epoch
+	s.invMu.Lock()
+	defer s.invMu.Unlock()
+	e := s.epoch.Add(1)
+	for _, sh := range s.shards {
+		sh.invalidate(e, s.cfg)
+	}
+	return e
 }
 
 // Epoch returns the current statistics epoch.
-func (s *Server) Epoch() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.epoch
-}
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
 
-// Metrics snapshots the service counters.
+// Metrics snapshots the service counters. Cache sizes aggregate over
+// shards; VirtualSec reports the most-advanced shard clock.
 func (s *Server) Metrics() MetricsSnapshot {
-	s.mu.Lock()
-	epoch, store, memos := s.epoch, s.store, s.memos
-	s.mu.Unlock()
+	var planSize, resultSize, storeLeaves, memoGroups int
+	var virtual float64
+	for _, sh := range s.shards {
+		_, store, memos := sh.session()
+		planSize += sh.plans.size()
+		resultSize += sh.results.size()
+		storeLeaves += store.Len()
+		memoGroups += memos.Len()
+		if now := sh.gate.Now(); now > virtual {
+			virtual = now
+		}
+	}
 	inFlight := len(s.sem)
 	queued := int(s.waiting.Load()) - inFlight
 	if queued < 0 {
@@ -428,7 +542,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 	}
 	return MetricsSnapshot{
 		UptimeSec:         time.Since(s.start).Seconds(),
-		Epoch:             epoch,
+		Epoch:             s.epoch.Load(),
+		Shards:            len(s.shards),
 		Queries:           s.met.queries.Load(),
 		Errors:            s.met.errors.Load(),
 		Rejected:          s.met.rejected.Load(),
@@ -436,16 +551,21 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Canceled:          s.met.canceled.Load(),
 		InFlight:          inFlight,
 		Queued:            queued,
+		ResultCacheHits:   s.met.resultHits.Load(),
+		ResultCacheMisses: s.met.resultMisses.Load(),
+		ResultCacheSize:   resultSize,
+		Deduped:           s.met.deduped.Load(),
 		PlanCacheHits:     s.met.planHits.Load(),
 		PlanCacheMisses:   s.met.planMisses.Load(),
-		PlanCacheSize:     s.plans.size(),
+		PlanCacheSize:     planSize,
 		StatsReusedLeaves: s.met.statsReused.Load(),
 		PilotJobs:         s.met.pilotJobs.Load(),
-		StatsStoreLeaves:  store.Len(),
-		MemoCacheGroups:   memos.Len(),
+		StatsStoreLeaves:  storeLeaves,
+		MemoCacheGroups:   memoGroups,
 		MemoGroupsReused:  s.met.memoReused.Load(),
 		P50Millis:         s.lat.percentile(0.50),
 		P95Millis:         s.lat.percentile(0.95),
-		VirtualSec:        s.gate.Now(),
+		P99Millis:         s.lat.percentile(0.99),
+		VirtualSec:        virtual,
 	}
 }

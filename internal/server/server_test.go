@@ -48,7 +48,9 @@ func rowsKey(t *testing.T, rows []data.Value) string {
 }
 
 func TestPlanCacheHitSkipsOptimization(t *testing.T) {
-	s := newTestServer(t, nil)
+	// Disable the result cache so the repeat reaches the plan cache
+	// instead of being served without executing at all.
+	s := newTestServer(t, func(c *Config) { c.DisableResultCache = true })
 	ctx := context.Background()
 
 	r1, err := s.Execute(ctx, Request{Query: "Q8p"})
@@ -112,9 +114,12 @@ func TestPlanCacheKeyedByVariantAndStrategy(t *testing.T) {
 }
 
 func TestStatsCacheReusesPilotResults(t *testing.T) {
-	// Disable the plan cache so the second execution optimizes again
-	// and exercises only statistics reuse.
-	s := newTestServer(t, func(c *Config) { c.DisablePlanCache = true })
+	// Disable the result and plan caches so the second execution
+	// optimizes again and exercises only statistics reuse.
+	s := newTestServer(t, func(c *Config) {
+		c.DisablePlanCache = true
+		c.DisableResultCache = true
+	})
 	ctx := context.Background()
 
 	r1, err := s.Execute(ctx, Request{Query: "Q8p"})
@@ -209,8 +214,9 @@ func TestQueryTimeout(t *testing.T) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 	m := s.Metrics()
-	if m.Timeouts != 1 || m.Errors != 1 {
-		t.Errorf("timeouts=%d errors=%d, want 1/1", m.Timeouts, m.Errors)
+	if m.Timeouts != 1 || m.Errors != 0 || m.Canceled != 0 {
+		t.Errorf("timeouts=%d errors=%d canceled=%d, want 1/0/0 (disjoint classes)",
+			m.Timeouts, m.Errors, m.Canceled)
 	}
 }
 
@@ -236,9 +242,11 @@ func TestSessionScratchIsCleanedUp(t *testing.T) {
 	if _, err := s.Execute(context.Background(), Request{Query: "Q8p"}); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range s.fs.List() {
-		if strings.HasPrefix(name, "tmp/") || strings.HasPrefix(name, "pilot/") {
-			t.Errorf("scratch file %q survived the session", name)
+	for _, sh := range s.shards {
+		for _, name := range sh.fs.List() {
+			if strings.HasPrefix(name, "tmp/") || strings.HasPrefix(name, "pilot/") {
+				t.Errorf("scratch file %q survived the session", name)
+			}
 		}
 	}
 }
@@ -258,10 +266,13 @@ func TestMaxRowsTruncation(t *testing.T) {
 }
 
 func TestMemoCacheReusedAcrossQueries(t *testing.T) {
-	// Disable the plan cache so repeated queries re-optimize and
-	// exercise the shared memo; statistics reuse stays on so the
-	// second query's leaves carry identical fingerprints.
-	s := newTestServer(t, func(c *Config) { c.DisablePlanCache = true })
+	// Disable the result and plan caches so repeated queries
+	// re-optimize and exercise the shared memo; statistics reuse stays
+	// on so the second query's leaves carry identical fingerprints.
+	s := newTestServer(t, func(c *Config) {
+		c.DisablePlanCache = true
+		c.DisableResultCache = true
+	})
 	ctx := context.Background()
 
 	r1, err := s.Execute(ctx, Request{Query: "Q8p"})
@@ -302,6 +313,7 @@ func TestMemoCacheReusedAcrossQueries(t *testing.T) {
 	// The kill switch pins reuse at the session-local level.
 	off := newTestServer(t, func(c *Config) {
 		c.DisablePlanCache = true
+		c.DisableResultCache = true
 		c.DisableMemoCache = true
 	})
 	if _, err := off.Execute(ctx, Request{Query: "Q8p"}); err != nil {
