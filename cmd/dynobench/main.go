@@ -189,6 +189,9 @@ func run() int {
 		ran++
 	}
 	if want["load"] { // deliberately not part of "all": the full sweep is long
+		if runtime.GOMAXPROCS(0) == 1 {
+			fmt.Fprintln(os.Stderr, "dynobench: warning: GOMAXPROCS=1 — concurrent clients and shards share one core; the report will carry single_core and cross-arm throughput is noise")
+		}
 		clientSweep, err := parseIntList(*loadClients)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dynobench: load: -load-clients: %v\n", err)

@@ -25,6 +25,9 @@ import (
 	"syscall"
 	"time"
 
+	"dyno/internal/cluster"
+	"dyno/internal/runtime"
+	"dyno/internal/runtime/procruntime"
 	"dyno/internal/server"
 )
 
@@ -45,6 +48,10 @@ func main() {
 		resultSize  = flag.Int("result-cache-size", 0, "result cache entries per shard (0 = default)")
 		workers     = flag.Int("workers", 0, "cluster workers (0 = paper default)")
 		parallelism = flag.Int("parallelism", 0, "simulated task waves executed per step (0 = serial)")
+		runtimeName = flag.String("runtime", "sim", "execution backend: sim (in-process simulator) | proc (dynoworker processes)")
+		ctrlAddr    = flag.String("controller-addr", "127.0.0.1:0", "proc backend: controller listen address for worker registration")
+		minWorkers  = flag.Int("min-workers", 1, "proc backend: workers to wait for before serving")
+		workerWait  = flag.Duration("worker-wait", 60*time.Second, "proc backend: how long to wait for -min-workers")
 	)
 	flag.Parse()
 
@@ -63,6 +70,34 @@ func main() {
 	cfg.ResultCacheSize = *resultSize
 	cfg.Workers = *workers
 	cfg.Parallelism = *parallelism
+
+	var fleet *procruntime.Fleet
+	switch *runtimeName {
+	case "sim":
+	case "proc":
+		var err error
+		fleet, err = procruntime.NewFleet(procruntime.Config{
+			Addr: *ctrlAddr,
+			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer fleet.Close()
+		fmt.Printf("dynod: proc controller listening at %s (start workers with: dynoworker -controller %s)\n",
+			fleet.URL(), fleet.URL())
+		cfg.NewRuntime = func(ccfg cluster.Config) (runtime.Runtime, error) {
+			return procruntime.New(fleet, ccfg), nil
+		}
+		if *minWorkers > 0 {
+			fmt.Printf("dynod: waiting for %d worker(s)...\n", *minWorkers)
+			if err := fleet.WaitForWorkers(*minWorkers, *workerWait); err != nil {
+				fail(err)
+			}
+		}
+	default:
+		fail(fmt.Errorf("unknown -runtime %q (sim | proc)", *runtimeName))
+	}
 
 	fmt.Printf("dynod: generating TPC-H SF=%g scale=%g...\n", cfg.SF, cfg.Scale)
 	srv, err := server.New(cfg)
@@ -84,10 +119,16 @@ func main() {
 
 	select {
 	case <-ctx.Done():
+		// Orderly teardown: stop accepting HTTP, cancel and drain
+		// in-flight queries, then drain and deregister the worker
+		// fleet (the deferred fleet.Close).
 		fmt.Println("dynod: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fail(err)
+		}
+		if err := srv.Shutdown(shutCtx); err != nil {
 			fail(err)
 		}
 	case err := <-done:

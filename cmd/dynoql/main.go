@@ -14,17 +14,18 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dyno/internal/baselines"
 	"dyno/internal/cluster"
-	"dyno/internal/coord"
 	"dyno/internal/core"
-	"dyno/internal/dfs"
 	"dyno/internal/expr"
 	"dyno/internal/hive"
 	"dyno/internal/jaql"
-	"dyno/internal/mapreduce"
 	"dyno/internal/optimizer"
+	"dyno/internal/runtime"
+	"dyno/internal/runtime/procruntime"
+	"dyno/internal/runtime/simruntime"
 	"dyno/internal/tpch"
 )
 
@@ -43,6 +44,11 @@ func main() {
 		dynJoin   = flag.Bool("dynamic-join", false, "enable the runtime repartition-to-broadcast switch")
 		combiner  = flag.Bool("combiner", false, "enable map-side partial aggregation for the grouping job")
 		maxRows   = flag.Int("rows", 10, "result rows to print")
+
+		runtimeName = flag.String("runtime", "sim", "execution backend: sim (in-process simulator) | proc (dynoworker processes)")
+		ctrlAddr    = flag.String("controller-addr", "127.0.0.1:0", "proc backend: controller listen address for worker registration")
+		minWorkers  = flag.Int("min-workers", 1, "proc backend: workers to wait for before executing")
+		workerWait  = flag.Duration("worker-wait", 60*time.Second, "proc backend: how long to wait for -min-workers")
 	)
 	flag.Parse()
 
@@ -64,14 +70,38 @@ func main() {
 	}
 
 	ccfg := cluster.DefaultConfig()
-	fs := dfs.New(dfs.WithNodes(ccfg.Workers))
-	cat, err := tpch.Generate(fs, tpch.Config{SF: *sf, Scale: *scale, Seed: *seed})
+	var rt runtime.Runtime
+	switch *runtimeName {
+	case "sim":
+		rt = simruntime.New(ccfg)
+	case "proc":
+		fleet, err := procruntime.NewFleet(procruntime.Config{
+			Addr: *ctrlAddr,
+			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer fleet.Close()
+		fmt.Fprintf(os.Stderr, "dynoql: proc controller listening at %s (start workers with: dynoworker -controller %s)\n",
+			fleet.URL(), fleet.URL())
+		if *minWorkers > 0 {
+			if err := fleet.WaitForWorkers(*minWorkers, *workerWait); err != nil {
+				fail(err)
+			}
+		}
+		rt = procruntime.New(fleet, ccfg)
+	default:
+		usage(fmt.Sprintf("unknown -runtime %q (sim | proc)", *runtimeName))
+	}
+	defer rt.Close()
+	cat, err := tpch.Generate(rt.FS(), tpch.Config{SF: *sf, Scale: *scale, Seed: *seed})
 	if err != nil {
 		fail(err)
 	}
 	reg := expr.NewRegistry()
 	tpch.RegisterUDFs(reg, tpch.DefaultUDFParams())
-	env := &mapreduce.Env{FS: fs, Sim: cluster.New(ccfg), Coord: coord.NewService(), Reg: reg}
+	env := rt.NewEnv(reg)
 	env.UseCombiner = *combiner
 	optCfg := optimizer.DefaultConfig(float64(ccfg.SlotMemory))
 	if *hiveMode {

@@ -1,0 +1,166 @@
+// Command dynoworker is a DYNO execution worker: a standalone process
+// that registers with a controller (dynoql -runtime proc or dynod
+// -runtime proc), heartbeats, and executes dispatched map/reduce task
+// bodies against mirrored DFS block files on local disk.
+//
+// Usage:
+//
+//	dynoworker -controller http://127.0.0.1:9400
+//
+// The worker exits cleanly when the controller drains it (POST /drain)
+// or on SIGINT/SIGTERM.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyno/internal/expr"
+	"dyno/internal/runtime/procruntime"
+	"dyno/internal/runtime/wire"
+	"dyno/internal/tpch"
+)
+
+func main() {
+	var (
+		controller = flag.String("controller", "", "controller base URL (required)")
+		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
+		advertise  = flag.String("advertise", "", "URL the controller should dial back (default derived from the listen address)")
+		regTimeout = flag.Duration("register-timeout", 30*time.Second, "how long to keep retrying registration")
+	)
+	flag.Parse()
+	if *controller == "" {
+		fail(fmt.Errorf("-controller is required"))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	selfURL := *advertise
+	if selfURL == "" {
+		selfURL = "http://" + ln.Addr().String()
+	}
+
+	// Register (with retry: the controller may still be coming up),
+	// then build the expression registry from the controller's UDF
+	// parameters so both sides evaluate identically.
+	resp, err := register(*controller, selfURL, *regTimeout)
+	if err != nil {
+		fail(err)
+	}
+	udf := tpch.DefaultUDFParams()
+	if len(resp.UDF) > 0 {
+		if err := json.Unmarshal(resp.UDF, &udf); err != nil {
+			fail(fmt.Errorf("bad UDF params from controller: %w", err))
+		}
+	}
+	reg := expr.NewRegistry()
+	tpch.RegisterUDFs(reg, udf)
+	w := procruntime.NewWorker(reg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	w.OnDrain(func() {
+		// Give the drain response time to flush before exiting.
+		time.Sleep(100 * time.Millisecond)
+		close(drained)
+	})
+
+	httpSrv := &http.Server{Handler: w.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	fmt.Printf("dynoworker: id=%d listening on %s (controller %s)\n", resp.ID, ln.Addr(), *controller)
+
+	hb := time.Duration(resp.HeartbeatMillis) * time.Millisecond
+	if hb <= 0 {
+		hb = time.Second
+	}
+	go heartbeat(ctx, *controller, selfURL, resp.ID, hb)
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("dynoworker: signal received, shutting down")
+	case <-drained:
+		fmt.Println("dynoworker: drained by controller, shutting down")
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+}
+
+// register announces the worker to the controller, retrying until the
+// deadline (the controller may start after its workers).
+func register(controller, selfURL string, timeout time.Duration) (*wire.RegisterResponse, error) {
+	payload, err := json.Marshal(wire.RegisterRequest{URL: selfURL})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		resp, err := http.Post(controller+"/runtime/register", "application/json", bytes.NewReader(payload))
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				var rr wire.RegisterResponse
+				err = json.NewDecoder(resp.Body).Decode(&rr)
+				resp.Body.Close()
+				if err != nil {
+					return nil, fmt.Errorf("bad register response: %w", err)
+				}
+				return &rr, nil
+			}
+			resp.Body.Close()
+			err = fmt.Errorf("register: HTTP %d", resp.StatusCode)
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("registration with %s failed: %w", controller, lastErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// heartbeat reports liveness until the context ends. A Gone response
+// means the controller no longer knows us (restart); re-register.
+func heartbeat(ctx context.Context, controller, selfURL string, id int, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	payload, _ := json.Marshal(wire.HeartbeatRequest{ID: id})
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		resp, err := http.Post(controller+"/runtime/heartbeat", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusGone {
+			// Controller restarted: re-register under the same URL (it
+			// re-keys workers by URL, so the id stays stable).
+			register(controller, selfURL, 2*time.Second)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dynoworker:", err)
+	os.Exit(1)
+}

@@ -125,10 +125,11 @@ type Engine struct {
 	// Opt.DisableIncremental is set or a Planner override is in use.
 	MemoCache *optimizer.SharedCache
 
-	rng     *rand.Rand
-	queries int
-	pruner  func(data.Value) data.Value
-	ctx     context.Context // per-call cancellation, set by ExecuteContext
+	rng       *rand.Rand
+	queries   int
+	pruner    func(data.Value) data.Value
+	pruneLive map[string]map[string]bool // raw live map pruner was built from
+	ctx       context.Context            // per-call cancellation, set by ExecuteContext
 }
 
 // NewEngine wires an engine over the given environment and catalog.
@@ -273,9 +274,11 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *sqlparse.Query) (*Result
 	res := &Result{}
 	start := e.Env.Now()
 	if e.Options.ProjectionPushdown {
-		e.pruner = jaql.NewPruner(rewrite.LiveColumns(q))
+		e.pruneLive = rewrite.LiveColumns(q)
+		e.pruner = jaql.NewPruner(e.pruneLive)
 	} else {
 		e.pruner = nil
+		e.pruneLive = nil
 	}
 
 	// Step 3 (Figure 1): pilot runs.
@@ -502,6 +505,7 @@ func (e *Engine) executeWave(block *plan.JoinBlock, graph *jaql.Graph, toRun []*
 			opts.SwitchMmax = e.Opt.Mmax
 		}
 		opts.Prune = e.pruner
+		opts.PruneLive = e.pruneLive
 		run, err := jaql.SubmitUnit(e.Env, u, opts)
 		if err != nil {
 			return err
@@ -745,7 +749,7 @@ func (e *Engine) countJob(u *jaql.Unit, res *Result) {
 // staticExecOpts builds the per-unit options for non-reoptimizing
 // execution.
 func (e *Engine) staticExecOpts() jaql.ExecOpts {
-	opts := jaql.ExecOpts{KMVSize: e.Options.KMVSize, Prune: e.pruner}
+	opts := jaql.ExecOpts{KMVSize: e.Options.KMVSize, Prune: e.pruner, PruneLive: e.pruneLive}
 	if e.Options.DynamicJoin {
 		opts.SwitchMmax = e.Opt.Mmax
 	}

@@ -11,6 +11,7 @@ import (
 	"dyno/internal/expr"
 	"dyno/internal/mapreduce"
 	"dyno/internal/plan"
+	"dyno/internal/runtime/wire"
 	"dyno/internal/stats"
 )
 
@@ -105,7 +106,7 @@ func (e *Engine) pilotRuns(block *plan.JoinBlock, queryName string) (*PilotRepor
 		// split budget is clamped to at least one split per leaf so a
 		// block with more leaves than map slots still samples every
 		// relation.
-		m := e.Env.Sim.Config().MapSlots()
+		m := e.Env.ClusterConfig().MapSlots()
 		per := m / max(len(jobs), 1)
 		if per < 1 {
 			per = 1
@@ -212,6 +213,15 @@ func (e *Engine) submitPilot(rel *plan.Rel, queryName string, block *plan.JoinBl
 	if sample != nil {
 		spec.Inputs[0].Splits = sample.initial
 		spec.MoreSplits = [][]int{sample.reserve}
+	}
+	if e.Env.Exec != nil {
+		// Proc backend: a pilot job is a plain scan of the leaf
+		// expression (uncompiled; compilation only changes speed).
+		filter, err := wire.EncodeExpr(leaf.Pred)
+		if err != nil {
+			return nil, fmt.Errorf("core: pilot %s: %w", leaf.Alias, err)
+		}
+		spec.RemoteOp = &wire.OpSpec{Kind: "scan", Source: &wire.SourceSpec{Wrap: leaf.Alias, Filter: filter}}
 	}
 	job, sub, err := mapreduce.Submit(e.Env, spec)
 	if err != nil {

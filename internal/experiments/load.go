@@ -140,12 +140,16 @@ type LoadArm struct {
 
 // LoadReport is the JSON shape of BENCH_load.json.
 type LoadReport struct {
-	SF         float64  `json:"sf"`
-	Scale      float64  `json:"scale"`
-	ZipfS      float64  `json:"zipfS"`
-	Mix        []string `json:"mix"`
-	PerClient  int      `json:"perClient"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	SF        float64  `json:"sf"`
+	Scale     float64  `json:"scale"`
+	ZipfS     float64  `json:"zipfS"`
+	Mix       []string `json:"mix"`
+	PerClient int      `json:"perClient"`
+	// SingleCore marks sweeps run with GOMAXPROCS=1: client
+	// concurrency and shard scaling have no extra cores to spread
+	// over, so throughput comparisons across arms are noise.
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	SingleCore bool      `json:"single_core,omitempty"`
 	Arms       []LoadArm `json:"arms"`
 }
 
@@ -169,6 +173,7 @@ func LoadBench(cfg Config, opts LoadOptions) (*LoadReport, error) {
 		Mix:        loadMixLabels(),
 		PerClient:  opts.PerClient,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SingleCore: runtime.GOMAXPROCS(0) == 1,
 	}
 	for _, shards := range opts.Shards {
 		scfg := server.DefaultConfig()

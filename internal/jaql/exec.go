@@ -10,6 +10,7 @@ import (
 	"dyno/internal/expr"
 	"dyno/internal/mapreduce"
 	"dyno/internal/plan"
+	"dyno/internal/runtime/wire"
 	"dyno/internal/stats"
 )
 
@@ -25,6 +26,10 @@ type ExecOpts struct {
 	// shuffles (projection pushdown: rows carry only the fields the
 	// query references). Build with NewPruner.
 	Prune func(data.Value) data.Value
+	// PruneLive is the live-column map Prune was built from, carried in
+	// raw form so remote task executors can serialize it. Set it
+	// whenever Prune is set; leave both nil to disable pruning.
+	PruneLive map[string]map[string]bool
 	// SwitchMmax, when positive, enables the dynamic join operator the
 	// paper plans as future work (§8): a repartition join whose
 	// smaller input is already materialized and actually fits within
@@ -126,6 +131,11 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 			}
 		}
 		spec.Inputs = []mapreduce.Input{in}
+		if err := attachRemoteOp(env, &spec, func() (*wire.OpSpec, error) {
+			return scanOp(u.Probe, opts.PruneLive)
+		}); err != nil {
+			return spec, err
+		}
 	case UnitRepartition:
 		j := u.Chain[0]
 		lf, err := u.Probe.file()
@@ -147,7 +157,13 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 			}
 			if float64(bf.Size()) <= opts.SwitchMmax {
 				u.Switched = true
-				return broadcastSpec(spec, probe, pf, []buildStep{{src: build, join: j}}, prune, fast)
+				steps := []buildStep{{src: build, join: j}}
+				if err := attachRemoteOp(env, &spec, func() (*wire.OpSpec, error) {
+					return chainOp(probe, steps, opts.PruneLive)
+				}); err != nil {
+					return spec, err
+				}
+				return broadcastSpec(spec, probe, pf, steps, prune, fast)
 			}
 		}
 		// Size the reduce phase from the estimated shuffle volume (both
@@ -169,6 +185,11 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 			}
 		}
 		residual := expr.Conjoin(j.Residual)
+		if err := attachRemoteOp(env, &spec, func() (*wire.OpSpec, error) {
+			return repartitionOp(u, residual, wire.EncodePaths(lKeys), wire.EncodePaths(rKeys), opts.PruneLive)
+		}); err != nil {
+			return spec, err
+		}
 		if fast && residual != nil {
 			// The residual sees merged L+R rows; a merge of the two
 			// mapped samples has the layout reduce-side rows will have.
@@ -208,6 +229,11 @@ func buildSpec(env *mapreduce.Env, u *Unit, opts ExecOpts) (mapreduce.Spec, erro
 		steps := make([]buildStep, len(u.Chain))
 		for i, m := range u.Chain {
 			steps[i] = buildStep{src: u.Builds[i], join: m}
+		}
+		if err := attachRemoteOp(env, &spec, func() (*wire.OpSpec, error) {
+			return chainOp(u.Probe, steps, opts.PruneLive)
+		}); err != nil {
+			return spec, err
 		}
 		return broadcastSpec(spec, u.Probe, pf, steps, prune, fast)
 	}
@@ -460,7 +486,7 @@ func reducersFor(env *mapreduce.Env, shuffleBytes float64) int {
 	if n < 1 {
 		n = 1
 	}
-	if max := env.Sim.Config().ReduceSlots() * 2; n > max && max > 0 {
+	if max := env.ClusterConfig().ReduceSlots() * 2; n > max && max > 0 {
 		n = max
 	}
 	return n

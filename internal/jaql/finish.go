@@ -8,6 +8,7 @@ import (
 	"dyno/internal/mapreduce"
 	"dyno/internal/plan"
 	"dyno/internal/rowops"
+	"dyno/internal/runtime/wire"
 	"dyno/internal/sqlparse"
 )
 
@@ -81,6 +82,11 @@ func runAggregateJob(env *mapreduce.Env, q *sqlparse.Query, final *plan.Rel, out
 		Inputs: []mapreduce.Input{{File: final.File, Map: func(mc *mapreduce.MapCtx, rec data.Value) {
 			mc.EmitKV(rowops.GroupKey(mc.ExprCtx(), groupBy, rec), "", rec)
 		}}},
+	}
+	if err := attachRemoteOp(env, &spec, func() (*wire.OpSpec, error) {
+		return aggregateOp(q, env.UseCombiner)
+	}); err != nil {
+		return nil, err
 	}
 	if env.UseCombiner {
 		// Map-side partial aggregation: the combiner folds each map

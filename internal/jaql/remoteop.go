@@ -1,0 +1,117 @@
+package jaql
+
+import (
+	"fmt"
+
+	"dyno/internal/expr"
+	"dyno/internal/mapreduce"
+	"dyno/internal/runtime/wire"
+	"dyno/internal/sqlparse"
+)
+
+// Remote operator construction. When the environment carries a task
+// executor (the proc backend), every submitted spec also gets a
+// serialized *wire.OpSpec describing the same transformation its local
+// closures perform; workers interpret it over the uncompiled
+// expressions (compilation is a pure evaluation-speed optimization, so
+// results and UDF cost accrual are identical either way). With no
+// executor installed nothing here runs and the sim arm is untouched.
+
+// sourceSpec serializes a unit input source (minus its file, which the
+// executor resolves to mirrored blocks).
+func sourceSpec(s Source) (*wire.SourceSpec, error) {
+	filter, err := wire.EncodeExpr(s.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("jaql: source %s: %w", s.Wrap, err)
+	}
+	return &wire.SourceSpec{Wrap: s.Wrap, Filter: filter}, nil
+}
+
+// scanOp serializes a scan unit.
+func scanOp(probe Source, live map[string]map[string]bool) (*wire.OpSpec, error) {
+	src, err := sourceSpec(probe)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.OpSpec{Kind: "scan", Source: src, Prune: wire.EncodePrune(live)}, nil
+}
+
+// repartitionOp serializes a repartition-join unit. The residual must
+// be the uncompiled conjoined join predicate over merged rows.
+func repartitionOp(u *Unit, residual expr.Expr, lKeys, rKeys []string, live map[string]map[string]bool) (*wire.OpSpec, error) {
+	left, err := sourceSpec(u.Probe)
+	if err != nil {
+		return nil, err
+	}
+	right, err := sourceSpec(u.Right)
+	if err != nil {
+		return nil, err
+	}
+	res, err := wire.EncodeExpr(residual)
+	if err != nil {
+		return nil, fmt.Errorf("jaql: unit %s residual: %w", u.Name, err)
+	}
+	return &wire.OpSpec{
+		Kind:      "repartition",
+		Left:      left,
+		Right:     right,
+		LeftKeys:  lKeys,
+		RightKeys: rKeys,
+		Residual:  res,
+		Prune:     wire.EncodePrune(live),
+	}, nil
+}
+
+// chainOp serializes a broadcast-chain unit, replicating
+// broadcastSpec's alias accumulation: step i's probe-side keys resolve
+// against the probe aliases plus all builds merged before it.
+func chainOp(probe Source, steps []buildStep, live map[string]map[string]bool) (*wire.OpSpec, error) {
+	src, err := sourceSpec(probe)
+	if err != nil {
+		return nil, err
+	}
+	op := &wire.OpSpec{Kind: "chain", Source: src, Prune: wire.EncodePrune(live)}
+	probeAliases := append([]string(nil), probe.aliases()...)
+	for i, st := range steps {
+		residual, err := wire.EncodeExpr(expr.Conjoin(st.join.Residual))
+		if err != nil {
+			return nil, fmt.Errorf("jaql: chain step %d residual: %w", i, err)
+		}
+		op.Steps = append(op.Steps, wire.ChainStep{
+			Build:    fmt.Sprintf("b%d", i),
+			Keys:     wire.EncodePaths(probeKeyPaths(st.join, probeAliases)),
+			Residual: residual,
+		})
+		probeAliases = append(probeAliases, st.src.aliases()...)
+	}
+	return op, nil
+}
+
+// aggregateOp serializes the final grouping/aggregation job over the
+// uncompiled query expressions.
+func aggregateOp(q *sqlparse.Query, combine bool) (*wire.OpSpec, error) {
+	groupBy, err := wire.EncodeExprs(q.GroupBy)
+	if err != nil {
+		return nil, fmt.Errorf("jaql: group-by: %w", err)
+	}
+	sel, err := wire.EncodeSelect(q.Select)
+	if err != nil {
+		return nil, fmt.Errorf("jaql: select: %w", err)
+	}
+	return &wire.OpSpec{Kind: "aggregate", GroupBy: groupBy, Select: sel, Combine: combine}, nil
+}
+
+// attachRemoteOp sets the spec's remote operator when a task executor
+// is installed; build errors surface at submit time, before the job
+// runs.
+func attachRemoteOp(env *mapreduce.Env, spec *mapreduce.Spec, build func() (*wire.OpSpec, error)) error {
+	if env.Exec == nil {
+		return nil
+	}
+	op, err := build()
+	if err != nil {
+		return err
+	}
+	spec.RemoteOp = op
+	return nil
+}

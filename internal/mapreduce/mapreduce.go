@@ -71,6 +71,14 @@ type Env struct {
 	// Now, Advance, and RunUntil instead of touching Sim directly in
 	// any code path a gated session can reach.
 	Gate Gate
+	// Exec, when non-nil, delegates the per-record work of every map
+	// and reduce task to an external executor (the multi-process
+	// runtime backend). Jobs submitted to such an environment must
+	// carry a serialized operator in Spec.RemoteOp; there is no silent
+	// in-process fallback. The simulator keeps driving scheduling and
+	// accounting either way, so results and virtual traces match the
+	// in-process path exactly.
+	Exec TaskExecutor
 	// DistributedCache enables Hive-0.12-style broadcast builds: the
 	// build side is loaded once per node instead of once per task
 	// (§6.6).
@@ -112,6 +120,11 @@ type Env struct {
 func (e *Env) VirtualSize(rec data.Value) int64 {
 	return int64(float64(rec.EncodedSize()+1) * e.FS.ByteScale())
 }
+
+// ClusterConfig returns the cluster's sizing parameters. Call sites
+// use this instead of reaching through Sim so the scheduling substrate
+// stays an implementation detail of the environment.
+func (e *Env) ClusterConfig() cluster.Config { return e.Sim.Config() }
 
 // Shared reports whether the environment runs behind a session gate
 // (its cluster is shared with other concurrent sessions).
@@ -509,6 +522,13 @@ type Spec struct {
 	// StopAfter triggers (§4.1's selective-predicate optimization). 0
 	// disables.
 	FinishIfFractionDone float64
+
+	// RemoteOp is the serialized operator (*wire.OpSpec) a task
+	// executor interprets in place of the Go closures above. Required
+	// when the environment has Env.Exec set; ignored otherwise. The
+	// closures stay authoritative for the in-process path and must
+	// describe the identical transformation.
+	RemoteOp any
 }
 
 type kvPair struct {
@@ -618,7 +638,7 @@ func (j *Job) defaultReducers() int {
 	if n < 1 {
 		n = 1
 	}
-	if max := j.env.Sim.Config().ReduceSlots() * 2; n > max && max > 0 {
+	if max := j.env.ClusterConfig().ReduceSlots() * 2; n > max && max > 0 {
 		n = max
 	}
 	return n
@@ -647,11 +667,11 @@ func (j *Job) Start(sub *cluster.Submission) []*cluster.Task {
 		// its own: one extra job startup plus a cluster-wide scan of
 		// the unfiltered input.
 		if ht.prepBytes > 0 {
-			slots := float64(j.env.Sim.Config().MapSlots())
+			slots := float64(j.env.ClusterConfig().MapSlots())
 			if slots < 1 {
 				slots = 1
 			}
-			j.prepLatency += j.env.Sim.Config().JobStartup +
+			j.prepLatency += j.env.ClusterConfig().JobStartup +
 				float64(ht.prepBytes)/(scanBps(j.env)*slots) + ht.prepCPU/slots
 		}
 	}
@@ -739,13 +759,16 @@ func (j *Job) runMap(st *mapTaskState, input Input, tc cluster.TaskContext) (clu
 	// tasks would race on j.prepCharged, and where a speculative backup
 	// attempt could not re-apply them for its own node.
 	if len(j.spec.Broadcasts) > 0 {
-		if j.buildBytes > j.env.Sim.Config().SlotMemory {
+		if j.buildBytes > j.env.ClusterConfig().SlotMemory {
 			return u, fmt.Errorf("%w: build %d bytes > slot memory %d",
-				ErrBroadcastOOM, j.buildBytes, j.env.Sim.Config().SlotMemory)
+				ErrBroadcastOOM, j.buildBytes, j.env.ClusterConfig().SlotMemory)
 		}
 	}
 	block := input.File.Block(st.splitIdx)
 	u.BytesRead += input.File.BlockSizeBytes(st.splitIdx)
+	if j.env.Exec != nil {
+		return j.runMapRemote(st, input, u)
+	}
 	// Size output buffers from the split: most maps emit at most one
 	// row per input record, so this avoids the append growth ladder in
 	// the shuffle hot path.
@@ -965,6 +988,9 @@ func (j *Job) makeReduceTasks() []*cluster.Task {
 }
 
 func (j *Job) runReduce(st *reduceTaskState, partition int) (cluster.Usage, error) {
+	if j.env.Exec != nil {
+		return j.runReduceRemote(st, partition)
+	}
 	var u cluster.Usage
 	fast := j.fastPath()
 	// Gather this partition's pairs from all map tasks in submission
@@ -1162,12 +1188,12 @@ func Run(env *Env, spec Spec) (*Result, error) {
 	return j.Result()
 }
 
-func scanBps(env *Env) float64 { return env.Sim.Config().ScanBps }
+func scanBps(env *Env) float64 { return env.ClusterConfig().ScanBps }
 
 // broadcastBps is the build-side load rate, defaulting to ScanBps.
 func broadcastBps(env *Env) float64 {
-	if r := env.Sim.Config().BroadcastLoadBps; r > 0 {
+	if r := env.ClusterConfig().BroadcastLoadBps; r > 0 {
 		return r
 	}
-	return env.Sim.Config().ScanBps
+	return env.ClusterConfig().ScanBps
 }

@@ -1,0 +1,219 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"dyno/internal/cluster"
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+)
+
+// TaskExecutor is the execution seam of the runtime backends: when
+// Env.Exec is set, the per-record work of every map and reduce task is
+// delegated to it (a remote worker fleet), while the job lifecycle —
+// scheduling, shuffling, statistics, virtual-time accounting, retries
+// and speculation — keeps running in-process against the simulator.
+// Both backends therefore run the same plans, produce the same rows,
+// and count the same jobs by construction; only where the record loop
+// executes differs.
+type TaskExecutor interface {
+	ExecMap(m MapExec) (*MapExecOut, error)
+	ExecReduce(r ReduceExec) (*ReduceExecOut, error)
+}
+
+// RemoteKV is one shuffled pair returned by a remote map task.
+type RemoteKV struct {
+	Key data.Value
+	Tag string
+	Rec data.Value
+}
+
+// MapExec describes one map task for a TaskExecutor.
+type MapExec struct {
+	JobName  string
+	TaskName string
+	// File and Split identify the input block (the executor resolves
+	// them to worker-readable storage).
+	File     *dfs.File
+	Split    int
+	InputIdx int
+	// NumReducers partitions shuffle output; HasReduce selects between
+	// row output and pair output; RunCombine asks the worker to fold
+	// the map-side combiner over its shuffle buckets.
+	NumReducers int
+	HasReduce   bool
+	RunCombine  bool
+	// Broadcasts are the job's build sides (workers rebuild the hash
+	// tables from the referenced files).
+	Broadcasts []Broadcast
+	// Op is the serialized operator (a *wire.OpSpec); the seam keeps it
+	// opaque so this package does not depend on the wire layer.
+	Op any
+}
+
+// MapExecOut is a remote map task's output. CPUMap is the UDF cost of
+// the map phase alone; CPUTotal additionally includes the combiner —
+// the controller charges both against the virtual clock with exactly
+// the local path's accrual pattern.
+type MapExecOut struct {
+	Rows     []data.Value // map-only jobs
+	Pairs    [][]RemoteKV // shuffle jobs: one slice per partition
+	CPUMap   float64
+	CPUTotal float64
+}
+
+// ReduceExec describes one reduce task: the partition's pairs, already
+// gathered and sorted into reduce key order by the controller.
+type ReduceExec struct {
+	JobName   string
+	TaskName  string
+	Partition int
+	Pairs     []RemoteKV
+	Op        any
+}
+
+// ReduceExecOut is a remote reduce task's output.
+type ReduceExecOut struct {
+	Rows       []data.Value
+	CPUSeconds float64
+}
+
+// errNoRemoteOp rejects jobs submitted without a serialized operator
+// while a task executor is installed. Failing loudly here is what
+// makes the differential contract trustworthy: the proc backend can
+// never silently fall back to in-process execution.
+func (j *Job) errNoRemoteOp() error {
+	return fmt.Errorf("mapreduce: job %s has no remote op for the task executor", j.spec.Name)
+}
+
+// runMapRemote delegates the record loop of one map task to the
+// executor and replays its outputs through the exact accounting the
+// local path performs (input stats, CPU accrual including the
+// combiner's double-add, output volume, shared counter).
+func (j *Job) runMapRemote(st *mapTaskState, input Input, u cluster.Usage) (cluster.Usage, error) {
+	if j.spec.RemoteOp == nil {
+		return u, j.errNoRemoteOp()
+	}
+	out, err := j.env.Exec.ExecMap(MapExec{
+		JobName:     j.spec.Name,
+		TaskName:    fmt.Sprintf("%s-m%d", j.spec.Name, st.seq),
+		File:        input.File,
+		Split:       st.splitIdx,
+		InputIdx:    st.inputIdx,
+		NumReducers: j.numReducers,
+		HasReduce:   j.spec.Reduce != nil,
+		RunCombine:  j.spec.Combine != nil && j.spec.Reduce != nil,
+		Broadcasts:  j.spec.Broadcasts,
+		Op:          j.spec.RemoteOp,
+	})
+	if err != nil {
+		return u, err
+	}
+	n := input.File.Block(st.splitIdx).NumRecords()
+	if st.collector != nil {
+		st.collector.ObserveInputs(n)
+	}
+	fast := j.fastPath()
+	if j.spec.Reduce == nil {
+		st.outRows = append(st.outRows, out.Rows...)
+	} else {
+		if len(out.Pairs) != j.numReducers {
+			return u, fmt.Errorf("mapreduce: executor returned %d partitions for %s, want %d",
+				len(out.Pairs), j.spec.Name, j.numReducers)
+		}
+		// Rebuild the shuffle buckets; the normalized key is recomputed
+		// here so downstream sort/group order is identical to a locally
+		// produced bucket.
+		var nkBuf []byte
+		for p, pairs := range out.Pairs {
+			for _, rkv := range pairs {
+				kv := kvPair{key: rkv.Key, tag: rkv.Tag, rec: rkv.Rec}
+				if fast {
+					if b, ok := data.AppendNormKey(nkBuf[:0], rkv.Key); ok {
+						kv.nk = string(b)
+						nkBuf = b
+					} else {
+						nkBuf = b[:0]
+					}
+				}
+				st.buckets[p] = append(st.buckets[p], kv)
+			}
+		}
+	}
+	u.Records += int64(n)
+	u.CPUSeconds += out.CPUMap
+	if j.spec.Combine != nil && j.spec.Reduce != nil {
+		// The local path charges the map-phase CPU once and then the
+		// accumulated map+combine total again after combining; replay
+		// the same double-add so virtual timelines agree.
+		u.CPUSeconds += out.CPUTotal
+	}
+	var emitted int64
+	if j.spec.Reduce == nil {
+		for _, rec := range st.outRows {
+			sz := j.env.VirtualSize(rec)
+			u.BytesWritten += sz
+			if st.collector != nil {
+				st.collector.ObserveOutput(rec, sz)
+			}
+		}
+		emitted = int64(len(st.outRows))
+	} else {
+		for _, bucket := range st.buckets {
+			for _, kv := range bucket {
+				u.BytesShuffled += j.env.VirtualSize(kv.rec)
+			}
+			emitted += int64(len(bucket))
+		}
+	}
+	if emitted > 0 {
+		j.env.Coord.Add(j.counterName, emitted)
+	}
+	return u, nil
+}
+
+// runReduceRemote gathers and sorts the partition's pairs exactly like
+// the local path, delegates the group loop to the executor, and
+// replays the output accounting.
+func (j *Job) runReduceRemote(st *reduceTaskState, partition int) (cluster.Usage, error) {
+	var u cluster.Usage
+	if j.spec.RemoteOp == nil {
+		return u, j.errNoRemoteOp()
+	}
+	var pairs []kvPair
+	for _, ms := range j.mapStates {
+		if partition < len(ms.buckets) {
+			bucket := ms.buckets[partition]
+			pairs = append(pairs, bucket...)
+			for _, kv := range bucket {
+				u.BytesShuffled += j.env.VirtualSize(kv.rec)
+			}
+		}
+	}
+	sortPairsByKey(pairs)
+	remote := make([]RemoteKV, len(pairs))
+	for i, kv := range pairs {
+		remote[i] = RemoteKV{Key: kv.key, Tag: kv.tag, Rec: kv.rec}
+	}
+	out, err := j.env.Exec.ExecReduce(ReduceExec{
+		JobName:   j.spec.Name,
+		TaskName:  fmt.Sprintf("%s-r%d", j.spec.Name, partition),
+		Partition: partition,
+		Pairs:     remote,
+		Op:        j.spec.RemoteOp,
+	})
+	if err != nil {
+		return u, err
+	}
+	st.outRows = append(st.outRows, out.Rows...)
+	u.Records += int64(len(pairs))
+	u.CPUSeconds += out.CPUSeconds
+	for _, rec := range st.outRows {
+		sz := j.env.VirtualSize(rec)
+		u.BytesWritten += sz
+		if st.collector != nil {
+			st.collector.ObserveOutput(rec, sz)
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,210 @@
+package procruntime_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dyno/internal/baselines"
+	"dyno/internal/cluster"
+	"dyno/internal/core"
+	"dyno/internal/expr"
+	"dyno/internal/optimizer"
+	"dyno/internal/runtime"
+	"dyno/internal/runtime/procruntime"
+	"dyno/internal/runtime/simruntime"
+	"dyno/internal/tpch"
+)
+
+// The differential contract: a query executed on the sim backend and
+// on the proc backend (real worker processes; here in-process via
+// httptest, same handler cmd/dynoworker serves) must produce the same
+// rows, the same job counts, and the same virtual timeline.
+
+type queryOutcome struct {
+	rows       string
+	jobs       int
+	mapOnly    int
+	mapReduce  int
+	switched   int
+	totalSec   float64
+	pilotSec   float64
+	pilotJobs  int
+	iterations int
+}
+
+type engineTweaks struct {
+	pushdown    bool
+	dynamicJoin bool
+	combiner    bool
+	parallelism int
+}
+
+// newProcRuntime builds a fleet with n in-process workers plus the
+// runtime over it. Worker registries are built exactly like
+// cmd/dynoworker builds them: fresh registry + the controller's UDF
+// params.
+func newProcRuntime(t *testing.T, n int, ccfg cluster.Config) runtime.Runtime {
+	t.Helper()
+	fleet, err := procruntime.NewFleet(procruntime.Config{
+		// In-process test workers do not heartbeat; keep them fresh
+		// for the whole test run.
+		StaleAfter: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+	for i := 0; i < n; i++ {
+		reg := expr.NewRegistry()
+		tpch.RegisterUDFs(reg, tpch.DefaultUDFParams())
+		ts := httptest.NewServer(procruntime.NewWorker(reg).Handler())
+		t.Cleanup(ts.Close)
+		fleet.RegisterWorker(ts.URL)
+	}
+	if got := fleet.Workers(); got != n {
+		t.Fatalf("fleet has %d live workers, want %d", got, n)
+	}
+	return procruntime.New(fleet, ccfg)
+}
+
+// runQuery executes one named TPC-H query through the full engine
+// (pilot runs, optimizer, re-optimization) on the given backend.
+func runQuery(t *testing.T, rt runtime.Runtime, query string, tw engineTweaks) queryOutcome {
+	t.Helper()
+	out, err := runQueryErr(t, rt, query, tw)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", query, rt.Name(), err)
+	}
+	return out
+}
+
+func runQueryErr(t *testing.T, rt runtime.Runtime, query string, tw engineTweaks) (queryOutcome, error) {
+	t.Helper()
+	cat, err := tpch.Generate(rt.FS(), tpch.Config{SF: 10, Scale: 0.05, Seed: 2014})
+	if err != nil {
+		return queryOutcome{}, err
+	}
+	reg := expr.NewRegistry()
+	tpch.RegisterUDFs(reg, tpch.DefaultUDFParams())
+	env := rt.NewEnv(reg)
+	env.UseCombiner = tw.combiner
+
+	opts := core.DefaultOptions()
+	opts.K = 256
+	opts.KMVSize = 512
+	opts.ProjectionPushdown = tw.pushdown
+	opts.DynamicJoin = tw.dynamicJoin
+	ccfg := env.ClusterConfig()
+	eng, err := baselines.NewEngine(baselines.VariantDynOpt, env, cat,
+		optimizer.DefaultConfig(float64(ccfg.SlotMemory)), opts)
+	if err != nil {
+		return queryOutcome{}, err
+	}
+	sql, err := tpch.QuerySQL(query)
+	if err != nil {
+		return queryOutcome{}, err
+	}
+	res, err := eng.ExecuteSQL(sql)
+	if err != nil {
+		return queryOutcome{}, err
+	}
+	var sb strings.Builder
+	for _, r := range res.Rows {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	out := queryOutcome{
+		rows:       sb.String(),
+		jobs:       res.Jobs,
+		mapOnly:    res.MapOnlyJobs,
+		mapReduce:  res.MapReduceJobs,
+		switched:   res.SwitchedJobs,
+		totalSec:   res.TotalSec,
+		pilotSec:   res.PilotSec,
+		iterations: res.Iterations,
+	}
+	if res.Pilot != nil {
+		out.pilotJobs = res.Pilot.Jobs
+	}
+	return out, nil
+}
+
+// TestProcStrictNoFallback: with a task executor installed but no
+// workers, tasks must fail loudly — never silently run in-process.
+// This is what makes the differential results above trustworthy.
+func TestProcStrictNoFallback(t *testing.T) {
+	ccfg := cluster.DefaultConfig()
+	_, err := runQueryErr(t, newProcRuntime(t, 0, ccfg), "Q10", engineTweaks{})
+	if err == nil {
+		t.Fatal("query succeeded on the proc backend with zero workers")
+	}
+	if !strings.Contains(err.Error(), "no live workers") {
+		t.Fatalf("want a no-live-workers dispatch failure, got: %v", err)
+	}
+}
+
+func diffOutcomes(t *testing.T, query string, sim, proc queryOutcome) {
+	t.Helper()
+	if sim.rows != proc.rows {
+		t.Errorf("%s: rows differ between backends\nsim:\n%s\nproc:\n%s", query, sim.rows, proc.rows)
+	}
+	if sim.jobs != proc.jobs || sim.mapOnly != proc.mapOnly || sim.mapReduce != proc.mapReduce || sim.switched != proc.switched {
+		t.Errorf("%s: job counts differ: sim %d (%dm/%dmr/%dsw) proc %d (%dm/%dmr/%dsw)",
+			query, sim.jobs, sim.mapOnly, sim.mapReduce, sim.switched,
+			proc.jobs, proc.mapOnly, proc.mapReduce, proc.switched)
+	}
+	if sim.pilotJobs != proc.pilotJobs || sim.iterations != proc.iterations {
+		t.Errorf("%s: pilot/iteration counts differ: sim %d/%d proc %d/%d",
+			query, sim.pilotJobs, sim.iterations, proc.pilotJobs, proc.iterations)
+	}
+	if sim.totalSec != proc.totalSec || sim.pilotSec != proc.pilotSec {
+		t.Errorf("%s: virtual timelines differ: sim total=%v pilot=%v proc total=%v pilot=%v",
+			query, sim.totalSec, sim.pilotSec, proc.totalSec, proc.pilotSec)
+	}
+}
+
+// TestDifferentialTPCH runs the full evaluation suite on both
+// backends (two workers) and requires identical outcomes.
+func TestDifferentialTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite executes every TPC-H query twice")
+	}
+	for _, query := range tpch.QueryNames {
+		query := query
+		t.Run(query, func(t *testing.T) {
+			ccfg := cluster.DefaultConfig()
+			sim := runQuery(t, simruntime.New(ccfg), query, engineTweaks{})
+			proc := runQuery(t, newProcRuntime(t, 2, ccfg), query, engineTweaks{})
+			diffOutcomes(t, query, sim, proc)
+		})
+	}
+}
+
+// TestDifferentialFeatureMatrix exercises the remote encodings the
+// plain sweep may not reach: projection pushdown (serialized prune
+// maps), the dynamic join switch (chain ops created at submit time),
+// the map-side combiner (partial-aggregate tasks with the CPU
+// double-add), and concurrent dispatch (parallel wave execution).
+func TestDifferentialFeatureMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite executes queries twice")
+	}
+	tw := engineTweaks{pushdown: true, dynamicJoin: true, combiner: true, parallelism: 4}
+	for _, query := range []string{"Q9p", "Q10"} {
+		query := query
+		t.Run(query, func(t *testing.T) {
+			ccfg := cluster.DefaultConfig()
+			ccfg.Parallelism = tw.parallelism
+			sim := runQuery(t, simruntime.New(ccfg), query, tw)
+			proc := runQuery(t, newProcRuntime(t, 2, ccfg), query, tw)
+			diffOutcomes(t, query, sim, proc)
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package procruntime
+
+import (
+	"fmt"
+
+	"dyno/internal/data"
+	"dyno/internal/mapreduce"
+	"dyno/internal/runtime/wire"
+)
+
+// executor adapts the mapreduce task seam to the fleet's wire
+// protocol: it resolves DFS blocks to mirrored files, serializes the
+// dispatch, and decodes the worker's rows/pairs back into engine
+// values.
+type executor struct {
+	f *Fleet
+}
+
+var _ mapreduce.TaskExecutor = executor{}
+
+func (e executor) ExecMap(m mapreduce.MapExec) (*mapreduce.MapExecOut, error) {
+	op, ok := m.Op.(*wire.OpSpec)
+	if !ok {
+		return nil, fmt.Errorf("procruntime: job %s: remote op is %T, want *wire.OpSpec", m.JobName, m.Op)
+	}
+	block, err := e.f.blockPath(m.File, m.Split)
+	if err != nil {
+		return nil, err
+	}
+	builds := make([]wire.BuildRef, 0, len(m.Broadcasts))
+	for _, b := range m.Broadcasts {
+		var filter *wire.ExprSpec
+		if b.Filter != nil {
+			filter, err = wire.EncodeExpr(b.Filter)
+			if err != nil {
+				return nil, fmt.Errorf("procruntime: job %s build %s: %w", m.JobName, b.Name, err)
+			}
+		}
+		blocks, version, err := e.f.filePaths(b.File)
+		if err != nil {
+			return nil, err
+		}
+		builds = append(builds, wire.BuildRef{
+			Name:    b.Name,
+			Wrap:    b.Wrap,
+			Filter:  filter,
+			Keys:    wire.EncodePaths(b.KeyPaths),
+			Blocks:  blocks,
+			Version: version,
+		})
+	}
+	resp, err := e.f.dispatch(&wire.TaskRequest{
+		Job:         m.JobName,
+		Task:        m.TaskName,
+		Kind:        "map",
+		Op:          op,
+		InputIdx:    m.InputIdx,
+		Block:       block,
+		NumReducers: m.NumReducers,
+		HasReduce:   m.HasReduce,
+		RunCombine:  m.RunCombine,
+		Builds:      builds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &mapreduce.MapExecOut{CPUMap: resp.CPUMap, CPUTotal: resp.CPUTotal}
+	if !m.HasReduce {
+		out.Rows, err = decodeRows(resp.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("procruntime: task %s: %w", m.TaskName, err)
+		}
+		return out, nil
+	}
+	out.Pairs = make([][]mapreduce.RemoteKV, len(resp.Pairs))
+	for p, imgs := range resp.Pairs {
+		kvs, err := wire.DecodeKVs(imgs)
+		if err != nil {
+			return nil, fmt.Errorf("procruntime: task %s partition %d: %w", m.TaskName, p, err)
+		}
+		pairs := make([]mapreduce.RemoteKV, len(kvs))
+		for i, kv := range kvs {
+			pairs[i] = mapreduce.RemoteKV{Key: kv.Key, Tag: kv.Tag, Rec: kv.Rec}
+		}
+		out.Pairs[p] = pairs
+	}
+	return out, nil
+}
+
+func (e executor) ExecReduce(r mapreduce.ReduceExec) (*mapreduce.ReduceExecOut, error) {
+	op, ok := r.Op.(*wire.OpSpec)
+	if !ok {
+		return nil, fmt.Errorf("procruntime: job %s: remote op is %T, want *wire.OpSpec", r.JobName, r.Op)
+	}
+	pairs := make([]wire.KV, len(r.Pairs))
+	for i, kv := range r.Pairs {
+		pairs[i] = wire.KV{Key: kv.Key, Tag: kv.Tag, Rec: kv.Rec}
+	}
+	resp, err := e.f.dispatch(&wire.TaskRequest{
+		Job:       r.JobName,
+		Task:      r.TaskName,
+		Kind:      "reduce",
+		Op:        op,
+		Partition: r.Partition,
+		Pairs:     wire.EncodeKVs(pairs),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := decodeRows(resp.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("procruntime: task %s: %w", r.TaskName, err)
+	}
+	return &mapreduce.ReduceExecOut{Rows: rows, CPUSeconds: resp.CPUSeconds}, nil
+}
+
+func decodeRows(imgs []any) ([]data.Value, error) {
+	if len(imgs) == 0 {
+		return nil, nil
+	}
+	rows := make([]data.Value, len(imgs))
+	for i, img := range imgs {
+		v, err := wire.DecodeValue(img)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = v
+	}
+	return rows, nil
+}

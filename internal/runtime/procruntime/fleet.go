@@ -1,0 +1,548 @@
+// Package procruntime is the real multi-process execution backend: a
+// controller embedded in the client process (dynoql/dynod) plus
+// dynoworker processes speaking HTTP/JSON. Workers register with the
+// controller and heartbeat; every map/reduce task body is dispatched
+// to a worker, which executes the job's serialized operator against
+// file-backed DFS blocks mirrored to local disk. The discrete-event
+// simulator keeps running controller-side as the scheduler and
+// virtual-time accountant, so plans, rows, and job counts match the
+// sim backend exactly (the differential contract) while task bodies
+// consume honest wall-clock on real processes.
+//
+// Fault model (mirroring the simulator's PR 2 semantics at the
+// dispatch layer): per-task timeouts, bounded retries on distinct
+// workers, blacklisting after consecutive failures, and
+// straggler-tolerant hedged re-dispatch once an attempt exceeds a
+// multiple of the observed median task duration — first answer wins.
+package procruntime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/runtime/wire"
+	"dyno/internal/tpch"
+)
+
+// Config shapes a worker fleet.
+type Config struct {
+	// Addr is the controller's listen address; default 127.0.0.1:0.
+	Addr string
+	// SpillDir holds the mirrored DFS block files; default a fresh
+	// temp directory removed on Close.
+	SpillDir string
+	// TaskTimeout bounds one dispatch attempt; default 60s.
+	TaskTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per task (including the
+	// hedged attempt); default 3.
+	MaxAttempts int
+	// BlacklistAfter removes a worker from rotation after this many
+	// consecutive failures; default 3.
+	BlacklistAfter int
+	// HedgeMin is the minimum straggler hedge delay; default 2s. An
+	// attempt older than max(HedgeMin, HedgeFactor x median completed
+	// duration of the task kind) triggers a speculative second attempt
+	// on a different worker.
+	HedgeMin    time.Duration
+	HedgeFactor float64
+	// Heartbeat is the interval workers are told to report at; a
+	// worker silent for StaleAfter is skipped by dispatch. Defaults:
+	// 1s / 10s.
+	Heartbeat  time.Duration
+	StaleAfter time.Duration
+	// UDF is shipped to workers at registration so their registries
+	// evaluate the TPC-H UDFs with the controller's parameters.
+	UDF tpch.UDFParams
+	// Logf, when set, receives fleet events (registrations, retries,
+	// hedges, blacklists).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.TaskTimeout <= 0 {
+		c.TaskTimeout = 60 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BlacklistAfter <= 0 {
+		c.BlacklistAfter = 3
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 2 * time.Second
+	}
+	if c.HedgeFactor <= 0 {
+		c.HedgeFactor = 2
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 10 * time.Second
+	}
+	if c.UDF == (tpch.UDFParams{}) {
+		c.UDF = tpch.DefaultUDFParams()
+	}
+	return c
+}
+
+type workerState struct {
+	id       int
+	url      string
+	fails    int
+	black    bool
+	lastSeen time.Time
+}
+
+// Fleet is the controller side of the proc backend: the worker
+// registry, the block mirror, and the dispatch engine. One Fleet can
+// serve many Runtimes (shards) concurrently; all methods are safe for
+// concurrent use.
+type Fleet struct {
+	cfg      Config
+	srv      *http.Server
+	ln       net.Listener
+	client   *http.Client
+	ownSpill bool
+
+	mu        sync.Mutex
+	workers   map[int]*workerState
+	nextID    int
+	rr        int
+	mirrors   map[*dfs.File]*mirror
+	mirrorSeq int
+	closed    bool
+
+	durMu     sync.Mutex
+	durations map[string][]float64 // task kind -> completed seconds, sorted on read
+}
+
+type mirror struct {
+	once  sync.Once
+	err   error
+	dir   string
+	paths []string
+}
+
+// NewFleet starts the controller listener and returns the fleet.
+func NewFleet(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:       cfg,
+		client:    &http.Client{},
+		workers:   map[int]*workerState{},
+		mirrors:   map[*dfs.File]*mirror{},
+		durations: map[string][]float64{},
+	}
+	if cfg.SpillDir == "" {
+		dir, err := os.MkdirTemp("", "dyno-spill-*")
+		if err != nil {
+			return nil, err
+		}
+		f.cfg.SpillDir = dir
+		f.ownSpill = true
+	} else if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", f.cfg.Addr)
+	if err != nil {
+		if f.ownSpill {
+			os.RemoveAll(f.cfg.SpillDir)
+		}
+		return nil, err
+	}
+	f.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runtime/register", f.handleRegister)
+	mux.HandleFunc("POST /runtime/heartbeat", f.handleHeartbeat)
+	mux.HandleFunc("GET /runtime/status", f.handleStatus)
+	f.srv = &http.Server{Handler: mux}
+	go f.srv.Serve(ln)
+	return f, nil
+}
+
+// URL returns the controller's base URL for workers to register at.
+func (f *Fleet) URL() string { return "http://" + f.ln.Addr().String() }
+
+// logf reports a fleet event.
+func (f *Fleet) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// RegisterWorker adds a worker by base URL and returns its id (the
+// HTTP registration endpoint and in-process tests both land here).
+func (f *Fleet) RegisterWorker(url string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.workers {
+		if w.url == url {
+			// Re-registration (worker restart): reset its standing.
+			w.fails, w.black, w.lastSeen = 0, false, time.Now()
+			return w.id
+		}
+	}
+	f.nextID++
+	id := f.nextID
+	f.workers[id] = &workerState{id: id, url: url, lastSeen: time.Now()}
+	f.logf("procruntime: worker %d registered at %s", id, url)
+	return id
+}
+
+// Workers returns the number of live (non-blacklisted, fresh)
+// workers.
+func (f *Fleet) Workers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.workers {
+		if f.alive(w) {
+			n++
+		}
+	}
+	return n
+}
+
+// alive reports dispatch eligibility; callers hold f.mu.
+func (f *Fleet) alive(w *workerState) bool {
+	return !w.black && time.Since(w.lastSeen) <= f.cfg.StaleAfter
+}
+
+// WaitForWorkers blocks until n workers are live or the timeout
+// elapses.
+func (f *Fleet) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.Workers() >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("procruntime: %d of %d workers registered within %s", f.Workers(), n, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Close drains the fleet: workers are sent a drain request and
+// deregistered, the controller listener stops, and an owned spill
+// directory is removed.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	workers := make([]*workerState, 0, len(f.workers))
+	for _, w := range f.workers {
+		workers = append(workers, w)
+	}
+	f.workers = map[int]*workerState{}
+	f.mu.Unlock()
+
+	for _, w := range workers {
+		req, err := http.NewRequest(http.MethodPost, w.url+"/drain", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			f.logf("procruntime: drain of worker %d (%s) failed: %v", w.id, w.url, err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		f.logf("procruntime: worker %d drained", w.id)
+	}
+	err := f.srv.Close()
+	if f.ownSpill {
+		os.RemoveAll(f.cfg.SpillDir)
+	}
+	return err
+}
+
+func (f *Fleet) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		http.Error(w, "bad register payload", http.StatusBadRequest)
+		return
+	}
+	id := f.RegisterWorker(req.URL)
+	udf, err := json.Marshal(f.cfg.UDF)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	json.NewEncoder(w).Encode(wire.RegisterResponse{
+		ID:              id,
+		HeartbeatMillis: int(f.cfg.Heartbeat / time.Millisecond),
+		UDF:             udf,
+	})
+}
+
+func (f *Fleet) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req wire.HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad heartbeat payload", http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	ws, ok := f.workers[req.ID]
+	if ok {
+		ws.lastSeen = time.Now()
+	}
+	f.mu.Unlock()
+	if !ok {
+		// Unknown id (controller restarted): tell the worker to
+		// re-register.
+		http.Error(w, "unknown worker", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
+	type ws struct {
+		ID       int     `json:"id"`
+		URL      string  `json:"url"`
+		Black    bool    `json:"blacklisted,omitempty"`
+		Fails    int     `json:"consecutiveFails,omitempty"`
+		AgoMilli float64 `json:"lastSeenAgoMillis"`
+	}
+	f.mu.Lock()
+	out := struct {
+		Workers []ws `json:"workers"`
+	}{}
+	for _, s := range f.workers {
+		out.Workers = append(out.Workers, ws{ID: s.id, URL: s.url, Black: s.black, Fails: s.fails,
+			AgoMilli: float64(time.Since(s.lastSeen).Microseconds()) / 1000})
+	}
+	f.mu.Unlock()
+	sort.Slice(out.Workers, func(i, k int) bool { return out.Workers[i].ID < out.Workers[k].ID })
+	json.NewEncoder(w).Encode(out)
+}
+
+// filePaths mirrors a DFS file's blocks to local disk once (files are
+// immutable: Create always makes a new *dfs.File, so pointer identity
+// is version identity) and returns the per-block file paths.
+func (f *Fleet) filePaths(file *dfs.File) ([]string, string, error) {
+	f.mu.Lock()
+	m, ok := f.mirrors[file]
+	if !ok {
+		f.mirrorSeq++
+		m = &mirror{dir: filepath.Join(f.cfg.SpillDir, fmt.Sprintf("f%06d", f.mirrorSeq))}
+		f.mirrors[file] = m
+	}
+	f.mu.Unlock()
+	m.once.Do(func() {
+		if err := os.MkdirAll(m.dir, 0o755); err != nil {
+			m.err = err
+			return
+		}
+		n := file.NumBlocks()
+		paths := make([]string, n)
+		for i := 0; i < n; i++ {
+			p := filepath.Join(m.dir, "b"+strconv.Itoa(i)+".jsonl")
+			if err := writeBlockFile(p, file.Block(i).Records()); err != nil {
+				m.err = err
+				return
+			}
+			paths[i] = p
+		}
+		m.paths = paths
+	})
+	if m.err != nil {
+		return nil, "", m.err
+	}
+	return m.paths, m.dir, nil
+}
+
+// blockPath mirrors the file and returns one block's path.
+func (f *Fleet) blockPath(file *dfs.File, split int) (string, error) {
+	paths, _, err := f.filePaths(file)
+	if err != nil {
+		return "", err
+	}
+	if split < 0 || split >= len(paths) {
+		return "", fmt.Errorf("procruntime: split %d out of range for %s (%d blocks)", split, file.Name(), len(paths))
+	}
+	return paths[split], nil
+}
+
+// writeBlockFile writes one DFS block as wire-encoded JSON lines.
+func writeBlockFile(path string, recs []data.Value) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(wire.EncodeValue(rec)); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// pickWorker returns the next live worker not in tried, round-robin;
+// callers get nil when none remain.
+func (f *Fleet) pickWorker(tried map[int]bool) *workerState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]int, 0, len(f.workers))
+	for id := range f.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for range ids {
+		f.rr++
+		w := f.workers[ids[f.rr%len(ids)]]
+		if f.alive(w) && !tried[w.id] {
+			return w
+		}
+	}
+	return nil
+}
+
+func (f *Fleet) noteSuccess(w *workerState, kind string, d time.Duration) {
+	f.mu.Lock()
+	w.fails = 0
+	f.mu.Unlock()
+	f.durMu.Lock()
+	f.durations[kind] = append(f.durations[kind], d.Seconds())
+	f.durMu.Unlock()
+}
+
+func (f *Fleet) noteFailure(w *workerState) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w.fails++
+	if w.fails >= f.cfg.BlacklistAfter && !w.black {
+		w.black = true
+		f.logf("procruntime: worker %d (%s) blacklisted after %d consecutive failures", w.id, w.url, w.fails)
+	}
+}
+
+// hedgeDelay is the straggler threshold for a task kind: a multiple of
+// the median completed duration, floored at HedgeMin.
+func (f *Fleet) hedgeDelay(kind string) time.Duration {
+	f.durMu.Lock()
+	ds := append([]float64(nil), f.durations[kind]...)
+	f.durMu.Unlock()
+	if len(ds) == 0 {
+		return f.cfg.HedgeMin
+	}
+	sort.Float64s(ds)
+	med := ds[len(ds)/2]
+	d := time.Duration(f.cfg.HedgeFactor * med * float64(time.Second))
+	if d < f.cfg.HedgeMin {
+		d = f.cfg.HedgeMin
+	}
+	return d
+}
+
+// post runs one dispatch attempt against one worker.
+func (f *Fleet) post(w *workerState, payload []byte) (*wire.TaskResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, w.url+"/task", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := &http.Client{Timeout: f.cfg.TaskTimeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("worker %s: HTTP %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var tr wire.TaskResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("worker %s: bad response: %v", w.url, err)
+	}
+	return &tr, nil
+}
+
+// dispatch runs a task to completion across the fleet: retry on
+// transport failures (distinct workers), hedge on stragglers, fail
+// fast on deterministic operator errors (retrying those elsewhere
+// would fail identically and mask bugs).
+func (f *Fleet) dispatch(req *wire.TaskRequest) (*wire.TaskResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	type attempt struct {
+		resp    *wire.TaskResponse
+		err     error
+		w       *workerState
+		elapsed time.Duration
+	}
+	results := make(chan attempt, f.cfg.MaxAttempts+1)
+	tried := map[int]bool{}
+	launch := func() bool {
+		w := f.pickWorker(tried)
+		if w == nil {
+			return false
+		}
+		tried[w.id] = true
+		go func() {
+			start := time.Now()
+			resp, err := f.post(w, payload)
+			results <- attempt{resp: resp, err: err, w: w, elapsed: time.Since(start)}
+		}()
+		return true
+	}
+	if !launch() {
+		return nil, fmt.Errorf("procruntime: no live workers for task %s", req.Task)
+	}
+	attempts, inflight := 1, 1
+	hedged := false
+	hedge := time.NewTimer(f.hedgeDelay(req.Kind))
+	defer hedge.Stop()
+	var lastErr error
+	for {
+		select {
+		case a := <-results:
+			inflight--
+			if a.err == nil && a.resp.Err == "" {
+				f.noteSuccess(a.w, req.Kind, a.elapsed)
+				return a.resp, nil
+			}
+			if a.err == nil {
+				return nil, fmt.Errorf("procruntime: task %s failed on worker %s: %s", req.Task, a.w.url, a.resp.Err)
+			}
+			lastErr = a.err
+			f.noteFailure(a.w)
+			f.logf("procruntime: task %s attempt on worker %d failed: %v", req.Task, a.w.id, a.err)
+			if attempts < f.cfg.MaxAttempts && launch() {
+				attempts++
+				inflight++
+			} else if inflight == 0 {
+				return nil, fmt.Errorf("procruntime: task %s failed after %d attempts: %w", req.Task, attempts, lastErr)
+			}
+		case <-hedge.C:
+			if !hedged && attempts < f.cfg.MaxAttempts && launch() {
+				hedged = true
+				attempts++
+				inflight++
+				f.logf("procruntime: task %s hedged after straggler threshold", req.Task)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package procruntime
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dyno/internal/runtime/wire"
+)
+
+// These tests exercise the dispatch engine directly with stub HTTP
+// workers: retry on transport failure (on distinct workers),
+// fail-fast on deterministic operator errors, blacklisting after
+// consecutive failures, staleness, and the straggler hedge.
+
+// newBareFleet builds a fleet with test-friendly defaults: no
+// heartbeat staleness, hedge effectively off unless a test opts in.
+func newBareFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = time.Hour
+	}
+	if cfg.HedgeMin == 0 {
+		cfg.HedgeMin = time.Hour
+	}
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// stubWorker serves /task with the given handler and cleans up with
+// the test.
+func stubWorker(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /task", handler)
+	// Fleet.Close drains workers; accept it quietly.
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func respond(t *testing.T, w http.ResponseWriter, resp wire.TaskResponse) {
+	t.Helper()
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		t.Errorf("encode stub response: %v", err)
+	}
+}
+
+// TestDispatchRetriesOnDistinctWorkers: transport failures are
+// retried, each attempt on a worker not yet tried for this task.
+// Registration order pins the round-robin: with ids {1,2,3} the first
+// pick is id 2, so the good worker (registered first, id 1) is
+// reached only after both bad workers fail once each.
+func TestDispatchRetriesOnDistinctWorkers(t *testing.T) {
+	f := newBareFleet(t, Config{MaxAttempts: 3})
+	var goodHits, badHits atomic.Int32
+	good := stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		goodHits.Add(1)
+		respond(t, w, wire.TaskResponse{CPUSeconds: 1})
+	})
+	bad := func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		http.Error(w, "synthetic transport failure", http.StatusInternalServerError)
+	}
+	f.RegisterWorker(good.URL)
+	f.RegisterWorker(stubWorker(t, bad).URL)
+	f.RegisterWorker(stubWorker(t, bad).URL)
+
+	resp, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if resp.CPUSeconds != 1 {
+		t.Fatalf("got response %+v, want the good worker's", resp)
+	}
+	if got := goodHits.Load(); got != 1 {
+		t.Errorf("good worker hit %d times, want 1", got)
+	}
+	// Both bad workers were tried exactly once: retries land on
+	// distinct workers, never re-posting to one that already failed.
+	if got := badHits.Load(); got != 2 {
+		t.Errorf("bad workers hit %d times total, want 2 (once each)", got)
+	}
+}
+
+// TestDispatchExhaustsAttempts: when every attempt fails in
+// transport, dispatch reports the failure after MaxAttempts.
+func TestDispatchExhaustsAttempts(t *testing.T) {
+	f := newBareFleet(t, Config{MaxAttempts: 2})
+	var hits atomic.Int32
+	bad := func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "synthetic transport failure", http.StatusInternalServerError)
+	}
+	f.RegisterWorker(stubWorker(t, bad).URL)
+	f.RegisterWorker(stubWorker(t, bad).URL)
+	f.RegisterWorker(stubWorker(t, bad).URL)
+
+	_, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	if err == nil {
+		t.Fatal("dispatch succeeded with only failing workers")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("error = %v, want attempt-exhaustion", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("workers hit %d times, want MaxAttempts=2", got)
+	}
+}
+
+// TestDispatchFailFastOnOperatorError: a worker that answers HTTP 200
+// with TaskResponse.Err reports a deterministic operator failure —
+// retrying it elsewhere would fail identically, so dispatch must not.
+func TestDispatchFailFastOnOperatorError(t *testing.T) {
+	f := newBareFleet(t, Config{MaxAttempts: 3})
+	var otherHits atomic.Int32
+	other := stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		otherHits.Add(1)
+		respond(t, w, wire.TaskResponse{})
+	})
+	failing := stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		respond(t, w, wire.TaskResponse{Err: "unknown function frob"})
+	})
+	f.RegisterWorker(other.URL)   // id 1: would absorb a (wrong) retry
+	f.RegisterWorker(failing.URL) // id 2: picked first by round-robin
+
+	_, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	if err == nil || !strings.Contains(err.Error(), "unknown function frob") {
+		t.Fatalf("error = %v, want the operator error surfaced", err)
+	}
+	if got := otherHits.Load(); got != 0 {
+		t.Errorf("operator error was retried on another worker (%d hits)", got)
+	}
+	// The failing worker's standing is untouched: deterministic errors
+	// are the task's fault, not the worker's.
+	if got := f.Workers(); got != 2 {
+		t.Errorf("live workers = %d after operator error, want 2", got)
+	}
+}
+
+// TestDispatchBlacklist: a worker failing BlacklistAfter consecutive
+// dispatches leaves the rotation; with nobody left, dispatch reports
+// no live workers instead of spinning.
+func TestDispatchBlacklist(t *testing.T) {
+	f := newBareFleet(t, Config{MaxAttempts: 1, BlacklistAfter: 3})
+	bad := stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "synthetic transport failure", http.StatusInternalServerError)
+	})
+	f.RegisterWorker(bad.URL)
+
+	for i := 0; i < 3; i++ {
+		if _, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"}); err == nil {
+			t.Fatalf("dispatch %d succeeded against a failing worker", i)
+		}
+	}
+	if got := f.Workers(); got != 0 {
+		t.Fatalf("live workers = %d after 3 consecutive failures, want 0 (blacklisted)", got)
+	}
+	_, err := f.dispatch(&wire.TaskRequest{Task: "t-m1", Kind: "map"})
+	if err == nil || !strings.Contains(err.Error(), "no live workers") {
+		t.Fatalf("error = %v, want no-live-workers", err)
+	}
+
+	// Re-registration (worker restart) restores its standing.
+	f.RegisterWorker(bad.URL)
+	if got := f.Workers(); got != 1 {
+		t.Fatalf("live workers = %d after re-registration, want 1", got)
+	}
+}
+
+// TestDispatchSuccessResetsFailures: failures must be consecutive to
+// blacklist; a success in between clears the count.
+func TestDispatchSuccessResetsFailures(t *testing.T) {
+	f := newBareFleet(t, Config{MaxAttempts: 1, BlacklistAfter: 2})
+	var n atomic.Int32
+	flaky := stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		// Fail, succeed, fail, succeed, ...: never two in a row.
+		if n.Add(1)%2 == 1 {
+			http.Error(w, "synthetic transport failure", http.StatusInternalServerError)
+			return
+		}
+		respond(t, w, wire.TaskResponse{})
+	})
+	f.RegisterWorker(flaky.URL)
+
+	for i := 0; i < 6; i++ {
+		f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	}
+	if got := f.Workers(); got != 1 {
+		t.Fatalf("live workers = %d, want 1 (alternating failures never blacklist)", got)
+	}
+}
+
+// TestDispatchHedgesStragglers: once an attempt exceeds the hedge
+// threshold, a speculative duplicate runs on another worker and the
+// first answer wins — the dispatcher does not wait out the straggler.
+func TestDispatchHedgesStragglers(t *testing.T) {
+	f := newBareFleet(t, Config{MaxAttempts: 3, HedgeMin: 50 * time.Millisecond})
+	var order atomic.Int32
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		// The first request to arrive anywhere is the straggler.
+		seq := order.Add(1)
+		if seq == 1 {
+			time.Sleep(1 * time.Second)
+		}
+		respond(t, w, wire.TaskResponse{CPUSeconds: float64(seq)})
+	}
+	f.RegisterWorker(stubWorker(t, handler).URL)
+	f.RegisterWorker(stubWorker(t, handler).URL)
+
+	start := time.Now()
+	resp, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if resp.CPUSeconds != 2 {
+		t.Fatalf("winning response %+v, want the hedged attempt's (seq 2)", resp)
+	}
+	if d := time.Since(start); d > 800*time.Millisecond {
+		t.Fatalf("dispatch took %v: waited out the straggler instead of hedging", d)
+	}
+}
+
+// TestWorkersGoStaleWithoutHeartbeat: a silent worker drops out of
+// dispatch eligibility after StaleAfter and returns on heartbeat.
+func TestWorkersGoStaleWithoutHeartbeat(t *testing.T) {
+	f := newBareFleet(t, Config{StaleAfter: 50 * time.Millisecond})
+	ok := stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		respond(t, w, wire.TaskResponse{})
+	})
+	id := f.RegisterWorker(ok.URL)
+	if got := f.Workers(); got != 1 {
+		t.Fatalf("live workers = %d, want 1", got)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := f.Workers(); got != 0 {
+		t.Fatalf("live workers = %d after silence, want 0 (stale)", got)
+	}
+	if _, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"}); err == nil || !strings.Contains(err.Error(), "no live workers") {
+		t.Fatalf("error = %v, want no-live-workers (stale workers are skipped)", err)
+	}
+
+	// A heartbeat through the real endpoint refreshes it.
+	payload, _ := json.Marshal(wire.HeartbeatRequest{ID: id})
+	resp, err := http.Post(f.URL()+"/runtime/heartbeat", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("heartbeat: HTTP %d", resp.StatusCode)
+	}
+	if got := f.Workers(); got != 1 {
+		t.Fatalf("live workers = %d after heartbeat, want 1", got)
+	}
+
+	// A heartbeat for an id the controller does not know must get Gone
+	// so the worker re-registers.
+	payload, _ = json.Marshal(wire.HeartbeatRequest{ID: 999})
+	resp, err = http.Post(f.URL()+"/runtime/heartbeat", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("unknown-id heartbeat: HTTP %d, want %d", resp.StatusCode, http.StatusGone)
+	}
+}

@@ -1,0 +1,67 @@
+package procruntime
+
+import (
+	"dyno/internal/cluster"
+	"dyno/internal/coord"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/mapreduce"
+	"dyno/internal/runtime"
+)
+
+// Runtime is the multi-process execution backend. It keeps the
+// simulator stack controller-side (scheduling, shuffling, statistics,
+// virtual accounting — the differential contract depends on it) and
+// installs a fleet-backed task executor so every map/reduce record
+// loop runs on a worker process. The fleet's lifecycle belongs to its
+// creator: several shard Runtimes may share one fleet, so Close here
+// does not drain the workers.
+type Runtime struct {
+	fleet *Fleet
+	fs    *dfs.FS
+	sim   *cluster.Sim
+	coord *coord.Service
+}
+
+var _ runtime.Runtime = (*Runtime)(nil)
+
+// New builds a proc runtime over an existing fleet.
+func New(fleet *Fleet, ccfg cluster.Config) *Runtime {
+	return &Runtime{
+		fleet: fleet,
+		fs:    dfs.New(dfs.WithNodes(ccfg.Workers)),
+		sim:   cluster.New(ccfg),
+		coord: coord.NewService(),
+	}
+}
+
+// Name implements runtime.Runtime.
+func (r *Runtime) Name() string { return "proc" }
+
+// FS implements runtime.Runtime.
+func (r *Runtime) FS() *dfs.FS { return r.fs }
+
+// Sim implements runtime.Runtime.
+func (r *Runtime) Sim() *cluster.Sim { return r.sim }
+
+// Coord implements runtime.Runtime.
+func (r *Runtime) Coord() *coord.Service { return r.coord }
+
+// Fleet exposes the backing fleet (status, worker counts).
+func (r *Runtime) Fleet() *Fleet { return r.fleet }
+
+// NewEnv implements runtime.Runtime: the environment delegates task
+// bodies to the fleet.
+func (r *Runtime) NewEnv(reg *expr.Registry) *mapreduce.Env {
+	return &mapreduce.Env{
+		FS:    r.fs,
+		Sim:   r.sim,
+		Coord: r.coord,
+		Reg:   reg,
+		Exec:  executor{f: r.fleet},
+	}
+}
+
+// Close implements runtime.Runtime; the shared fleet is closed by its
+// creator, not here.
+func (r *Runtime) Close() error { return nil }

@@ -1,0 +1,264 @@
+package procruntime
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+
+	"dyno/internal/data"
+	"dyno/internal/expr"
+	"dyno/internal/runtime/wire"
+)
+
+// cache limits; blocks and built tables are immutable (new file
+// version = new mirror directory), so plain FIFO eviction is safe.
+const (
+	maxCachedBlocks = 256
+	maxCachedTables = 64
+)
+
+// Worker executes dispatched map/reduce task bodies. It serves the
+// controller's wire protocol from Handler(), so the same code runs as
+// a real process (cmd/dynoworker) and in-process under httptest for
+// the differential tests.
+type Worker struct {
+	reg *expr.Registry
+
+	mu          sync.Mutex
+	blocks      map[string][]data.Value
+	blockOrder  []string
+	tables      map[string]*wire.Table
+	tableOrder  []string
+	draining    bool
+	drainNotify func()
+}
+
+// NewWorker builds a worker evaluating expressions against reg (which
+// must carry the same UDF registrations as the controller's registry
+// for the differential contract to hold).
+func NewWorker(reg *expr.Registry) *Worker {
+	return &Worker{
+		reg:    reg,
+		blocks: map[string][]data.Value{},
+		tables: map[string]*wire.Table{},
+	}
+}
+
+// OnDrain registers a callback invoked after a drain request has been
+// acknowledged (cmd/dynoworker exits from it).
+func (w *Worker) OnDrain(fn func()) { w.drainNotify = fn }
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /task", w.handleTask)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		rw.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("POST /drain", w.handleDrain)
+	return mux
+}
+
+func (w *Worker) handleDrain(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	already := w.draining
+	w.draining = true
+	w.mu.Unlock()
+	rw.WriteHeader(http.StatusOK)
+	if !already && w.drainNotify != nil {
+		go w.drainNotify()
+	}
+}
+
+func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
+	var req wire.TaskRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad task payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := w.runTask(&req)
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(resp)
+}
+
+// runTask executes one task; operator and decode errors come back in
+// the response body (deterministic failures the controller must not
+// retry), transport-level errors never originate here.
+func (w *Worker) runTask(req *wire.TaskRequest) *wire.TaskResponse {
+	if req.Op == nil {
+		return &wire.TaskResponse{Err: "task has no operator"}
+	}
+	switch req.Kind {
+	case "map":
+		return w.runMap(req)
+	case "reduce":
+		return w.runReduce(req)
+	default:
+		return &wire.TaskResponse{Err: fmt.Sprintf("unknown task kind %q", req.Kind)}
+	}
+}
+
+func (w *Worker) runMap(req *wire.TaskRequest) *wire.TaskResponse {
+	recs, err := w.blockRecords(req.Block)
+	if err != nil {
+		return &wire.TaskResponse{Err: err.Error()}
+	}
+	builds := map[string]*wire.Table{}
+	for _, ref := range req.Builds {
+		t, err := w.table(ref)
+		if err != nil {
+			return &wire.TaskResponse{Err: err.Error()}
+		}
+		builds[ref.Name] = t
+	}
+	out, err := req.Op.RunMap(w.reg, recs, req.InputIdx, req.NumReducers, req.HasReduce, req.RunCombine, builds)
+	if err != nil {
+		return &wire.TaskResponse{Err: err.Error()}
+	}
+	resp := &wire.TaskResponse{CPUMap: out.CPUMap, CPUTotal: out.CPUTotal}
+	if !req.HasReduce {
+		resp.Rows = encodeRows(out.Rows)
+		return resp
+	}
+	resp.Pairs = make([][]wire.KVImage, len(out.Pairs))
+	for p, pairs := range out.Pairs {
+		resp.Pairs[p] = wire.EncodeKVs(pairs)
+	}
+	return resp
+}
+
+func (w *Worker) runReduce(req *wire.TaskRequest) *wire.TaskResponse {
+	pairs, err := wire.DecodeKVs(req.Pairs)
+	if err != nil {
+		return &wire.TaskResponse{Err: "decode pairs: " + err.Error()}
+	}
+	rows, cpu, err := req.Op.RunReduce(w.reg, pairs)
+	if err != nil {
+		return &wire.TaskResponse{Err: err.Error()}
+	}
+	return &wire.TaskResponse{Rows: encodeRows(rows), CPUSeconds: cpu}
+}
+
+func encodeRows(rows []data.Value) []any {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]any, len(rows))
+	for i, r := range rows {
+		out[i] = wire.EncodeValue(r)
+	}
+	return out
+}
+
+// blockRecords loads one mirrored block file, memoizing by path.
+func (w *Worker) blockRecords(path string) ([]data.Value, error) {
+	if path == "" {
+		return nil, fmt.Errorf("map task has no input block")
+	}
+	w.mu.Lock()
+	recs, ok := w.blocks[path]
+	w.mu.Unlock()
+	if ok {
+		return recs, nil
+	}
+	recs, err := readBlockFile(path)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if _, dup := w.blocks[path]; !dup {
+		if len(w.blockOrder) >= maxCachedBlocks {
+			delete(w.blocks, w.blockOrder[0])
+			w.blockOrder = w.blockOrder[1:]
+		}
+		w.blocks[path] = recs
+		w.blockOrder = append(w.blockOrder, path)
+	}
+	w.mu.Unlock()
+	return recs, nil
+}
+
+// readBlockFile decodes one wire-encoded JSONL block.
+func readBlockFile(path string) ([]data.Value, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open block: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	var recs []data.Value
+	for dec.More() {
+		var img any
+		if err := dec.Decode(&img); err != nil {
+			return nil, fmt.Errorf("decode block %s: %w", path, err)
+		}
+		v, err := wire.DecodeValue(img)
+		if err != nil {
+			return nil, fmt.Errorf("decode block %s: %w", path, err)
+		}
+		recs = append(recs, v)
+	}
+	return recs, nil
+}
+
+// table returns the built hash table for a broadcast ref, memoized by
+// the ref's full semantic identity (file version + build parameters),
+// so rebuilds of the same file with different filters never collide.
+func (w *Worker) table(ref wire.BuildRef) (*wire.Table, error) {
+	var filterKey string
+	if ref.Filter != nil {
+		b, err := json.Marshal(ref.Filter)
+		if err != nil {
+			return nil, err
+		}
+		filterKey = string(b)
+	}
+	key := ref.Version + "|" + ref.Name + "|" + ref.Wrap + "|" + filterKey + "|" + strings.Join(ref.Keys, ",")
+	w.mu.Lock()
+	t, ok := w.tables[key]
+	w.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	var filter expr.Expr
+	if ref.Filter != nil {
+		var err error
+		filter, err = wire.DecodeExpr(ref.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", ref.Name, err)
+		}
+	}
+	keys, err := wire.DecodePaths(ref.Keys)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", ref.Name, err)
+	}
+	var recs []data.Value
+	for _, block := range ref.Blocks {
+		rs, err := w.blockRecords(block)
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", ref.Name, err)
+		}
+		recs = append(recs, rs...)
+	}
+	t, err = wire.BuildTable(w.reg, ref.Wrap, filter, keys, recs)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", ref.Name, err)
+	}
+	w.mu.Lock()
+	if cached, dup := w.tables[key]; dup {
+		t = cached
+	} else {
+		if len(w.tableOrder) >= maxCachedTables {
+			delete(w.tables, w.tableOrder[0])
+			w.tableOrder = w.tableOrder[1:]
+		}
+		w.tables[key] = t
+		w.tableOrder = append(w.tableOrder, key)
+	}
+	w.mu.Unlock()
+	return t, nil
+}

@@ -1,0 +1,105 @@
+package wire
+
+import "encoding/json"
+
+// The controller/worker HTTP protocol. Workers register with the
+// controller and heartbeat; the controller POSTs TaskRequests to a
+// worker's /task endpoint and reads a TaskResponse. All payloads are
+// JSON; values and expressions travel in their wire images.
+
+// RegisterRequest announces a worker to the controller.
+type RegisterRequest struct {
+	// URL is the worker's base URL (e.g. http://127.0.0.1:9001).
+	URL string `json:"url"`
+}
+
+// RegisterResponse configures the worker. UDF carries the
+// controller's tpch.UDFParams as raw JSON (wire stays below the tpch
+// package in the import graph; both ends marshal the same struct).
+type RegisterResponse struct {
+	ID              int             `json:"id"`
+	HeartbeatMillis int             `json:"heartbeatMillis"`
+	UDF             json.RawMessage `json:"udf,omitempty"`
+}
+
+// HeartbeatRequest keeps a registration alive.
+type HeartbeatRequest struct {
+	ID int `json:"id"`
+}
+
+// KVImage is one shuffled pair in wire form.
+type KVImage struct {
+	K any    `json:"k"`
+	T string `json:"t,omitempty"`
+	R any    `json:"r"`
+}
+
+// EncodeKVs converts interpreter pairs to wire form.
+func EncodeKVs(pairs []KV) []KVImage {
+	out := make([]KVImage, len(pairs))
+	for i, kv := range pairs {
+		out[i] = KVImage{K: EncodeValue(kv.Key), T: kv.Tag, R: EncodeValue(kv.Rec)}
+	}
+	return out
+}
+
+// DecodeKVs converts wire pairs back.
+func DecodeKVs(imgs []KVImage) ([]KV, error) {
+	out := make([]KV, len(imgs))
+	for i, img := range imgs {
+		k, err := DecodeValue(img.K)
+		if err != nil {
+			return nil, err
+		}
+		r, err := DecodeValue(img.R)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = KV{Key: k, Tag: img.T, Rec: r}
+	}
+	return out, nil
+}
+
+// BuildRef describes one broadcast build side for a task: rebuild
+// parameters plus the on-disk block files holding the (unfiltered)
+// build input.
+type BuildRef struct {
+	Name   string    `json:"name"`
+	Wrap   string    `json:"wrap,omitempty"`
+	Filter *ExprSpec `json:"filter,omitempty"`
+	Keys   []string  `json:"keys"`
+	Blocks []string  `json:"blocks"`
+	// Version distinguishes rebuilds of the same logical name across
+	// job generations (workers cache built tables keyed by it).
+	Version string `json:"version"`
+}
+
+// TaskRequest is one map or reduce task dispatch.
+type TaskRequest struct {
+	Job  string  `json:"job"`
+	Task string  `json:"task"`
+	Kind string  `json:"kind"` // "map" | "reduce"
+	Op   *OpSpec `json:"op"`
+
+	// Map tasks.
+	InputIdx    int        `json:"inputIdx,omitempty"`
+	Block       string     `json:"block,omitempty"` // path to the input block file
+	NumReducers int        `json:"numReducers,omitempty"`
+	HasReduce   bool       `json:"hasReduce,omitempty"`
+	RunCombine  bool       `json:"runCombine,omitempty"`
+	Builds      []BuildRef `json:"builds,omitempty"`
+
+	// Reduce tasks.
+	Partition int       `json:"partition,omitempty"`
+	Pairs     []KVImage `json:"pairs,omitempty"`
+}
+
+// TaskResponse carries a task's output back to the controller.
+type TaskResponse struct {
+	Rows       []any       `json:"rows,omitempty"`
+	Pairs      [][]KVImage `json:"pairs,omitempty"`
+	CPUMap     float64     `json:"cpuMap,omitempty"`
+	CPUTotal   float64     `json:"cpuTotal,omitempty"`
+	CPUSeconds float64     `json:"cpuSeconds,omitempty"`
+	Err        string      `json:"err,omitempty"`
+}

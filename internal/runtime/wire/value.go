@@ -1,0 +1,147 @@
+// Package wire is the serialization layer of the multi-process
+// execution backend: a lossless codec for data values and
+// (uncompiled) expressions, a declarative operator spec covering every
+// job shape the compiler emits, and the worker-side interpreter that
+// executes those specs over decoded DFS blocks.
+//
+// The codec exists because the engine's JSON reader is deliberately
+// lossy on round trips (integral doubles decode as ints, 64-bit ints
+// lose precision through float64): every value is encoded as a tagged
+// array with numbers carried as strings, so a value shipped to a
+// worker and back compares data.Equal to the original and renders the
+// identical String() image — the property the differential contract
+// (same rows on both backends) rests on.
+package wire
+
+import (
+	"fmt"
+	"strconv"
+
+	"dyno/internal/data"
+)
+
+// EncodeValue returns a JSON-marshalable image of v: a tagged array
+// ["n"] / ["b",bool] / ["i","<decimal>"] / ["d","<g-format>"] /
+// ["s",string] / ["a",[...]] / ["o",[name,val,...]]. Object fields are
+// emitted in stored (sorted) order so decoding rebuilds the value with
+// the identical field layout.
+func EncodeValue(v data.Value) any {
+	switch v.Kind() {
+	case data.KindBool:
+		return []any{"b", v.Bool()}
+	case data.KindInt:
+		return []any{"i", strconv.FormatInt(v.Int(), 10)}
+	case data.KindDouble:
+		return []any{"d", strconv.FormatFloat(v.Float(), 'g', -1, 64)}
+	case data.KindString:
+		return []any{"s", v.Str()}
+	case data.KindArray:
+		elems := v.Elems()
+		out := make([]any, len(elems))
+		for i, e := range elems {
+			out[i] = EncodeValue(e)
+		}
+		return []any{"a", out}
+	case data.KindObject:
+		fields := v.Fields()
+		flat := make([]any, 0, 2*len(fields))
+		for _, f := range fields {
+			flat = append(flat, f.Name, EncodeValue(f.Value))
+		}
+		return []any{"o", flat}
+	default:
+		return []any{"n"}
+	}
+}
+
+// DecodeValue rebuilds a value from its EncodeValue image (typically
+// after a JSON round trip, so numbers inside the image are strings and
+// nested images are []any).
+func DecodeValue(x any) (data.Value, error) {
+	arr, ok := x.([]any)
+	if !ok || len(arr) == 0 {
+		return data.Null(), fmt.Errorf("wire: malformed value image %T", x)
+	}
+	tag, ok := arr[0].(string)
+	if !ok {
+		return data.Null(), fmt.Errorf("wire: malformed value tag %v", arr[0])
+	}
+	switch tag {
+	case "n":
+		return data.Null(), nil
+	case "b":
+		b, ok := payload(arr).(bool)
+		if !ok {
+			return data.Null(), fmt.Errorf("wire: bool image without bool payload")
+		}
+		return data.Bool(b), nil
+	case "i":
+		s, ok := payload(arr).(string)
+		if !ok {
+			return data.Null(), fmt.Errorf("wire: int image without string payload")
+		}
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return data.Null(), fmt.Errorf("wire: bad int %q: %v", s, err)
+		}
+		return data.Int(i), nil
+	case "d":
+		s, ok := payload(arr).(string)
+		if !ok {
+			return data.Null(), fmt.Errorf("wire: double image without string payload")
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return data.Null(), fmt.Errorf("wire: bad double %q: %v", s, err)
+		}
+		return data.Double(f), nil
+	case "s":
+		s, ok := payload(arr).(string)
+		if !ok {
+			return data.Null(), fmt.Errorf("wire: string image without string payload")
+		}
+		return data.String(s), nil
+	case "a":
+		items, ok := payload(arr).([]any)
+		if !ok {
+			return data.Null(), fmt.Errorf("wire: array image without element list")
+		}
+		elems := make([]data.Value, len(items))
+		for i, it := range items {
+			v, err := DecodeValue(it)
+			if err != nil {
+				return data.Null(), err
+			}
+			elems[i] = v
+		}
+		return data.Array(elems...), nil
+	case "o":
+		flat, ok := payload(arr).([]any)
+		if !ok || len(flat)%2 != 0 {
+			return data.Null(), fmt.Errorf("wire: object image without name/value list")
+		}
+		fields := make([]data.Field, 0, len(flat)/2)
+		for i := 0; i < len(flat); i += 2 {
+			name, ok := flat[i].(string)
+			if !ok {
+				return data.Null(), fmt.Errorf("wire: object field name %v", flat[i])
+			}
+			v, err := DecodeValue(flat[i+1])
+			if err != nil {
+				return data.Null(), err
+			}
+			fields = append(fields, data.Field{Name: name, Value: v})
+		}
+		// Fields were emitted in stored sorted order.
+		return data.ObjectFromSorted(fields), nil
+	default:
+		return data.Null(), fmt.Errorf("wire: unknown value tag %q", tag)
+	}
+}
+
+func payload(arr []any) any {
+	if len(arr) < 2 {
+		return nil
+	}
+	return arr[1]
+}

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dyno/internal/data"
+	"dyno/internal/expr"
+)
+
+// jsonRoundTrip pushes an encoded image through encoding/json the way
+// the controller/worker HTTP hop does.
+func jsonRoundTrip(t *testing.T, img any) any {
+	t.Helper()
+	b, err := json.Marshal(img)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out any
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return out
+}
+
+func TestValueCodecLossless(t *testing.T) {
+	vals := []data.Value{
+		data.Null(),
+		data.Bool(true),
+		data.Bool(false),
+		data.Int(0),
+		data.Int(-7),
+		data.Int(1<<62 + 3), // beyond float64's exact integer range
+		data.Double(0.1),
+		data.Double(3), // integral double must stay a double
+		data.Double(math.MaxFloat64),
+		data.String(""),
+		data.String("hello \"world\"\nline"),
+		data.Array(),
+		data.Array(data.Int(1), data.String("x"), data.Null()),
+		data.Object(
+			data.Field{Name: "b", Value: data.Double(2.5)},
+			data.Field{Name: "a", Value: data.Object(data.Field{Name: "n", Value: data.Int(42)})},
+		),
+	}
+	for _, v := range vals {
+		img := jsonRoundTrip(t, EncodeValue(v))
+		got, err := DecodeValue(img)
+		if err != nil {
+			t.Fatalf("decode %s: %v", v, err)
+		}
+		if !data.Equal(got, v) || got.Kind() != v.Kind() {
+			t.Fatalf("round trip changed value: %s (%v) -> %s (%v)", v, v.Kind(), got, got.Kind())
+		}
+		if got.String() != v.String() {
+			t.Fatalf("round trip changed rendering: %q -> %q", v.String(), got.String())
+		}
+		if got.EncodedSize() != v.EncodedSize() {
+			t.Fatalf("round trip changed encoded size for %s: %d -> %d", v, v.EncodedSize(), got.EncodedSize())
+		}
+	}
+}
+
+func TestValueCodecPreservesFieldOrder(t *testing.T) {
+	v := data.Object(
+		data.Field{Name: "z", Value: data.Int(1)},
+		data.Field{Name: "a", Value: data.Int(2)},
+	)
+	img := jsonRoundTrip(t, EncodeValue(v))
+	got, err := DecodeValue(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, vf := got.Fields(), v.Fields()
+	if len(gf) != len(vf) {
+		t.Fatalf("field count %d != %d", len(gf), len(vf))
+	}
+	for i := range gf {
+		if gf[i].Name != vf[i].Name {
+			t.Fatalf("field %d: %q != %q", i, gf[i].Name, vf[i].Name)
+		}
+	}
+}
+
+func TestExprCodecRoundTrip(t *testing.T) {
+	e := &expr.And{Terms: []expr.Expr{
+		&expr.Cmp{Op: expr.LE, L: &expr.Col{Path: data.MustParsePath("l.l_quantity")}, R: &expr.Lit{V: data.Double(24)}},
+		&expr.Or{Terms: []expr.Expr{
+			&expr.Not{E: &expr.Cmp{Op: expr.EQ, L: &expr.Col{Path: data.MustParsePath("o.o_orderstatus")}, R: &expr.Lit{V: data.String("F")}}},
+			&expr.Cmp{Op: expr.GT,
+				L: &expr.Arith{Op: expr.Mul, L: &expr.Col{Path: data.MustParsePath("l.l_extendedprice")}, R: &expr.Arith{Op: expr.Sub, L: &expr.Lit{V: data.Int(1)}, R: &expr.Col{Path: data.MustParsePath("l.l_discount")}}},
+				R: &expr.Lit{V: data.Double(100.5)}},
+			&expr.Call{Name: "q9_keep_part", Args: []expr.Expr{&expr.Col{Path: data.MustParsePath("p.p_name")}}},
+		}},
+	}}
+	spec, err := EncodeExpr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExprSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeExpr(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != e.String() {
+		t.Fatalf("expr round trip changed tree:\n  %s\n  %s", e.String(), got.String())
+	}
+}
+
+func TestExprCodecRefusesCompiledNodes(t *testing.T) {
+	raw := &expr.Cmp{Op: expr.EQ, L: &expr.Col{Path: data.MustParsePath("a.x")}, R: &expr.Lit{V: data.Int(1)}}
+	sample := data.Object(data.Field{Name: "a", Value: data.Object(data.Field{Name: "x", Value: data.Int(1)})})
+	compiled := expr.Compile(raw, sample)
+	if _, err := EncodeExpr(compiled); err == nil {
+		t.Fatal("expected EncodeExpr to refuse a compiled tree")
+	}
+}
+
+func TestPruneCodecMatchesPruner(t *testing.T) {
+	live := map[string]map[string]bool{
+		"l": {"l_orderkey": true, "l_discount": true},
+		"o": nil, // fully live: must be omitted, pruner keeps it whole
+	}
+	entries := EncodePrune(live)
+	b, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []PruneEntry
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	prune := DecodePrune(back)
+	row := data.Object(
+		data.Field{Name: "l", Value: data.Object(
+			data.Field{Name: "l_orderkey", Value: data.Int(1)},
+			data.Field{Name: "l_discount", Value: data.Double(0.04)},
+			data.Field{Name: "l_comment", Value: data.String("x")},
+		)},
+		data.Field{Name: "o", Value: data.Object(data.Field{Name: "o_comment", Value: data.String("y")})},
+	)
+	got := prune(row)
+	want := data.Object(
+		data.Field{Name: "l", Value: data.Object(
+			data.Field{Name: "l_orderkey", Value: data.Int(1)},
+			data.Field{Name: "l_discount", Value: data.Double(0.04)},
+		)},
+		data.Field{Name: "o", Value: data.Object(data.Field{Name: "o_comment", Value: data.String("y")})},
+	)
+	if !data.Equal(got, want) {
+		t.Fatalf("prune mismatch: %s != %s", got, want)
+	}
+}
+
+func TestTableProbeMatchesScanOrder(t *testing.T) {
+	recs := []data.Value{
+		data.Object(data.Field{Name: "k", Value: data.Int(1)}, data.Field{Name: "v", Value: data.String("a")}),
+		data.Object(data.Field{Name: "k", Value: data.Int(2)}, data.Field{Name: "v", Value: data.String("b")}),
+		data.Object(data.Field{Name: "k", Value: data.Int(1)}, data.Field{Name: "v", Value: data.String("c")}),
+	}
+	tbl, err := BuildTable(nil, "t", nil, []data.Path{data.MustParsePath("t.k")}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Probe(data.Int(1))
+	if len(rows) != 2 {
+		t.Fatalf("probe returned %d rows, want 2", len(rows))
+	}
+	if rows[0].Fields()[0].Value.Fields()[1].Value.Str() != "a" || rows[1].Fields()[0].Value.Fields()[1].Value.Str() != "c" {
+		t.Fatalf("probe order not scan order: %v", rows)
+	}
+	if got := tbl.Probe(data.Int(3)); got != nil {
+		t.Fatalf("probe of absent key returned %v", got)
+	}
+}

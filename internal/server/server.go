@@ -15,9 +15,9 @@ import (
 	"dyno/internal/core"
 	"dyno/internal/data"
 	"dyno/internal/expr"
-	"dyno/internal/mapreduce"
 	"dyno/internal/optimizer"
 	"dyno/internal/plan"
+	"dyno/internal/runtime"
 	"dyno/internal/sqlparse"
 	"dyno/internal/stats"
 	"dyno/internal/tpch"
@@ -25,6 +25,10 @@ import (
 
 // ErrOverloaded is returned when the admission queue is full.
 var ErrOverloaded = errors.New("server: overloaded, admission queue full")
+
+// ErrShuttingDown is returned to requests arriving after Shutdown
+// began.
+var ErrShuttingDown = errors.New("server: shutting down")
 
 // Config sizes the service and its dataset.
 type Config struct {
@@ -72,6 +76,12 @@ type Config struct {
 	PlanCacheSize      int
 	MemoCacheSize      int
 	ResultCacheSize    int
+
+	// NewRuntime builds each shard's execution backend; nil uses the
+	// simulator backend (simruntime). The proc backend passes a factory
+	// producing fleet-backed runtimes here; the fleet itself outlives
+	// the server and is closed by its creator.
+	NewRuntime func(cluster.Config) (runtime.Runtime, error)
 }
 
 // DefaultConfig returns a service sized for interactive use on the
@@ -180,6 +190,15 @@ type Server struct {
 	invMu sync.Mutex   // serializes Invalidate's shard sweep
 	epoch atomic.Int64 // current statistics epoch
 
+	// Graceful shutdown: baseCtx is canceled by Shutdown, which every
+	// query context is tied to; wg tracks queries between admission and
+	// completion; shutMu/closed gate new enrollments.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	shutMu     sync.RWMutex
+	closed     bool
+	wg         sync.WaitGroup
+
 	met   counters
 	lat   *latencySample
 	start time.Time
@@ -213,14 +232,17 @@ func New(cfg Config) (*Server, error) {
 		}
 		shards[i] = sh
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:    cfg,
-		reg:    reg,
-		optCfg: optimizer.DefaultConfig(float64(ccfg.SlotMemory)),
-		shards: shards,
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		lat:    newLatencySample(0),
-		start:  time.Now(),
+		cfg:        cfg,
+		reg:        reg,
+		optCfg:     optimizer.DefaultConfig(float64(ccfg.SlotMemory)),
+		shards:     shards,
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		lat:        newLatencySample(0),
+		start:      time.Now(),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
 	}, nil
 }
 
@@ -229,6 +251,18 @@ func (s *Server) Config() Config { return s.cfg }
 
 // Execute admits, runs, and accounts one query.
 func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
+	// Enroll in the shutdown drain set under the read lock; Shutdown
+	// flips closed under the write lock and then waits for the group,
+	// so it can never miss an admitted query.
+	s.shutMu.RLock()
+	if s.closed {
+		s.shutMu.RUnlock()
+		return nil, ErrShuttingDown
+	}
+	s.wg.Add(1)
+	s.shutMu.RUnlock()
+	defer s.wg.Done()
+
 	if n := s.waiting.Add(1); n > int64(s.cfg.MaxInFlight+s.cfg.MaxQueue) {
 		s.waiting.Add(-1)
 		s.met.rejected.Add(1)
@@ -240,13 +274,20 @@ func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
 	case <-ctx.Done():
 		s.met.canceled.Add(1)
 		return nil, ctx.Err()
+	case <-s.baseCtx.Done():
+		return nil, ErrShuttingDown
 	}
 	defer func() { <-s.sem }()
 
-	qctx := ctx
+	// Tie the query's context to both the caller and server shutdown:
+	// Shutdown cancels baseCtx, which cancels every in-flight query.
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+	stop := context.AfterFunc(s.baseCtx, qcancel)
+	defer stop()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
-		qctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		qctx, cancel = context.WithTimeout(qctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
 
@@ -406,14 +447,9 @@ func (s *Server) execute(ctx context.Context, sh *shard, sql string, variant bas
 			hook()
 		}
 	}
-	env := &mapreduce.Env{
-		FS:           sh.fs,
-		Sim:          sh.sim,
-		Coord:        sh.coord,
-		Reg:          s.reg,
-		Gate:         newSessionGate(sh.gate, ctx),
-		OnCreateFile: onCreate,
-	}
+	env := sh.rt.NewEnv(s.reg)
+	env.Gate = newSessionGate(sh.gate, ctx)
+	env.OnCreateFile = onCreate
 
 	opts := core.DefaultOptions()
 	opts.K = 256
@@ -519,6 +555,38 @@ func (s *Server) Invalidate() int64 {
 
 // Epoch returns the current statistics epoch.
 func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// Shutdown drains the server: new requests fail fast with
+// ErrShuttingDown, every in-flight query's context is canceled, and
+// once all queries have returned the shard runtimes are closed. The
+// ctx bounds how long to wait for the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.shutMu.Unlock()
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if already {
+		return nil
+	}
+	var firstErr error
+	for _, sh := range s.shards {
+		if err := sh.rt.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // Metrics snapshots the service counters. Cache sizes aggregate over
 // shards; VirtualSec reports the most-advanced shard clock.

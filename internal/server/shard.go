@@ -11,6 +11,8 @@ import (
 	"dyno/internal/jaql"
 	"dyno/internal/optimizer"
 	"dyno/internal/plan"
+	"dyno/internal/runtime"
+	"dyno/internal/runtime/simruntime"
 	"dyno/internal/stats"
 	"dyno/internal/tpch"
 )
@@ -24,6 +26,7 @@ import (
 // with zero gate contention between them.
 type shard struct {
 	id    int
+	rt    runtime.Runtime
 	fs    *dfs.FS
 	sim   *cluster.Sim
 	gate  *Gate
@@ -49,18 +52,27 @@ type shard struct {
 // shards answer any query identically — routing is purely a
 // throughput concern.
 func newShard(id int, cfg Config, ccfg cluster.Config) (*shard, error) {
-	fs := dfs.New(dfs.WithNodes(ccfg.Workers))
+	newRT := cfg.NewRuntime
+	if newRT == nil {
+		newRT = func(c cluster.Config) (runtime.Runtime, error) { return simruntime.New(c), nil }
+	}
+	rt, err := newRT(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: shard %d: runtime: %w", id, err)
+	}
+	fs := rt.FS()
 	cat, err := tpch.Generate(fs, tpch.Config{SF: cfg.SF, Scale: cfg.Scale, Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("server: shard %d: generate dataset: %w", id, err)
 	}
-	sim := cluster.New(ccfg)
+	sim := rt.Sim()
 	return &shard{
 		id:      id,
+		rt:      rt,
 		fs:      fs,
 		sim:     sim,
 		gate:    NewGate(sim),
-		coord:   coord.NewService(),
+		coord:   rt.Coord(),
 		cat:     cat,
 		store:   stats.NewStore(),
 		memos:   optimizer.NewSharedCache(cfg.MemoCacheSize),
