@@ -33,7 +33,7 @@ func main() {
 
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, optbench, load, all (comma-separated; load is not part of all)")
+		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, optbench, procbench, load, all (comma-separated; load is not part of all)")
 		scale      = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
 		seed       = flag.Int64("seed", 2014, "data generation seed")
 		faultsOut  = flag.String("faultsout", "BENCH_faults.json", "file for the faults experiment's raw sweep points (JSON)")
@@ -47,6 +47,7 @@ func run() int {
 		loadZipf    = flag.Float64("load-zipf", 1.3, "Zipf skew (>1) of the load experiment's query mix")
 
 		optOut     = flag.String("optbenchout", "BENCH_optbench.json", "file for the optbench experiment's report (JSON)")
+		procOut    = flag.String("procbenchout", "BENCH_proc.json", "file for the procbench experiment's report (JSON)")
 		optRepeats = flag.Int("optbench-repeats", 3, "runs per arm for optbench; the best wall time is kept")
 		parbench   = flag.String("parbench", "", "measure serial vs parallel wall-clock time and write a JSON report to this file (skips -exp)")
 		repeats    = flag.Int("parbench-repeats", 3, "runs per mode for -parbench; the best time is kept")
@@ -185,6 +186,29 @@ func run() int {
 				return 1
 			}
 			fmt.Printf("optbench report written to %s\n\n", *optOut)
+		}
+		ran++
+	}
+	if all || want["procbench"] {
+		rep, err := experiments.ProcBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynobench: procbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("proc dispatch bench (GOMAXPROCS=%d, %d workers, parallelism %d, queries %v)\n",
+			rep.GOMAXPROCS, rep.Workers, rep.Parallelism, rep.Queries)
+		for _, arm := range rep.Arms {
+			fmt.Printf("  %-12s codec=%-4s batched=%-5v  %6d rpcs  %6d tasks  %9d B out  %9d B in  %7.0f B/task  wall %.2fs\n",
+				arm.Name, arm.Codec, arm.Batched, arm.RPCs, arm.Tasks, arm.BytesOut, arm.BytesIn, arm.BytesPerTask, arm.WallSec)
+		}
+		fmt.Printf("  binary batched vs json per-task: %.1fx fewer dispatch bytes, %.1fx fewer RPCs\n",
+			rep.ByteReduction, rep.RPCReduction)
+		if *procOut != "" {
+			if err := writeJSON(*procOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "dynobench: procbench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("procbench report written to %s\n\n", *procOut)
 		}
 		ran++
 	}

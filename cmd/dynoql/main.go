@@ -49,6 +49,8 @@ func main() {
 		ctrlAddr    = flag.String("controller-addr", "127.0.0.1:0", "proc backend: controller listen address for worker registration")
 		minWorkers  = flag.Int("min-workers", 1, "proc backend: workers to wait for before executing")
 		workerWait  = flag.Duration("worker-wait", 60*time.Second, "proc backend: how long to wait for -min-workers")
+		procCodec   = flag.String("proc-codec", "", "proc backend: wire codec kill-switch (json forces the PR 8 JSON plane; empty negotiates binary)")
+		procNoBatch = flag.Bool("proc-no-batch", false, "proc backend: disable wave-batched dispatch (one RPC per task)")
 	)
 	flag.Parse()
 
@@ -76,8 +78,10 @@ func main() {
 		rt = simruntime.New(ccfg)
 	case "proc":
 		fleet, err := procruntime.NewFleet(procruntime.Config{
-			Addr: *ctrlAddr,
-			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			Addr:         *ctrlAddr,
+			Codec:        *procCodec,
+			DisableBatch: *procNoBatch,
+			Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 		})
 		if err != nil {
 			fail(err)

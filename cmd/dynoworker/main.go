@@ -80,7 +80,12 @@ func main() {
 	httpSrv := &http.Server{Handler: w.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
-	fmt.Printf("dynoworker: id=%d listening on %s (controller %s)\n", resp.ID, ln.Addr(), *controller)
+	codec := resp.Codec
+	if codec == "" {
+		codec = wire.CodecJSON // pre-negotiation controller
+	}
+	fmt.Printf("dynoworker: id=%d listening on %s (controller %s, codec=%s batch=%v)\n",
+		resp.ID, ln.Addr(), *controller, codec, resp.Batch)
 
 	hb := time.Duration(resp.HeartbeatMillis) * time.Millisecond
 	if hb <= 0 {
@@ -103,17 +108,30 @@ func main() {
 	httpSrv.Shutdown(shutCtx)
 }
 
+// ctlClient serves register and heartbeat calls: one shared keep-alive
+// client whose timeout bounds every control-plane request, so a hung
+// controller can never wedge the heartbeat loop the way a bare
+// http.Post (no deadline at all) could.
+var ctlClient = &http.Client{Timeout: 10 * time.Second}
+
 // register announces the worker to the controller, retrying until the
-// deadline (the controller may start after its workers).
+// deadline (the controller may start after its workers). The worker
+// advertises the binary codec and batched dispatch; the controller
+// answers with its pick (its kill-switches may force JSON or per-task
+// POSTs), and each request is answered in the codec it arrived in, so
+// no further negotiation state is needed here.
 func register(controller, selfURL string, timeout time.Duration) (*wire.RegisterResponse, error) {
-	payload, err := json.Marshal(wire.RegisterRequest{URL: selfURL})
+	payload, err := json.Marshal(wire.RegisterRequest{
+		URL:  selfURL,
+		Caps: wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true},
+	})
 	if err != nil {
 		return nil, err
 	}
 	deadline := time.Now().Add(timeout)
 	var lastErr error
 	for {
-		resp, err := http.Post(controller+"/runtime/register", "application/json", bytes.NewReader(payload))
+		resp, err := ctlClient.Post(controller+"/runtime/register", "application/json", bytes.NewReader(payload))
 		if err == nil {
 			if resp.StatusCode == http.StatusOK {
 				var rr wire.RegisterResponse
@@ -147,7 +165,7 @@ func heartbeat(ctx context.Context, controller, selfURL string, id int, every ti
 			return
 		case <-tick.C:
 		}
-		resp, err := http.Post(controller+"/runtime/heartbeat", "application/json", bytes.NewReader(payload))
+		resp, err := ctlClient.Post(controller+"/runtime/heartbeat", "application/json", bytes.NewReader(payload))
 		if err != nil {
 			continue
 		}

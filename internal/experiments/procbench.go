@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"dyno/internal/baselines"
+	"dyno/internal/cluster"
+	"dyno/internal/expr"
+	"dyno/internal/optimizer"
+	"dyno/internal/runtime/procruntime"
+	"dyno/internal/runtime/wire"
+	"dyno/internal/tpch"
+)
+
+// ProcBench measures the proc backend's dispatch plane: the same
+// TPC-H workload runs on a real worker fleet (in-process HTTP
+// servers, the handler cmd/dynoworker serves) under three wire
+// configurations — the PR 8 JSON per-task POSTs, JSON batched, and
+// binary batched — and reports RPC counts, payload bytes, and wall
+// time per arm. Virtual timelines must match across arms exactly (the
+// wire plane must be invisible to the simulated accounting); ProcBench
+// errors out if they diverge.
+
+// ProcBenchArm is one dispatch-plane configuration's measurement.
+type ProcBenchArm struct {
+	Name    string `json:"name"`
+	Codec   string `json:"codec"`
+	Batched bool   `json:"batched"`
+
+	WallSec      float64 `json:"wallSec"`
+	RPCs         int64   `json:"rpcs"`
+	Tasks        int64   `json:"tasks"`
+	BytesOut     int64   `json:"bytesOut"`
+	BytesIn      int64   `json:"bytesIn"`
+	BytesPerTask float64 `json:"bytesPerTask"` // (out+in)/tasks
+	VirtualSec   float64 `json:"virtualSec"`   // summed simulated time, identical across arms
+}
+
+// ProcBenchReport is the procbench experiment's JSON report
+// (BENCH_proc.json).
+type ProcBenchReport struct {
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Scale       float64  `json:"scale"`
+	Seed        int64    `json:"seed"`
+	Workers     int      `json:"workers"`
+	Parallelism int      `json:"parallelism"`
+	Queries     []string `json:"queries"`
+
+	Arms []ProcBenchArm `json:"arms"`
+
+	// Headline ratios: binary+batched vs the JSON per-task plane.
+	ByteReduction float64 `json:"byteReduction"` // dispatch bytes, x smaller
+	RPCReduction  float64 `json:"rpcReduction"`  // HTTP round-trips, x fewer
+}
+
+// procBenchWorkers is the benchmark fleet size; Parallelism stays
+// larger so waves overlap on each worker and batching has co-arrivals
+// to conflate.
+const (
+	procBenchWorkers     = 2
+	procBenchParallelism = 8
+)
+
+var procBenchArms = []struct {
+	name string
+	cfg  procruntime.Config
+}{
+	{"json_pertask", procruntime.Config{Codec: wire.CodecJSON, DisableBatch: true}},
+	{"json_batched", procruntime.Config{Codec: wire.CodecJSON}},
+	{"bin_batched", procruntime.Config{}},
+}
+
+// ProcBench runs the three-arm dispatch-plane benchmark.
+func ProcBench(cfg Config) (*ProcBenchReport, error) {
+	cfg = cfg.normalized()
+	queries := tpch.QueryNames
+	rep := &ProcBenchReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Workers:     procBenchWorkers,
+		Parallelism: procBenchParallelism,
+		Queries:     queries,
+	}
+	for _, arm := range procBenchArms {
+		m, err := runProcArm(cfg, arm.cfg, queries)
+		if err != nil {
+			return nil, fmt.Errorf("procbench %s: %w", arm.name, err)
+		}
+		m.Name = arm.name
+		rep.Arms = append(rep.Arms, *m)
+	}
+	for _, arm := range rep.Arms[1:] {
+		if arm.VirtualSec != rep.Arms[0].VirtualSec {
+			return nil, fmt.Errorf("procbench: virtual timelines diverge across arms: %s=%v %s=%v — the wire plane leaked into the accounting",
+				rep.Arms[0].Name, rep.Arms[0].VirtualSec, arm.Name, arm.VirtualSec)
+		}
+	}
+	base, bin := rep.Arms[0], rep.Arms[len(rep.Arms)-1]
+	rep.ByteReduction = ratio(float64(base.BytesOut+base.BytesIn), float64(bin.BytesOut+bin.BytesIn))
+	rep.RPCReduction = ratio(float64(base.RPCs), float64(bin.RPCs))
+	return rep, nil
+}
+
+// runProcArm executes the workload once under one fleet configuration
+// and snapshots the dispatch counters.
+func runProcArm(cfg Config, pcfg procruntime.Config, queries []string) (*ProcBenchArm, error) {
+	pcfg.StaleAfter = time.Hour // in-process workers do not heartbeat
+	fleet, err := procruntime.NewFleet(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+	var servers []*http.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	caps := wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true}
+	for i := 0; i < procBenchWorkers; i++ {
+		reg := expr.NewRegistry()
+		tpch.RegisterUDFs(reg, cfg.UDF)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: procruntime.NewWorker(reg).Handler()}
+		servers = append(servers, srv)
+		go srv.Serve(ln)
+		fleet.RegisterWorkerCaps("http://"+ln.Addr().String(), caps)
+	}
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Parallelism = procBenchParallelism
+	rt := procruntime.New(fleet, ccfg)
+	cat, err := tpch.Generate(rt.FS(), tpch.Config{SF: 10, Scale: cfg.Scale, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	arm := &ProcBenchArm{Codec: wire.CodecBinary, Batched: true}
+	if pcfg.Codec == wire.CodecJSON {
+		arm.Codec = wire.CodecJSON
+	}
+	arm.Batched = !pcfg.DisableBatch
+
+	start := time.Now()
+	for _, query := range queries {
+		reg := expr.NewRegistry()
+		tpch.RegisterUDFs(reg, cfg.UDF)
+		env := rt.NewEnv(reg)
+		opts := experimentOptions()
+		eng, err := baselines.NewEngine(baselines.VariantDynOpt, env, cat,
+			optimizer.DefaultConfig(float64(ccfg.SlotMemory)), opts)
+		if err != nil {
+			return nil, err
+		}
+		sql, err := tpch.QuerySQL(query)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.ExecuteSQL(sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", query, err)
+		}
+		arm.VirtualSec += res.TotalSec
+	}
+	arm.WallSec = time.Since(start).Seconds()
+
+	st := fleet.WireStats()
+	arm.RPCs, arm.Tasks = st.RPCs, st.Tasks
+	arm.BytesOut, arm.BytesIn = st.BytesOut, st.BytesIn
+	arm.BytesPerTask = ratio(float64(st.BytesOut+st.BytesIn), float64(st.Tasks))
+	return arm, nil
+}

@@ -1,0 +1,196 @@
+package procruntime
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dyno/internal/runtime/wire"
+)
+
+// batcher conflates concurrent dispatches to one worker into batched
+// /tasks RPCs. It is a conflation queue, not a wave barrier: the
+// first task arriving after an idle period waits Config.BatchLinger
+// for its wave co-arrivals (the sim releases a wave's tasks to the
+// pool near-simultaneously, so sub-millisecond linger catches them),
+// and tasks arriving while an RPC is in flight ride the next batch
+// with no added latency. Nothing here knows about waves, so retries,
+// hedges, and single stray tasks degrade to small batches instead of
+// deadlocking on co-arrivals that will never come.
+type batcher struct {
+	f *Fleet
+	w *workerState
+
+	mu      sync.Mutex
+	queue   []*batchItem
+	running bool // a sender goroutine is draining the queue
+}
+
+type batchItem struct {
+	task *wire.Task
+	done chan batchOut
+}
+
+type batchOut struct {
+	res *wire.TaskResult
+	err error
+}
+
+func newBatcher(f *Fleet, w *workerState) *batcher {
+	return &batcher{f: f, w: w}
+}
+
+// do enqueues one task and blocks until its result arrives or the
+// fleet closes.
+func (b *batcher) do(task *wire.Task) (*wire.TaskResult, error) {
+	item := &batchItem{task: task, done: make(chan batchOut, 1)}
+	b.mu.Lock()
+	b.queue = append(b.queue, item)
+	if !b.running {
+		b.running = true
+		go b.run()
+	}
+	b.mu.Unlock()
+	select {
+	case out := <-item.done:
+		return out.res, out.err
+	case <-b.f.done:
+		return nil, fmt.Errorf("procruntime: fleet closed while task %s was queued", task.Task)
+	}
+}
+
+// run is the sender loop: linger once for wave co-arrivals, then
+// drain the queue in MaxBatch-sized RPCs until it is empty.
+func (b *batcher) run() {
+	if linger := b.f.cfg.BatchLinger; linger > 0 {
+		t := time.NewTimer(linger)
+		select {
+		case <-t.C:
+		case <-b.f.done:
+			t.Stop()
+			return // do() fails the pending items
+		}
+	}
+	for {
+		b.mu.Lock()
+		n := len(b.queue)
+		if n == 0 {
+			b.running = false
+			b.mu.Unlock()
+			return
+		}
+		if n > b.f.cfg.MaxBatch {
+			n = b.f.cfg.MaxBatch
+		}
+		items := b.queue[:n:n]
+		b.queue = b.queue[n:]
+		b.mu.Unlock()
+		b.flush(items)
+	}
+}
+
+// flush runs one batched RPC and delivers per-item outcomes. A
+// transport-level failure fails every item in the batch (each task's
+// dispatch loop retries it on a distinct worker) but counts as ONE
+// failure against the worker — a single lost RPC must not burn
+// through BlacklistAfter just because it carried a full wave.
+func (b *batcher) flush(items []*batchItem) {
+	tasks := make([]*wire.Task, len(items))
+	for i, it := range items {
+		tasks[i] = it.task
+	}
+	results, err := b.f.postBatch(b.w, tasks)
+	if err != nil {
+		b.f.noteFailure(b.w)
+		for _, it := range items {
+			it.done <- batchOut{err: err}
+		}
+		return
+	}
+	for i, it := range items {
+		it.done <- batchOut{res: results[i]}
+	}
+}
+
+// postBatch runs one batched RPC against one worker in its negotiated
+// codec and returns per-task results in request order. The attempt
+// deadline scales with batch size because the worker executes the
+// tasks sequentially: each task keeps its TaskTimeout budget.
+func (f *Fleet) postBatch(w *workerState, tasks []*wire.Task) ([]*wire.TaskResult, error) {
+	var payload []byte
+	contentType := "application/json"
+	if w.codec == wire.CodecBinary {
+		frame, err := wire.EncodeTaskBatch(tasks)
+		if err != nil {
+			return nil, err
+		}
+		defer frame.Close()
+		payload = frame.Bytes()
+		contentType = wire.ContentTypeBinary
+	} else {
+		batch := wire.TaskBatchRequest{Tasks: make([]*wire.TaskRequest, len(tasks))}
+		for i, t := range tasks {
+			batch.Tasks[i] = t.Request()
+		}
+		b, err := json.Marshal(batch)
+		if err != nil {
+			return nil, err
+		}
+		payload = b
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.TaskTimeout*time.Duration(len(tasks)))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/tasks", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	f.statRPCs.Add(1)
+	f.statTasks.Add(int64(len(tasks)))
+	f.statBytesOut.Add(int64(len(payload)))
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: read batch response: %v", w.url, err)
+	}
+	f.statBytesIn.Add(int64(len(body)))
+	if resp.StatusCode != http.StatusOK {
+		if len(body) > 4096 {
+			body = body[:4096]
+		}
+		return nil, fmt.Errorf("worker %s: HTTP %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var results []*wire.TaskResult
+	if resp.Header.Get("Content-Type") == wire.ContentTypeBinary {
+		results, err = wire.DecodeResultBatch(body)
+		if err != nil {
+			return nil, fmt.Errorf("worker %s: bad binary batch response: %v", w.url, err)
+		}
+	} else {
+		var out wire.TaskBatchResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, fmt.Errorf("worker %s: bad batch response: %v", w.url, err)
+		}
+		results = make([]*wire.TaskResult, len(out.Results))
+		for i, r := range out.Results {
+			res, err := wire.ResultFromResponse(r)
+			if err != nil {
+				return nil, fmt.Errorf("worker %s: bad batch response: %v", w.url, err)
+			}
+			results[i] = res
+		}
+	}
+	if len(results) != len(tasks) {
+		return nil, fmt.Errorf("worker %s: batch answered %d of %d tasks", w.url, len(results), len(tasks))
+	}
+	return results, nil
+}

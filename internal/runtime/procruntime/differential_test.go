@@ -15,6 +15,7 @@ import (
 	"dyno/internal/runtime"
 	"dyno/internal/runtime/procruntime"
 	"dyno/internal/runtime/simruntime"
+	"dyno/internal/runtime/wire"
 	"dyno/internal/tpch"
 )
 
@@ -42,17 +43,31 @@ type engineTweaks struct {
 	parallelism int
 }
 
+// procArms are the two proc-backend data planes the differential
+// matrix exercises against the sim: the PR 8 JSON per-task plane
+// (both kill-switches thrown) and the negotiated binary batched one.
+var procArms = []struct {
+	name string
+	cfg  procruntime.Config
+}{
+	{"procJSON", procruntime.Config{Codec: "json", DisableBatch: true}},
+	{"procBin", procruntime.Config{}},
+}
+
+// fullCaps is what cmd/dynoworker announces.
+var fullCaps = wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true}
+
 // newProcRuntime builds a fleet with n in-process workers plus the
 // runtime over it. Worker registries are built exactly like
 // cmd/dynoworker builds them: fresh registry + the controller's UDF
-// params.
-func newProcRuntime(t *testing.T, n int, ccfg cluster.Config) runtime.Runtime {
+// params; workers announce full capabilities and the fleet config
+// decides what gets negotiated.
+func newProcRuntime(t *testing.T, n int, ccfg cluster.Config, pcfg procruntime.Config) runtime.Runtime {
 	t.Helper()
-	fleet, err := procruntime.NewFleet(procruntime.Config{
-		// In-process test workers do not heartbeat; keep them fresh
-		// for the whole test run.
-		StaleAfter: time.Hour,
-	})
+	// In-process test workers do not heartbeat; keep them fresh for
+	// the whole test run.
+	pcfg.StaleAfter = time.Hour
+	fleet, err := procruntime.NewFleet(pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +77,7 @@ func newProcRuntime(t *testing.T, n int, ccfg cluster.Config) runtime.Runtime {
 		tpch.RegisterUDFs(reg, tpch.DefaultUDFParams())
 		ts := httptest.NewServer(procruntime.NewWorker(reg).Handler())
 		t.Cleanup(ts.Close)
-		fleet.RegisterWorker(ts.URL)
+		fleet.RegisterWorkerCaps(ts.URL, fullCaps)
 	}
 	if got := fleet.Workers(); got != n {
 		t.Fatalf("fleet has %d live workers, want %d", got, n)
@@ -141,7 +156,7 @@ func runQueryErr(t *testing.T, rt runtime.Runtime, query string, tw engineTweaks
 // This is what makes the differential results above trustworthy.
 func TestProcStrictNoFallback(t *testing.T) {
 	ccfg := cluster.DefaultConfig()
-	_, err := runQueryErr(t, newProcRuntime(t, 0, ccfg), "Q10", engineTweaks{})
+	_, err := runQueryErr(t, newProcRuntime(t, 0, ccfg, procruntime.Config{}), "Q10", engineTweaks{})
 	if err == nil {
 		t.Fatal("query succeeded on the proc backend with zero workers")
 	}
@@ -150,39 +165,43 @@ func TestProcStrictNoFallback(t *testing.T) {
 	}
 }
 
-func diffOutcomes(t *testing.T, query string, sim, proc queryOutcome) {
+func diffOutcomes(t *testing.T, query, arm string, sim, proc queryOutcome) {
 	t.Helper()
 	if sim.rows != proc.rows {
-		t.Errorf("%s: rows differ between backends\nsim:\n%s\nproc:\n%s", query, sim.rows, proc.rows)
+		t.Errorf("%s[%s]: rows differ between backends\nsim:\n%s\nproc:\n%s", query, arm, sim.rows, proc.rows)
 	}
 	if sim.jobs != proc.jobs || sim.mapOnly != proc.mapOnly || sim.mapReduce != proc.mapReduce || sim.switched != proc.switched {
-		t.Errorf("%s: job counts differ: sim %d (%dm/%dmr/%dsw) proc %d (%dm/%dmr/%dsw)",
-			query, sim.jobs, sim.mapOnly, sim.mapReduce, sim.switched,
+		t.Errorf("%s[%s]: job counts differ: sim %d (%dm/%dmr/%dsw) proc %d (%dm/%dmr/%dsw)",
+			query, arm, sim.jobs, sim.mapOnly, sim.mapReduce, sim.switched,
 			proc.jobs, proc.mapOnly, proc.mapReduce, proc.switched)
 	}
 	if sim.pilotJobs != proc.pilotJobs || sim.iterations != proc.iterations {
-		t.Errorf("%s: pilot/iteration counts differ: sim %d/%d proc %d/%d",
-			query, sim.pilotJobs, sim.iterations, proc.pilotJobs, proc.iterations)
+		t.Errorf("%s[%s]: pilot/iteration counts differ: sim %d/%d proc %d/%d",
+			query, arm, sim.pilotJobs, sim.iterations, proc.pilotJobs, proc.iterations)
 	}
 	if sim.totalSec != proc.totalSec || sim.pilotSec != proc.pilotSec {
-		t.Errorf("%s: virtual timelines differ: sim total=%v pilot=%v proc total=%v pilot=%v",
-			query, sim.totalSec, sim.pilotSec, proc.totalSec, proc.pilotSec)
+		t.Errorf("%s[%s]: virtual timelines differ: sim total=%v pilot=%v proc total=%v pilot=%v",
+			query, arm, sim.totalSec, sim.pilotSec, proc.totalSec, proc.pilotSec)
 	}
 }
 
-// TestDifferentialTPCH runs the full evaluation suite on both
-// backends (two workers) and requires identical outcomes.
+// TestDifferentialTPCH runs the full evaluation suite as a three-arm
+// matrix — sim, proc over JSON per-task dispatch, proc over binary
+// batched dispatch (two workers each) — and requires byte-identical
+// outcomes: same rows, job counts, and virtual timelines.
 func TestDifferentialTPCH(t *testing.T) {
 	if testing.Short() {
-		t.Skip("differential suite executes every TPC-H query twice")
+		t.Skip("differential suite executes every TPC-H query three times")
 	}
 	for _, query := range tpch.QueryNames {
 		query := query
 		t.Run(query, func(t *testing.T) {
 			ccfg := cluster.DefaultConfig()
 			sim := runQuery(t, simruntime.New(ccfg), query, engineTweaks{})
-			proc := runQuery(t, newProcRuntime(t, 2, ccfg), query, engineTweaks{})
-			diffOutcomes(t, query, sim, proc)
+			for _, arm := range procArms {
+				proc := runQuery(t, newProcRuntime(t, 2, ccfg, arm.cfg), query, engineTweaks{})
+				diffOutcomes(t, query, arm.name, sim, proc)
+			}
 		})
 	}
 }
@@ -191,10 +210,11 @@ func TestDifferentialTPCH(t *testing.T) {
 // plain sweep may not reach: projection pushdown (serialized prune
 // maps), the dynamic join switch (chain ops created at submit time),
 // the map-side combiner (partial-aggregate tasks with the CPU
-// double-add), and concurrent dispatch (parallel wave execution).
+// double-add), and concurrent dispatch (parallel wave execution,
+// which is what actually fills batches on the batched arm).
 func TestDifferentialFeatureMatrix(t *testing.T) {
 	if testing.Short() {
-		t.Skip("differential suite executes queries twice")
+		t.Skip("differential suite executes queries three times")
 	}
 	tw := engineTweaks{pushdown: true, dynamicJoin: true, combiner: true, parallelism: 4}
 	for _, query := range []string{"Q9p", "Q10"} {
@@ -203,8 +223,10 @@ func TestDifferentialFeatureMatrix(t *testing.T) {
 			ccfg := cluster.DefaultConfig()
 			ccfg.Parallelism = tw.parallelism
 			sim := runQuery(t, simruntime.New(ccfg), query, tw)
-			proc := runQuery(t, newProcRuntime(t, 2, ccfg), query, tw)
-			diffOutcomes(t, query, sim, proc)
+			for _, arm := range procArms {
+				proc := runQuery(t, newProcRuntime(t, 2, ccfg, arm.cfg), query, tw)
+				diffOutcomes(t, query, arm.name, sim, proc)
+			}
 		})
 	}
 }

@@ -3,15 +3,14 @@ package procruntime
 import (
 	"fmt"
 
-	"dyno/internal/data"
 	"dyno/internal/mapreduce"
 	"dyno/internal/runtime/wire"
 )
 
 // executor adapts the mapreduce task seam to the fleet's wire
-// protocol: it resolves DFS blocks to mirrored files, serializes the
-// dispatch, and decodes the worker's rows/pairs back into engine
-// values.
+// protocol: it resolves DFS blocks to mirrored files and dispatches
+// codec-neutral tasks — values stay native data.Values here, and the
+// dispatch layer encodes them in the codec each worker negotiated.
 type executor struct {
 	f *Fleet
 }
@@ -49,7 +48,7 @@ func (e executor) ExecMap(m mapreduce.MapExec) (*mapreduce.MapExecOut, error) {
 			Version: version,
 		})
 	}
-	resp, err := e.f.dispatch(&wire.TaskRequest{
+	res, err := e.f.dispatch(&wire.Task{
 		Job:         m.JobName,
 		Task:        m.TaskName,
 		Kind:        "map",
@@ -64,20 +63,13 @@ func (e executor) ExecMap(m mapreduce.MapExec) (*mapreduce.MapExecOut, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &mapreduce.MapExecOut{CPUMap: resp.CPUMap, CPUTotal: resp.CPUTotal}
+	out := &mapreduce.MapExecOut{CPUMap: res.CPUMap, CPUTotal: res.CPUTotal}
 	if !m.HasReduce {
-		out.Rows, err = decodeRows(resp.Rows)
-		if err != nil {
-			return nil, fmt.Errorf("procruntime: task %s: %w", m.TaskName, err)
-		}
+		out.Rows = res.Rows
 		return out, nil
 	}
-	out.Pairs = make([][]mapreduce.RemoteKV, len(resp.Pairs))
-	for p, imgs := range resp.Pairs {
-		kvs, err := wire.DecodeKVs(imgs)
-		if err != nil {
-			return nil, fmt.Errorf("procruntime: task %s partition %d: %w", m.TaskName, p, err)
-		}
+	out.Pairs = make([][]mapreduce.RemoteKV, len(res.Pairs))
+	for p, kvs := range res.Pairs {
 		pairs := make([]mapreduce.RemoteKV, len(kvs))
 		for i, kv := range kvs {
 			pairs[i] = mapreduce.RemoteKV{Key: kv.Key, Tag: kv.Tag, Rec: kv.Rec}
@@ -96,35 +88,16 @@ func (e executor) ExecReduce(r mapreduce.ReduceExec) (*mapreduce.ReduceExecOut, 
 	for i, kv := range r.Pairs {
 		pairs[i] = wire.KV{Key: kv.Key, Tag: kv.Tag, Rec: kv.Rec}
 	}
-	resp, err := e.f.dispatch(&wire.TaskRequest{
+	res, err := e.f.dispatch(&wire.Task{
 		Job:       r.JobName,
 		Task:      r.TaskName,
 		Kind:      "reduce",
 		Op:        op,
 		Partition: r.Partition,
-		Pairs:     wire.EncodeKVs(pairs),
+		Pairs:     pairs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	rows, err := decodeRows(resp.Rows)
-	if err != nil {
-		return nil, fmt.Errorf("procruntime: task %s: %w", r.TaskName, err)
-	}
-	return &mapreduce.ReduceExecOut{Rows: rows, CPUSeconds: resp.CPUSeconds}, nil
-}
-
-func decodeRows(imgs []any) ([]data.Value, error) {
-	if len(imgs) == 0 {
-		return nil, nil
-	}
-	rows := make([]data.Value, len(imgs))
-	for i, img := range imgs {
-		v, err := wire.DecodeValue(img)
-		if err != nil {
-			return nil, err
-		}
-		rows[i] = v
-	}
-	return rows, nil
+	return &mapreduce.ReduceExecOut{Rows: res.Rows, CPUSeconds: res.CPUSeconds}, nil
 }

@@ -18,6 +18,7 @@ package procruntime
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyno/internal/data"
@@ -62,6 +64,22 @@ type Config struct {
 	// 1s / 10s.
 	Heartbeat  time.Duration
 	StaleAfter time.Duration
+	// Codec picks the task payload codec for workers that support it:
+	// "" or "bin" negotiates the binary frame codec at registration,
+	// "json" is the kill-switch back to the PR 8 JSON data plane
+	// (tagged-array images, JSONL block mirrors).
+	Codec string
+	// DisableBatch turns off wave-batched dispatch: every task goes
+	// out as its own POST (the PR 8 behavior), regardless of worker
+	// capability.
+	DisableBatch bool
+	// BatchLinger is how long a worker's batcher waits after the first
+	// task of an idle period for wave co-arrivals before sending;
+	// tasks arriving while an RPC is in flight ride the next batch for
+	// free. Default 500µs; <0 disables the linger.
+	BatchLinger time.Duration
+	// MaxBatch caps tasks per batched RPC; default 128.
+	MaxBatch int
 	// UDF is shipped to workers at registration so their registries
 	// evaluate the TPC-H UDFs with the controller's parameters.
 	UDF tpch.UDFParams
@@ -95,6 +113,15 @@ func (c Config) withDefaults() Config {
 	if c.StaleAfter <= 0 {
 		c.StaleAfter = 10 * time.Second
 	}
+	if c.Codec == "" {
+		c.Codec = wire.CodecBinary
+	}
+	if c.BatchLinger == 0 {
+		c.BatchLinger = 500 * time.Microsecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 128
+	}
 	if c.UDF == (tpch.UDFParams{}) {
 		c.UDF = tpch.DefaultUDFParams()
 	}
@@ -107,6 +134,13 @@ type workerState struct {
 	fails    int
 	black    bool
 	lastSeen time.Time
+	// codec and batch are fixed at registration (negotiated from the
+	// worker's announced capabilities and the fleet's kill-switches).
+	codec string
+	batch bool
+	// batcher conflates concurrent dispatches into one RPC; nil for
+	// per-task workers.
+	batcher *batcher
 }
 
 // Fleet is the controller side of the proc backend: the worker
@@ -119,6 +153,7 @@ type Fleet struct {
 	ln       net.Listener
 	client   *http.Client
 	ownSpill bool
+	done     chan struct{} // closed by Close; wakes batchers
 
 	mu        sync.Mutex
 	workers   map[int]*workerState
@@ -130,6 +165,35 @@ type Fleet struct {
 
 	durMu     sync.Mutex
 	durations map[string][]float64 // task kind -> completed seconds, sorted on read
+
+	// Wire-level counters for the procbench experiment and the
+	// bytes-per-task regression guard (task dispatch only; register,
+	// heartbeat, and drain traffic is not counted).
+	statRPCs     atomic.Int64
+	statTasks    atomic.Int64
+	statBytesOut atomic.Int64
+	statBytesIn  atomic.Int64
+}
+
+// WireStats is a snapshot of the fleet's dispatch-plane counters.
+type WireStats struct {
+	// RPCs is the number of task-carrying HTTP round-trips (batched or
+	// single); Tasks counts task attempts carried by them.
+	RPCs  int64 `json:"rpcs"`
+	Tasks int64 `json:"tasks"`
+	// BytesOut/BytesIn are request/response payload bytes.
+	BytesOut int64 `json:"bytesOut"`
+	BytesIn  int64 `json:"bytesIn"`
+}
+
+// WireStats returns the dispatch counters accumulated so far.
+func (f *Fleet) WireStats() WireStats {
+	return WireStats{
+		RPCs:     f.statRPCs.Load(),
+		Tasks:    f.statTasks.Load(),
+		BytesOut: f.statBytesOut.Load(),
+		BytesIn:  f.statBytesIn.Load(),
+	}
 }
 
 type mirror struct {
@@ -143,8 +207,17 @@ type mirror struct {
 func NewFleet(cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
 	f := &Fleet{
-		cfg:       cfg,
-		client:    &http.Client{},
+		cfg: cfg,
+		// One keep-alive client serves every dispatch attempt:
+		// connections to workers are reused across tasks and batches,
+		// and per-attempt deadlines ride the request context instead
+		// of a per-client timeout.
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		done:      make(chan struct{}),
 		workers:   map[int]*workerState{},
 		mirrors:   map[*dfs.File]*mirror{},
 		durations: map[string][]float64{},
@@ -186,22 +259,47 @@ func (f *Fleet) logf(format string, args ...any) {
 	}
 }
 
-// RegisterWorker adds a worker by base URL and returns its id (the
-// HTTP registration endpoint and in-process tests both land here).
+// RegisterWorker adds a worker by base URL with the zero capability
+// set (JSON, one task per POST — the PR 8 data plane) and returns its
+// id. In-process tests and old workers land here.
 func (f *Fleet) RegisterWorker(url string) int {
+	return f.RegisterWorkerCaps(url, wire.Caps{})
+}
+
+// RegisterWorkerCaps adds a worker, negotiating the wire codec and
+// batching from its announced capabilities and the fleet's
+// kill-switches: binary frames when the worker speaks them and
+// Config.Codec is not "json", batched /tasks dispatch when the worker
+// supports it and batching is not disabled.
+func (f *Fleet) RegisterWorkerCaps(url string, caps wire.Caps) int {
+	codec := wire.CodecJSON
+	if f.cfg.Codec != wire.CodecJSON && caps.Supports(f.cfg.Codec) {
+		codec = f.cfg.Codec
+	}
+	batch := caps.Batch && !f.cfg.DisableBatch
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, w := range f.workers {
 		if w.url == url {
-			// Re-registration (worker restart): reset its standing.
+			// Re-registration (worker restart): reset its standing and
+			// renegotiate (a redeployed worker may have new caps).
 			w.fails, w.black, w.lastSeen = 0, false, time.Now()
+			w.codec = codec
+			if batch && w.batcher == nil {
+				w.batcher = newBatcher(f, w)
+			}
+			w.batch = batch
 			return w.id
 		}
 	}
 	f.nextID++
 	id := f.nextID
-	f.workers[id] = &workerState{id: id, url: url, lastSeen: time.Now()}
-	f.logf("procruntime: worker %d registered at %s", id, url)
+	w := &workerState{id: id, url: url, lastSeen: time.Now(), codec: codec, batch: batch}
+	if batch {
+		w.batcher = newBatcher(f, w)
+	}
+	f.workers[id] = w
+	f.logf("procruntime: worker %d registered at %s (codec=%s batch=%v)", id, url, codec, batch)
 	return id
 }
 
@@ -249,6 +347,7 @@ func (f *Fleet) Close() error {
 		return nil
 	}
 	f.closed = true
+	close(f.done) // batchers fail their pending items and exit
 	workers := make([]*workerState, 0, len(f.workers))
 	for _, w := range f.workers {
 		workers = append(workers, w)
@@ -283,16 +382,22 @@ func (f *Fleet) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad register payload", http.StatusBadRequest)
 		return
 	}
-	id := f.RegisterWorker(req.URL)
+	id := f.RegisterWorkerCaps(req.URL, req.Caps)
 	udf, err := json.Marshal(f.cfg.UDF)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	f.mu.Lock()
+	ws := f.workers[id]
+	codec, batch := ws.codec, ws.batch
+	f.mu.Unlock()
 	json.NewEncoder(w).Encode(wire.RegisterResponse{
 		ID:              id,
 		HeartbeatMillis: int(f.cfg.Heartbeat / time.Millisecond),
 		UDF:             udf,
+		Codec:           codec,
+		Batch:           batch,
 	})
 }
 
@@ -357,9 +462,20 @@ func (f *Fleet) filePaths(file *dfs.File) ([]string, string, error) {
 		}
 		n := file.NumBlocks()
 		paths := make([]string, n)
+		binary := f.cfg.Codec != wire.CodecJSON
+		ext := ".jsonl"
+		if binary {
+			ext = ".blk"
+		}
 		for i := 0; i < n; i++ {
-			p := filepath.Join(m.dir, "b"+strconv.Itoa(i)+".jsonl")
-			if err := writeBlockFile(p, file.Block(i).Records()); err != nil {
+			p := filepath.Join(m.dir, "b"+strconv.Itoa(i)+ext)
+			var err error
+			if binary {
+				err = wire.WriteBlockFileBin(p, file.Block(i).Records())
+			} else {
+				err = writeBlockFile(p, file.Block(i).Records())
+			}
+			if err != nil {
 				m.err = err
 				return
 			}
@@ -454,41 +570,78 @@ func (f *Fleet) hedgeDelay(kind string) time.Duration {
 	return d
 }
 
-// post runs one dispatch attempt against one worker.
-func (f *Fleet) post(w *workerState, payload []byte) (*wire.TaskResponse, error) {
-	req, err := http.NewRequest(http.MethodPost, w.url+"/task", bytes.NewReader(payload))
+// post runs one single-task dispatch attempt against one worker: the
+// legacy per-task JSON POST, used for workers that did not negotiate
+// batching. The fleet's keep-alive client carries it; the per-attempt
+// deadline rides the request context, so one attempt never tears down
+// the pooled connection state the way a throwaway per-call client
+// would.
+func (f *Fleet) post(w *workerState, task *wire.Task) (*wire.TaskResult, error) {
+	payload, err := json.Marshal(task.Request())
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.TaskTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/task", bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	client := &http.Client{Timeout: f.cfg.TaskTimeout}
-	resp, err := client.Do(req)
+	f.statRPCs.Add(1)
+	f.statTasks.Add(1)
+	f.statBytesOut.Add(int64(len(payload)))
+	resp, err := f.client.Do(req)
 	if err != nil {
+		f.noteFailure(w)
 		return nil, err
 	}
 	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.noteFailure(w)
+		return nil, fmt.Errorf("worker %s: read response: %v", w.url, err)
+	}
+	f.statBytesIn.Add(int64(len(body)))
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		f.noteFailure(w)
+		if len(body) > 4096 {
+			body = body[:4096]
+		}
 		return nil, fmt.Errorf("worker %s: HTTP %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(body))
 	}
 	var tr wire.TaskResponse
-	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+	if err := json.Unmarshal(body, &tr); err != nil {
+		f.noteFailure(w)
 		return nil, fmt.Errorf("worker %s: bad response: %v", w.url, err)
 	}
-	return &tr, nil
+	return wire.ResultFromResponse(&tr)
+}
+
+// send runs one attempt of a task on one worker, routing through the
+// worker's batcher when batching was negotiated at registration. RPC
+// transport failures are recorded against the worker by the RPC layer
+// (post / the batcher), once per failed RPC — not once per task a
+// failed batch happened to carry.
+func (f *Fleet) send(w *workerState, task *wire.Task) (*wire.TaskResult, error) {
+	f.mu.Lock()
+	b := w.batcher
+	f.mu.Unlock()
+	if b != nil {
+		return b.do(task)
+	}
+	return f.post(w, task)
 }
 
 // dispatch runs a task to completion across the fleet: retry on
 // transport failures (distinct workers), hedge on stragglers, fail
 // fast on deterministic operator errors (retrying those elsewhere
-// would fail identically and mask bugs).
-func (f *Fleet) dispatch(req *wire.TaskRequest) (*wire.TaskResponse, error) {
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
+// would fail identically and mask bugs). Batching changes only how
+// attempts travel — each task still retries, hedges, and fails
+// independently of its batchmates.
+func (f *Fleet) dispatch(task *wire.Task) (*wire.TaskResult, error) {
 	type attempt struct {
-		resp    *wire.TaskResponse
+		res     *wire.TaskResult
 		err     error
 		w       *workerState
 		elapsed time.Duration
@@ -503,45 +656,44 @@ func (f *Fleet) dispatch(req *wire.TaskRequest) (*wire.TaskResponse, error) {
 		tried[w.id] = true
 		go func() {
 			start := time.Now()
-			resp, err := f.post(w, payload)
-			results <- attempt{resp: resp, err: err, w: w, elapsed: time.Since(start)}
+			res, err := f.send(w, task)
+			results <- attempt{res: res, err: err, w: w, elapsed: time.Since(start)}
 		}()
 		return true
 	}
 	if !launch() {
-		return nil, fmt.Errorf("procruntime: no live workers for task %s", req.Task)
+		return nil, fmt.Errorf("procruntime: no live workers for task %s", task.Task)
 	}
 	attempts, inflight := 1, 1
 	hedged := false
-	hedge := time.NewTimer(f.hedgeDelay(req.Kind))
+	hedge := time.NewTimer(f.hedgeDelay(task.Kind))
 	defer hedge.Stop()
 	var lastErr error
 	for {
 		select {
 		case a := <-results:
 			inflight--
-			if a.err == nil && a.resp.Err == "" {
-				f.noteSuccess(a.w, req.Kind, a.elapsed)
-				return a.resp, nil
+			if a.err == nil && a.res.Err == "" {
+				f.noteSuccess(a.w, task.Kind, a.elapsed)
+				return a.res, nil
 			}
 			if a.err == nil {
-				return nil, fmt.Errorf("procruntime: task %s failed on worker %s: %s", req.Task, a.w.url, a.resp.Err)
+				return nil, fmt.Errorf("procruntime: task %s failed on worker %s: %s", task.Task, a.w.url, a.res.Err)
 			}
 			lastErr = a.err
-			f.noteFailure(a.w)
-			f.logf("procruntime: task %s attempt on worker %d failed: %v", req.Task, a.w.id, a.err)
+			f.logf("procruntime: task %s attempt on worker %d failed: %v", task.Task, a.w.id, a.err)
 			if attempts < f.cfg.MaxAttempts && launch() {
 				attempts++
 				inflight++
 			} else if inflight == 0 {
-				return nil, fmt.Errorf("procruntime: task %s failed after %d attempts: %w", req.Task, attempts, lastErr)
+				return nil, fmt.Errorf("procruntime: task %s failed after %d attempts: %w", task.Task, attempts, lastErr)
 			}
 		case <-hedge.C:
 			if !hedged && attempts < f.cfg.MaxAttempts && launch() {
 				hedged = true
 				attempts++
 				inflight++
-				f.logf("procruntime: task %s hedged after straggler threshold", req.Task)
+				f.logf("procruntime: task %s hedged after straggler threshold", task.Task)
 			}
 		}
 	}

@@ -76,7 +76,7 @@ func TestDispatchRetriesOnDistinctWorkers(t *testing.T) {
 	f.RegisterWorker(stubWorker(t, bad).URL)
 	f.RegisterWorker(stubWorker(t, bad).URL)
 
-	resp, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	resp, err := f.dispatch(&wire.Task{Task: "t-m0", Kind: "map"})
 	if err != nil {
 		t.Fatalf("dispatch: %v", err)
 	}
@@ -106,7 +106,7 @@ func TestDispatchExhaustsAttempts(t *testing.T) {
 	f.RegisterWorker(stubWorker(t, bad).URL)
 	f.RegisterWorker(stubWorker(t, bad).URL)
 
-	_, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	_, err := f.dispatch(&wire.Task{Task: "t-m0", Kind: "map"})
 	if err == nil {
 		t.Fatal("dispatch succeeded with only failing workers")
 	}
@@ -134,7 +134,7 @@ func TestDispatchFailFastOnOperatorError(t *testing.T) {
 	f.RegisterWorker(other.URL)   // id 1: would absorb a (wrong) retry
 	f.RegisterWorker(failing.URL) // id 2: picked first by round-robin
 
-	_, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	_, err := f.dispatch(&wire.Task{Task: "t-m0", Kind: "map"})
 	if err == nil || !strings.Contains(err.Error(), "unknown function frob") {
 		t.Fatalf("error = %v, want the operator error surfaced", err)
 	}
@@ -159,14 +159,14 @@ func TestDispatchBlacklist(t *testing.T) {
 	f.RegisterWorker(bad.URL)
 
 	for i := 0; i < 3; i++ {
-		if _, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"}); err == nil {
+		if _, err := f.dispatch(&wire.Task{Task: "t-m0", Kind: "map"}); err == nil {
 			t.Fatalf("dispatch %d succeeded against a failing worker", i)
 		}
 	}
 	if got := f.Workers(); got != 0 {
 		t.Fatalf("live workers = %d after 3 consecutive failures, want 0 (blacklisted)", got)
 	}
-	_, err := f.dispatch(&wire.TaskRequest{Task: "t-m1", Kind: "map"})
+	_, err := f.dispatch(&wire.Task{Task: "t-m1", Kind: "map"})
 	if err == nil || !strings.Contains(err.Error(), "no live workers") {
 		t.Fatalf("error = %v, want no-live-workers", err)
 	}
@@ -194,7 +194,7 @@ func TestDispatchSuccessResetsFailures(t *testing.T) {
 	f.RegisterWorker(flaky.URL)
 
 	for i := 0; i < 6; i++ {
-		f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+		f.dispatch(&wire.Task{Task: "t-m0", Kind: "map"})
 	}
 	if got := f.Workers(); got != 1 {
 		t.Fatalf("live workers = %d, want 1 (alternating failures never blacklist)", got)
@@ -219,7 +219,7 @@ func TestDispatchHedgesStragglers(t *testing.T) {
 	f.RegisterWorker(stubWorker(t, handler).URL)
 
 	start := time.Now()
-	resp, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"})
+	resp, err := f.dispatch(&wire.Task{Task: "t-m0", Kind: "map"})
 	if err != nil {
 		t.Fatalf("dispatch: %v", err)
 	}
@@ -246,7 +246,7 @@ func TestWorkersGoStaleWithoutHeartbeat(t *testing.T) {
 	if got := f.Workers(); got != 0 {
 		t.Fatalf("live workers = %d after silence, want 0 (stale)", got)
 	}
-	if _, err := f.dispatch(&wire.TaskRequest{Task: "t-m0", Kind: "map"}); err == nil || !strings.Contains(err.Error(), "no live workers") {
+	if _, err := f.dispatch(&wire.Task{Task: "t-m0", Kind: "map"}); err == nil || !strings.Contains(err.Error(), "no live workers") {
 		t.Fatalf("error = %v, want no-live-workers (stale workers are skipped)", err)
 	}
 

@@ -1,8 +1,10 @@
 package procruntime
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -51,10 +53,14 @@ func NewWorker(reg *expr.Registry) *Worker {
 // acknowledged (cmd/dynoworker exits from it).
 func (w *Worker) OnDrain(fn func()) { w.drainNotify = fn }
 
-// Handler returns the worker's HTTP surface.
+// Handler returns the worker's HTTP surface: /task (single, JSON —
+// the PR 8 endpoint, kept for rollback), /tasks (batched; JSON or
+// binary frames, answered in the codec the request arrived in),
+// /healthz, and /drain.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /task", w.handleTask)
+	mux.HandleFunc("POST /tasks", w.handleTaskBatch)
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		rw.Write([]byte("ok\n"))
@@ -80,78 +86,112 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "bad task payload: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := w.runTask(&req)
+	task, err := wire.TaskFromRequest(&req)
+	var resp *wire.TaskResponse
+	if err != nil {
+		resp = &wire.TaskResponse{Err: "decode task: " + err.Error()}
+	} else {
+		resp = w.runTask(task).Response()
+	}
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(resp)
 }
 
-// runTask executes one task; operator and decode errors come back in
-// the response body (deterministic failures the controller must not
-// retry), transport-level errors never originate here.
-func (w *Worker) runTask(req *wire.TaskRequest) *wire.TaskResponse {
-	if req.Op == nil {
-		return &wire.TaskResponse{Err: "task has no operator"}
+// handleTaskBatch serves one wave-batch of tasks. The request codec —
+// sniffed from the binary frame magic, with the Content-Type as a
+// cross-check — picks the response codec, so no negotiation state
+// lives on the worker. Tasks run sequentially and fail independently:
+// a deterministic operator error lands in that task's slot while its
+// batchmates complete normally.
+func (w *Worker) handleTaskBatch(rw http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(rw, "read batch: "+err.Error(), http.StatusBadRequest)
+		return
 	}
-	switch req.Kind {
+	if r.Header.Get("Content-Type") == wire.ContentTypeBinary {
+		tasks, err := wire.DecodeTaskBatch(body)
+		if err != nil {
+			http.Error(rw, "bad binary batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]*wire.TaskResult, len(tasks))
+		for i, t := range tasks {
+			results[i] = w.runTask(t)
+		}
+		frame := wire.EncodeResultBatch(results)
+		defer frame.Close()
+		rw.Header().Set("Content-Type", wire.ContentTypeBinary)
+		rw.Write(frame.Bytes())
+		return
+	}
+	var batch wire.TaskBatchRequest
+	if err := json.Unmarshal(body, &batch); err != nil {
+		http.Error(rw, "bad batch payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := wire.TaskBatchResponse{Results: make([]*wire.TaskResponse, len(batch.Tasks))}
+	for i, req := range batch.Tasks {
+		task, err := wire.TaskFromRequest(req)
+		if err != nil {
+			out.Results[i] = &wire.TaskResponse{Err: "decode task: " + err.Error()}
+			continue
+		}
+		out.Results[i] = w.runTask(task).Response()
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(out)
+}
+
+// runTask executes one task; operator and decode errors come back in
+// the result body (deterministic failures the controller must not
+// retry), transport-level errors never originate here.
+func (w *Worker) runTask(task *wire.Task) *wire.TaskResult {
+	if task.Op == nil {
+		return &wire.TaskResult{Err: "task has no operator"}
+	}
+	switch task.Kind {
 	case "map":
-		return w.runMap(req)
+		return w.runMap(task)
 	case "reduce":
-		return w.runReduce(req)
+		return w.runReduce(task)
 	default:
-		return &wire.TaskResponse{Err: fmt.Sprintf("unknown task kind %q", req.Kind)}
+		return &wire.TaskResult{Err: fmt.Sprintf("unknown task kind %q", task.Kind)}
 	}
 }
 
-func (w *Worker) runMap(req *wire.TaskRequest) *wire.TaskResponse {
-	recs, err := w.blockRecords(req.Block)
+func (w *Worker) runMap(task *wire.Task) *wire.TaskResult {
+	recs, err := w.blockRecords(task.Block)
 	if err != nil {
-		return &wire.TaskResponse{Err: err.Error()}
+		return &wire.TaskResult{Err: err.Error()}
 	}
 	builds := map[string]*wire.Table{}
-	for _, ref := range req.Builds {
+	for _, ref := range task.Builds {
 		t, err := w.table(ref)
 		if err != nil {
-			return &wire.TaskResponse{Err: err.Error()}
+			return &wire.TaskResult{Err: err.Error()}
 		}
 		builds[ref.Name] = t
 	}
-	out, err := req.Op.RunMap(w.reg, recs, req.InputIdx, req.NumReducers, req.HasReduce, req.RunCombine, builds)
+	out, err := task.Op.RunMap(w.reg, recs, task.InputIdx, task.NumReducers, task.HasReduce, task.RunCombine, builds)
 	if err != nil {
-		return &wire.TaskResponse{Err: err.Error()}
+		return &wire.TaskResult{Err: err.Error()}
 	}
-	resp := &wire.TaskResponse{CPUMap: out.CPUMap, CPUTotal: out.CPUTotal}
-	if !req.HasReduce {
-		resp.Rows = encodeRows(out.Rows)
-		return resp
+	res := &wire.TaskResult{CPUMap: out.CPUMap, CPUTotal: out.CPUTotal}
+	if !task.HasReduce {
+		res.Rows = out.Rows
+		return res
 	}
-	resp.Pairs = make([][]wire.KVImage, len(out.Pairs))
-	for p, pairs := range out.Pairs {
-		resp.Pairs[p] = wire.EncodeKVs(pairs)
-	}
-	return resp
+	res.Pairs = out.Pairs
+	return res
 }
 
-func (w *Worker) runReduce(req *wire.TaskRequest) *wire.TaskResponse {
-	pairs, err := wire.DecodeKVs(req.Pairs)
+func (w *Worker) runReduce(task *wire.Task) *wire.TaskResult {
+	rows, cpu, err := task.Op.RunReduce(w.reg, task.Pairs)
 	if err != nil {
-		return &wire.TaskResponse{Err: "decode pairs: " + err.Error()}
+		return &wire.TaskResult{Err: err.Error()}
 	}
-	rows, cpu, err := req.Op.RunReduce(w.reg, pairs)
-	if err != nil {
-		return &wire.TaskResponse{Err: err.Error()}
-	}
-	return &wire.TaskResponse{Rows: encodeRows(rows), CPUSeconds: cpu}
-}
-
-func encodeRows(rows []data.Value) []any {
-	if len(rows) == 0 {
-		return nil
-	}
-	out := make([]any, len(rows))
-	for i, r := range rows {
-		out[i] = wire.EncodeValue(r)
-	}
-	return out
+	return &wire.TaskResult{Rows: rows, CPUSeconds: cpu}
 }
 
 // blockRecords loads one mirrored block file, memoizing by path.
@@ -182,14 +222,22 @@ func (w *Worker) blockRecords(path string) ([]data.Value, error) {
 	return recs, nil
 }
 
-// readBlockFile decodes one wire-encoded JSONL block.
+// readBlockFile decodes one mirrored block, sniffing the format: a
+// binary frame (the negotiated fast path) or wire-image JSONL (the
+// PR 8 format, kept as the kill-switch arm).
 func readBlockFile(path string) ([]data.Value, error) {
-	f, err := os.Open(path)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("open block: %w", err)
 	}
-	defer f.Close()
-	dec := json.NewDecoder(f)
+	if wire.IsBlockFrame(b) {
+		recs, err := wire.DecodeBlock(b)
+		if err != nil {
+			return nil, fmt.Errorf("decode block %s: %w", path, err)
+		}
+		return recs, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
 	var recs []data.Value
 	for dec.More() {
 		var img any

@@ -1,0 +1,355 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dyno/internal/data"
+)
+
+// binValueRoundTrip pushes values through the binary block codec (the
+// same column/value writer every frame kind uses) and back.
+func binValueRoundTrip(t *testing.T, vals []data.Value) []data.Value {
+	t.Helper()
+	frame := EncodeBlock(vals)
+	defer frame.Close()
+	got, err := DecodeBlock(frame.Bytes())
+	if err != nil {
+		t.Fatalf("decode block: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("round trip changed count: %d -> %d", len(vals), len(got))
+	}
+	return got
+}
+
+func assertSameValue(t *testing.T, want, got data.Value) {
+	t.Helper()
+	if !data.Equal(got, want) || got.Kind() != want.Kind() {
+		t.Fatalf("round trip changed value: %s (%v) -> %s (%v)", want, want.Kind(), got, got.Kind())
+	}
+	if got.String() != want.String() {
+		t.Fatalf("round trip changed rendering: %q -> %q", want.String(), got.String())
+	}
+}
+
+// adversarialValues is the corpus the ISSUE calls out: 0x00-embedded
+// strings, the float64 exact-integer boundary, -0.0, non-finite
+// doubles, deep nesting, and strings past the interning cutoff.
+func adversarialValues() []data.Value {
+	long := strings.Repeat("x", maxInternLen+1) // too long to intern
+	return []data.Value{
+		data.Null(),
+		data.Bool(true),
+		data.Bool(false),
+		data.Int(0),
+		data.Int(-1),
+		data.Int(1 << 53),
+		data.Int(-(1 << 53)),
+		data.Int(math.MaxInt64),
+		data.Int(math.MinInt64),
+		data.Double(0),
+		data.Double(math.Copysign(0, -1)), // -0.0
+		data.Double(0.1),
+		data.Double(math.MaxFloat64),
+		data.Double(math.SmallestNonzeroFloat64),
+		data.Double(math.Inf(1)),
+		data.Double(math.Inf(-1)),
+		data.Double(math.NaN()),
+		data.String(""),
+		data.String("a\x00b\x00"),
+		data.String("héllo, wörld"),
+		data.String(long),
+		data.Array(),
+		data.Array(data.Int(1), data.String("x"), data.Null(), data.Array(data.Bool(false))),
+		data.Object(),
+		data.Object(
+			data.Field{Name: "s", Value: data.String("a\x00b")},
+			data.Field{Name: "d", Value: data.Double(-0.0)},
+			data.Field{Name: "o", Value: data.Object(data.Field{Name: "n", Value: data.Int(1 << 53)})},
+		),
+	}
+}
+
+func TestBinValueRoundTrip(t *testing.T) {
+	vals := adversarialValues()
+	// Mixed-kind list: forces the generic column.
+	got := binValueRoundTrip(t, vals)
+	for i := range vals {
+		assertSameValue(t, vals[i], got[i])
+	}
+	// One-value lists: each kind picks its own column.
+	for _, v := range vals {
+		got := binValueRoundTrip(t, []data.Value{v})
+		assertSameValue(t, v, got[0])
+	}
+}
+
+func TestBinValueRoundTripBitExactDoubles(t *testing.T) {
+	vals := []data.Value{data.Double(math.Copysign(0, -1)), data.Double(0.1), data.Double(math.NaN())}
+	got := binValueRoundTrip(t, vals)
+	for i, v := range vals {
+		if math.Float64bits(got[i].Float()) != math.Float64bits(v.Float()) {
+			t.Fatalf("double %d changed bits: %x -> %x", i, math.Float64bits(v.Float()), math.Float64bits(got[i].Float()))
+		}
+	}
+}
+
+// Typed columns: homogeneous lists with nulls exercise every
+// specialized column kind plus its null bitmap.
+func TestBinTypedColumnsWithNulls(t *testing.T) {
+	cases := map[string][]data.Value{
+		"int":    {data.Int(1), data.Null(), data.Int(-(1 << 53)), data.Int(7), data.Null()},
+		"double": {data.Null(), data.Double(-0.0), data.Double(2.5)},
+		"string": {data.String("dup"), data.String("dup"), data.Null(), data.String("a\x00b")},
+		"bool":   {data.Bool(true), data.Null(), data.Bool(false)},
+		"object": {
+			data.Object(data.Field{Name: "a", Value: data.Int(1)}, data.Field{Name: "b", Value: data.String("x")}),
+			data.Null(),
+			data.Object(data.Field{Name: "a", Value: data.Null()}, data.Field{Name: "b", Value: data.String("y")}),
+		},
+		"allNull": {data.Null(), data.Null(), data.Null()},
+	}
+	for name, vals := range cases {
+		got := binValueRoundTrip(t, vals)
+		for i := range vals {
+			if got[i].String() != vals[i].String() {
+				t.Fatalf("%s[%d]: %q -> %q", name, i, vals[i].String(), got[i].String())
+			}
+			assertSameValue(t, vals[i], got[i])
+		}
+	}
+}
+
+// A field being null and a field being absent are different values;
+// the object column must not conflate them (it falls back to the
+// generic encoding when field sets differ across rows).
+func TestBinObjectColumnAbsentVsNull(t *testing.T) {
+	withNull := []data.Value{
+		data.Object(data.Field{Name: "a", Value: data.Int(1)}),
+		data.Object(data.Field{Name: "a", Value: data.Null()}),
+	}
+	withAbsent := []data.Value{
+		data.Object(data.Field{Name: "a", Value: data.Int(1)}),
+		data.Object(),
+	}
+	for _, vals := range [][]data.Value{withNull, withAbsent} {
+		got := binValueRoundTrip(t, vals)
+		for i := range vals {
+			assertSameValue(t, vals[i], got[i])
+			gf, vf := got[i].Fields(), vals[i].Fields()
+			if len(gf) != len(vf) {
+				t.Fatalf("row %d: field count %d -> %d", i, len(vf), len(gf))
+			}
+		}
+	}
+}
+
+func sampleTasks(t *testing.T) []*Task {
+	t.Helper()
+	filter := &ExprSpec{T: "cmp", Op: "<=",
+		L: &ExprSpec{T: "col", P: "l.l_quantity"},
+		R: &ExprSpec{T: "lit", V: EncodeValue(data.Double(24))}}
+	residual := &ExprSpec{T: "and", Xs: []*ExprSpec{
+		{T: "not", X: &ExprSpec{T: "cmp", Op: "=",
+			L: &ExprSpec{T: "col", P: "o.o_orderstatus"},
+			R: &ExprSpec{T: "lit", V: EncodeValue(data.String("F"))}}},
+		{T: "call", Name: "q9_keep_part", Args: []*ExprSpec{{T: "col", P: "p.p_name"}}},
+	}}
+	op := &OpSpec{
+		Kind:      "chain",
+		Source:    &SourceSpec{Wrap: "l", Filter: filter},
+		Left:      &SourceSpec{Wrap: "o"},
+		Right:     &SourceSpec{Wrap: "l", Filter: filter},
+		LeftKeys:  []string{"o.o_orderkey"},
+		RightKeys: []string{"l.l_orderkey"},
+		Residual:  residual,
+		Steps: []ChainStep{
+			{Build: "part", Keys: []string{"l.l_partkey"}, Residual: residual},
+			{Build: "supplier", Keys: []string{"l.l_suppkey"}},
+		},
+		Prune: []PruneEntry{
+			{Alias: "l", Fields: []string{"l_orderkey", "l_discount"}},
+			{Alias: "o", Fields: nil},
+		},
+		GroupBy: []*ExprSpec{{T: "col", P: "n.n_name"}, nil},
+		Select: []SelectItem{
+			{Expr: &ExprSpec{T: "col", P: "n.n_name"}, As: "nation"},
+			{Agg: "sum", Expr: &ExprSpec{T: "arith", Op: "*",
+				L: &ExprSpec{T: "col", P: "l.l_extendedprice"},
+				R: &ExprSpec{T: "lit", V: EncodeValue(data.Int(1))}}, As: "amount"},
+			{Star: true},
+		},
+		Combine: true,
+	}
+	return []*Task{
+		{
+			Job: "j1", Task: "j1-m0", Kind: "map", Op: op,
+			InputIdx: 1, Block: "/tmp/spill/f000001/b0.blk", NumReducers: 6,
+			HasReduce: true, RunCombine: true,
+			Builds: []BuildRef{{
+				Name: "part", Wrap: "p", Filter: filter,
+				Keys: []string{"p.p_partkey"}, Blocks: []string{"/tmp/b0.blk", "/tmp/b1.blk"},
+				Version: "/tmp/spill/f000002",
+			}},
+		},
+		{
+			Job: "j1", Task: "j1-r3", Kind: "reduce", Op: op, Partition: 3,
+			Pairs: []KV{
+				{Key: data.Int(1 << 53), Tag: "L", Rec: data.Object(data.Field{Name: "x", Value: data.Double(-0.0)})},
+				{Key: data.String("k\x00"), Rec: data.Null()},
+			},
+		},
+		{Job: "j2", Task: "j2-m0", Kind: "map", Op: &OpSpec{Kind: "scan", Source: &SourceSpec{Wrap: "r"}}},
+	}
+}
+
+// TestBinTaskBatchRoundTrip proves the binary task codec carries the
+// exact payload the JSON protocol does: both tasks re-encode to the
+// same canonical JSON wire image.
+func TestBinTaskBatchRoundTrip(t *testing.T) {
+	tasks := sampleTasks(t)
+	frame, err := EncodeTaskBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer frame.Close()
+	got, err := DecodeTaskBatch(frame.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tasks) {
+		t.Fatalf("batch count %d -> %d", len(tasks), len(got))
+	}
+	for i := range tasks {
+		want, err := json.Marshal(tasks[i].Request())
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := json.Marshal(got[i].Request())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(have) {
+			t.Fatalf("task %d changed across binary round trip:\n  %s\n  %s", i, want, have)
+		}
+	}
+}
+
+func TestBinResultBatchRoundTrip(t *testing.T) {
+	results := []*TaskResult{
+		{Rows: adversarialValues(), CPUSeconds: 0.25},
+		{
+			Pairs: [][]KV{
+				{{Key: data.Int(1), Tag: "L", Rec: data.String("a\x00")}, {Key: data.Int(1), Tag: "R", Rec: data.Double(-0.0)}},
+				nil,
+				{{Key: data.Null(), Rec: data.Array(data.Int(1 << 53))}},
+			},
+			CPUMap: 1.5, CPUTotal: 2.25,
+		},
+		{Err: "boom: operator failed"},
+		{},
+	}
+	frame := EncodeResultBatch(results)
+	defer frame.Close()
+	got, err := DecodeResultBatch(frame.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("batch count %d -> %d", len(results), len(got))
+	}
+	for i := range results {
+		want, _ := json.Marshal(results[i].Response())
+		have, _ := json.Marshal(got[i].Response())
+		if string(want) != string(have) {
+			t.Fatalf("result %d changed across binary round trip:\n  %s\n  %s", i, want, have)
+		}
+	}
+}
+
+func TestBinTaskBatchRejectsUnknownKind(t *testing.T) {
+	if _, err := EncodeTaskBatch([]*Task{{Task: "t", Kind: "exotic", Op: &OpSpec{Kind: "scan"}}}); err == nil {
+		t.Fatal("expected EncodeTaskBatch to reject an unknown task kind")
+	}
+}
+
+func TestBinDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, []byte("DYT"), []byte("DYT1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"), []byte("not a frame"), []byte("DYR1")} {
+		if _, err := DecodeTaskBatch(b); err == nil {
+			t.Fatalf("DecodeTaskBatch accepted %q", b)
+		}
+	}
+	frame := EncodeBlock([]data.Value{data.Int(1)})
+	defer frame.Close()
+	// Truncations of a valid frame must error, never panic.
+	whole := frame.Bytes()
+	for n := 0; n < len(whole); n++ {
+		if _, err := DecodeBlock(whole[:n]); err == nil {
+			t.Fatalf("DecodeBlock accepted a %d-byte truncation", n)
+		}
+	}
+}
+
+// TestBlockFileSniff pins the mixed-mirror contract: workers detect
+// the block file format by magic, so binary and JSONL mirrors coexist
+// during a codec rollback.
+func TestBlockFileSniff(t *testing.T) {
+	recs := adversarialValues()
+	path := filepath.Join(t.TempDir(), "b0.blk")
+	if err := WriteBlockFileBin(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBlockFrame(b) {
+		t.Fatal("binary block file not recognized by magic")
+	}
+	got, err := DecodeBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		assertSameValue(t, recs[i], got[i])
+	}
+	if IsBlockFrame([]byte(`["i","1"]` + "\n")) {
+		t.Fatal("JSONL misdetected as a binary frame")
+	}
+}
+
+// TestBinStringInterning pins the dictionary size win: a batch of
+// tasks repeating the same block paths and key strings must encode
+// far smaller than the concatenation of per-task frames.
+func TestBinStringInterning(t *testing.T) {
+	mk := func(i int) *Task {
+		return &Task{
+			Job: "job-with-a-reasonably-long-name", Task: "t", Kind: "map",
+			Op:    &OpSpec{Kind: "scan", Source: &SourceSpec{Wrap: "lineitem"}},
+			Block: "/tmp/dyno-spill/f000001/b0.blk",
+		}
+	}
+	one, err := EncodeTaskBatch([]*Task{mk(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneLen := len(one.Bytes())
+	one.Close()
+	tasks := make([]*Task, 32)
+	for i := range tasks {
+		tasks[i] = mk(i)
+	}
+	batch, err := EncodeTaskBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batch.Close()
+	if got, naive := len(batch.Bytes()), 32*oneLen; got*2 >= naive {
+		t.Fatalf("interning too weak: 32-task batch is %dB, 32 single frames %dB", got, naive)
+	}
+}

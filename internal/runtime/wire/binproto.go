@@ -1,0 +1,691 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"dyno/internal/data"
+)
+
+// Binary frames for the controller/worker protocol. A task batch is
+// one frame: magic, task count, then the tasks back to back sharing
+// the frame's string dictionary (job names, aliases, column names, and
+// repeated data strings are carried once per frame, not once per
+// task). The response frame mirrors it. Block mirror files use the
+// same codec with their own magic; readers sniff the first bytes, so
+// JSON-era block files keep working during a codec rollback.
+
+var (
+	magicTaskBatch = []byte("DYT1")
+	magicRespBatch = []byte("DYR1")
+	magicBlock     = []byte("DYB1")
+)
+
+// Codec names negotiated at worker registration.
+const (
+	CodecJSON   = "json"
+	CodecBinary = "bin"
+)
+
+// Frame is an encoded binary frame backed by a pooled buffer. Call
+// Close once the bytes have been written out.
+type Frame struct {
+	enc *benc
+}
+
+// Bytes returns the frame's encoded payload; valid until Close.
+func (f *Frame) Bytes() []byte { return f.enc.buf }
+
+// Close recycles the frame's buffer.
+func (f *Frame) Close() {
+	if f.enc != nil {
+		f.enc.release()
+		f.enc = nil
+	}
+}
+
+// Expression tags (binary form of ExprSpec.T).
+var exprTags = map[string]byte{
+	"col": 1, "lit": 2, "cmp": 3, "and": 4, "or": 5, "not": 6, "arith": 7, "call": 8,
+}
+
+var exprNames = func() map[byte]string {
+	m := make(map[byte]string, len(exprTags))
+	for n, t := range exprTags {
+		m[t] = n
+	}
+	return m
+}()
+
+// writeExpr writes a nilable expression spec.
+func (e *benc) writeExpr(s *ExprSpec) error {
+	if s == nil {
+		e.byte(0)
+		return nil
+	}
+	tag, ok := exprTags[s.T]
+	if !ok {
+		return fmt.Errorf("wire: unknown expression tag %q", s.T)
+	}
+	e.byte(tag)
+	switch s.T {
+	case "col":
+		e.str(s.P)
+	case "lit":
+		v, err := DecodeValue(s.V)
+		if err != nil {
+			return err
+		}
+		e.writeValue(v)
+	case "cmp", "arith":
+		e.str(s.Op)
+		if err := e.writeExpr(s.L); err != nil {
+			return err
+		}
+		return e.writeExpr(s.R)
+	case "and", "or":
+		e.uvarint(uint64(len(s.Xs)))
+		for _, x := range s.Xs {
+			if err := e.writeExpr(x); err != nil {
+				return err
+			}
+		}
+	case "not":
+		return e.writeExpr(s.X)
+	case "call":
+		e.str(s.Name)
+		e.uvarint(uint64(len(s.Args)))
+		for _, a := range s.Args {
+			if err := e.writeExpr(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *bdec) readExpr(depth int) (*ExprSpec, error) {
+	if depth > maxValueDepth {
+		return nil, fmt.Errorf("wire: expression nesting exceeds %d", maxValueDepth)
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if tag == 0 {
+		return nil, nil
+	}
+	name, ok := exprNames[tag]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown expression tag byte %d", tag)
+	}
+	s := &ExprSpec{T: name}
+	switch name {
+	case "col":
+		if s.P, err = d.str(); err != nil {
+			return nil, err
+		}
+	case "lit":
+		v, err := d.readValue(depth)
+		if err != nil {
+			return nil, err
+		}
+		s.V = EncodeValue(v)
+	case "cmp", "arith":
+		if s.Op, err = d.str(); err != nil {
+			return nil, err
+		}
+		if s.L, err = d.readExpr(depth + 1); err != nil {
+			return nil, err
+		}
+		if s.R, err = d.readExpr(depth + 1); err != nil {
+			return nil, err
+		}
+	case "and", "or":
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.rem()) {
+			return nil, errShortFrame
+		}
+		s.Xs = make([]*ExprSpec, n)
+		for i := range s.Xs {
+			if s.Xs[i], err = d.readExpr(depth + 1); err != nil {
+				return nil, err
+			}
+		}
+	case "not":
+		if s.X, err = d.readExpr(depth + 1); err != nil {
+			return nil, err
+		}
+	case "call":
+		if s.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.rem()) {
+			return nil, errShortFrame
+		}
+		s.Args = make([]*ExprSpec, n)
+		for i := range s.Args {
+			if s.Args[i], err = d.readExpr(depth + 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func (e *benc) writeStrs(ss []string) {
+	e.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+func (d *bdec) readStrs() ([]string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil // nil/empty distinction is not observable for string lists
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *benc) writeSource(s *SourceSpec) error {
+	if s == nil {
+		e.byte(0)
+		return nil
+	}
+	e.byte(1)
+	e.str(s.Wrap)
+	return e.writeExpr(s.Filter)
+}
+
+func (d *bdec) readSource() (*SourceSpec, error) {
+	present, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	s := &SourceSpec{}
+	if s.Wrap, err = d.str(); err != nil {
+		return nil, err
+	}
+	s.Filter, err = d.readExpr(0)
+	return s, err
+}
+
+// writeOp writes a nilable operator spec.
+func (e *benc) writeOp(op *OpSpec) error {
+	if op == nil {
+		e.byte(0)
+		return nil
+	}
+	e.byte(1)
+	e.str(op.Kind)
+	if err := e.writeSource(op.Source); err != nil {
+		return err
+	}
+	if err := e.writeSource(op.Left); err != nil {
+		return err
+	}
+	if err := e.writeSource(op.Right); err != nil {
+		return err
+	}
+	e.writeStrs(op.LeftKeys)
+	e.writeStrs(op.RightKeys)
+	if err := e.writeExpr(op.Residual); err != nil {
+		return err
+	}
+	e.uvarint(uint64(len(op.Steps)))
+	for _, st := range op.Steps {
+		e.str(st.Build)
+		e.writeStrs(st.Keys)
+		if err := e.writeExpr(st.Residual); err != nil {
+			return err
+		}
+	}
+	e.uvarint(uint64(len(op.Prune)))
+	for _, p := range op.Prune {
+		e.str(p.Alias)
+		e.writeStrs(p.Fields)
+	}
+	e.uvarint(uint64(len(op.GroupBy)))
+	for _, g := range op.GroupBy {
+		if err := e.writeExpr(g); err != nil {
+			return err
+		}
+	}
+	e.uvarint(uint64(len(op.Select)))
+	for _, it := range op.Select {
+		if err := e.writeExpr(it.Expr); err != nil {
+			return err
+		}
+		e.str(it.Agg)
+		e.bool(it.Star)
+		e.str(it.As)
+	}
+	e.bool(op.Combine)
+	return nil
+}
+
+func (d *bdec) readOp() (*OpSpec, error) {
+	present, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	op := &OpSpec{}
+	if op.Kind, err = d.str(); err != nil {
+		return nil, err
+	}
+	if op.Source, err = d.readSource(); err != nil {
+		return nil, err
+	}
+	if op.Left, err = d.readSource(); err != nil {
+		return nil, err
+	}
+	if op.Right, err = d.readSource(); err != nil {
+		return nil, err
+	}
+	if op.LeftKeys, err = d.readStrs(); err != nil {
+		return nil, err
+	}
+	if op.RightKeys, err = d.readStrs(); err != nil {
+		return nil, err
+	}
+	if op.Residual, err = d.readExpr(0); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	if n > 0 {
+		op.Steps = make([]ChainStep, n)
+		for i := range op.Steps {
+			if op.Steps[i].Build, err = d.str(); err != nil {
+				return nil, err
+			}
+			if op.Steps[i].Keys, err = d.readStrs(); err != nil {
+				return nil, err
+			}
+			if op.Steps[i].Residual, err = d.readExpr(0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if n, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	if n > 0 {
+		op.Prune = make([]PruneEntry, n)
+		for i := range op.Prune {
+			if op.Prune[i].Alias, err = d.str(); err != nil {
+				return nil, err
+			}
+			if op.Prune[i].Fields, err = d.readStrs(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if n, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	if n > 0 {
+		op.GroupBy = make([]*ExprSpec, n)
+		for i := range op.GroupBy {
+			if op.GroupBy[i], err = d.readExpr(0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if n, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	if n > 0 {
+		op.Select = make([]SelectItem, n)
+		for i := range op.Select {
+			if op.Select[i].Expr, err = d.readExpr(0); err != nil {
+				return nil, err
+			}
+			if op.Select[i].Agg, err = d.str(); err != nil {
+				return nil, err
+			}
+			if op.Select[i].Star, err = d.bool(); err != nil {
+				return nil, err
+			}
+			if op.Select[i].As, err = d.str(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	op.Combine, err = d.bool()
+	return op, err
+}
+
+func (e *benc) writeBuild(b *BuildRef) error {
+	e.str(b.Name)
+	e.str(b.Wrap)
+	if err := e.writeExpr(b.Filter); err != nil {
+		return err
+	}
+	e.writeStrs(b.Keys)
+	e.writeStrs(b.Blocks)
+	e.str(b.Version)
+	return nil
+}
+
+func (d *bdec) readBuild() (BuildRef, error) {
+	var b BuildRef
+	var err error
+	if b.Name, err = d.str(); err != nil {
+		return b, err
+	}
+	if b.Wrap, err = d.str(); err != nil {
+		return b, err
+	}
+	if b.Filter, err = d.readExpr(0); err != nil {
+		return b, err
+	}
+	if b.Keys, err = d.readStrs(); err != nil {
+		return b, err
+	}
+	if b.Blocks, err = d.readStrs(); err != nil {
+		return b, err
+	}
+	b.Version, err = d.str()
+	return b, err
+}
+
+// Task kind bytes.
+const (
+	kindMapByte    byte = 0
+	kindReduceByte byte = 1
+)
+
+func (e *benc) writeTask(t *Task) error {
+	var kb byte
+	switch t.Kind {
+	case "map":
+		kb = kindMapByte
+	case "reduce":
+		kb = kindReduceByte
+	default:
+		return fmt.Errorf("wire: unknown task kind %q", t.Kind)
+	}
+	e.str(t.Job)
+	e.str(t.Task)
+	e.byte(kb)
+	if err := e.writeOp(t.Op); err != nil {
+		return err
+	}
+	e.varint(int64(t.InputIdx))
+	e.str(t.Block)
+	e.varint(int64(t.NumReducers))
+	var flags byte
+	if t.HasReduce {
+		flags |= 1
+	}
+	if t.RunCombine {
+		flags |= 2
+	}
+	e.byte(flags)
+	e.uvarint(uint64(len(t.Builds)))
+	for i := range t.Builds {
+		if err := e.writeBuild(&t.Builds[i]); err != nil {
+			return err
+		}
+	}
+	e.varint(int64(t.Partition))
+	e.writeKVs(t.Pairs)
+	return nil
+}
+
+func (d *bdec) readTask() (*Task, error) {
+	t := &Task{}
+	var err error
+	if t.Job, err = d.str(); err != nil {
+		return nil, err
+	}
+	if t.Task, err = d.str(); err != nil {
+		return nil, err
+	}
+	kb, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch kb {
+	case kindMapByte:
+		t.Kind = "map"
+	case kindReduceByte:
+		t.Kind = "reduce"
+	default:
+		return nil, fmt.Errorf("wire: unknown task kind byte %d", kb)
+	}
+	if t.Op, err = d.readOp(); err != nil {
+		return nil, err
+	}
+	idx, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	t.InputIdx = int(idx)
+	if t.Block, err = d.str(); err != nil {
+		return nil, err
+	}
+	if idx, err = d.varint(); err != nil {
+		return nil, err
+	}
+	t.NumReducers = int(idx)
+	flags, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	t.HasReduce = flags&1 != 0
+	t.RunCombine = flags&2 != 0
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	if n > 0 {
+		t.Builds = make([]BuildRef, n)
+		for i := range t.Builds {
+			if t.Builds[i], err = d.readBuild(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if idx, err = d.varint(); err != nil {
+		return nil, err
+	}
+	t.Partition = int(idx)
+	t.Pairs, err = d.readKVs()
+	return t, err
+}
+
+func (e *benc) writeResult(r *TaskResult) {
+	e.str(r.Err)
+	e.f64(r.CPUMap)
+	e.f64(r.CPUTotal)
+	e.f64(r.CPUSeconds)
+	e.writeValueList(r.Rows)
+	e.uvarint(uint64(len(r.Pairs)))
+	for _, pairs := range r.Pairs {
+		e.writeKVs(pairs)
+	}
+}
+
+func (d *bdec) readResult() (*TaskResult, error) {
+	r := &TaskResult{}
+	var err error
+	if r.Err, err = d.str(); err != nil {
+		return nil, err
+	}
+	if r.CPUMap, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if r.CPUTotal, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if r.CPUSeconds, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if r.Rows, err = d.readValueList(); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	if n > 0 {
+		r.Pairs = make([][]KV, n)
+		for i := range r.Pairs {
+			if r.Pairs[i], err = d.readKVs(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// EncodeTaskBatch encodes a task batch as one binary frame sharing a
+// string dictionary across tasks. Close the frame after use.
+func EncodeTaskBatch(tasks []*Task) (*Frame, error) {
+	e := newBenc()
+	e.raw(magicTaskBatch)
+	e.uvarint(uint64(len(tasks)))
+	for _, t := range tasks {
+		if err := e.writeTask(t); err != nil {
+			e.release()
+			return nil, err
+		}
+	}
+	return &Frame{enc: e}, nil
+}
+
+// DecodeTaskBatch decodes a binary task batch frame.
+func DecodeTaskBatch(b []byte) ([]*Task, error) {
+	if !bytes.HasPrefix(b, magicTaskBatch) {
+		return nil, fmt.Errorf("wire: not a task batch frame")
+	}
+	d := newBdec(b[len(magicTaskBatch):])
+	defer d.release()
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	out := make([]*Task, n)
+	for i := range out {
+		if out[i], err = d.readTask(); err != nil {
+			return nil, fmt.Errorf("wire: task %d of %d: %w", i, n, err)
+		}
+	}
+	return out, nil
+}
+
+// EncodeResultBatch encodes a response batch frame. Close after use.
+func EncodeResultBatch(results []*TaskResult) *Frame {
+	e := newBenc()
+	e.raw(magicRespBatch)
+	e.uvarint(uint64(len(results)))
+	for _, r := range results {
+		e.writeResult(r)
+	}
+	return &Frame{enc: e}
+}
+
+// DecodeResultBatch decodes a response batch frame.
+func DecodeResultBatch(b []byte) ([]*TaskResult, error) {
+	if !bytes.HasPrefix(b, magicRespBatch) {
+		return nil, fmt.Errorf("wire: not a result batch frame")
+	}
+	d := newBdec(b[len(magicRespBatch):])
+	defer d.release()
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	out := make([]*TaskResult, n)
+	for i := range out {
+		if out[i], err = d.readResult(); err != nil {
+			return nil, fmt.Errorf("wire: result %d of %d: %w", i, n, err)
+		}
+	}
+	return out, nil
+}
+
+// EncodeBlock encodes a block's records as one binary frame.
+func EncodeBlock(recs []data.Value) *Frame {
+	e := newBenc()
+	e.raw(magicBlock)
+	e.writeValueList(recs)
+	return &Frame{enc: e}
+}
+
+// DecodeBlock decodes a binary block frame.
+func DecodeBlock(b []byte) ([]data.Value, error) {
+	if !bytes.HasPrefix(b, magicBlock) {
+		return nil, fmt.Errorf("wire: not a block frame")
+	}
+	d := newBdec(b[len(magicBlock):])
+	defer d.release()
+	return d.readValueList()
+}
+
+// IsBlockFrame sniffs a block file's leading bytes for the binary
+// magic; anything else is treated as wire-image JSONL (the PR 8
+// format), so mixed mirror directories decode fine during rollbacks.
+func IsBlockFrame(b []byte) bool { return bytes.HasPrefix(b, magicBlock) }
+
+// WriteBlockFileBin writes a block file in the binary frame format.
+func WriteBlockFileBin(path string, recs []data.Value) error {
+	f := EncodeBlock(recs)
+	defer f.Close()
+	return os.WriteFile(path, f.Bytes(), 0o644)
+}

@@ -1,0 +1,515 @@
+package wire
+
+import (
+	"fmt"
+
+	"dyno/internal/data"
+)
+
+// Columnar value encoding. A value list (a block's records, a
+// response's rows, one side of a KV batch) is written as a count plus
+// one column. Homogeneous scalar columns carry a null bitmap and a
+// packed payload (varint ints, 8-byte doubles, interned strings, bit
+// bools); lists of objects that share one field-name sequence recurse
+// column-wise with the names written once; anything else falls back to
+// per-value tagged encoding. All paths are exact: int64s survive via
+// zigzag varints, doubles via their IEEE bits (-0.0 and NaN included),
+// strings byte-for-byte (0x00 welcome), and object field order is the
+// stored sorted order — decode rebuilds data.Compare-equal values with
+// identical String() images.
+
+// Column kinds.
+const (
+	colGeneric byte = iota // per-value tagged encoding
+	colInt                 // null bitmap + zigzag varints
+	colDouble              // null bitmap + IEEE bits
+	colString              // null bitmap + interned strings
+	colBool                // null bitmap + value bitmap
+	colObject              // null bitmap + shared field names + field columns
+)
+
+// Generic value tags.
+const (
+	tagNull byte = iota
+	tagFalse
+	tagTrue
+	tagInt
+	tagDouble
+	tagString
+	tagArray
+	tagObject
+)
+
+// writeValueList writes a counted column of values.
+func (e *benc) writeValueList(vals []data.Value) {
+	e.uvarint(uint64(len(vals)))
+	e.writeColumn(vals)
+}
+
+// readValueList reads a counted column.
+func (d *bdec) readValueList() ([]data.Value, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Cheapest possible value is one bitmap bit (a null, or a bool in
+	// the packed bool column), so a valid column needs >= n/8 bytes.
+	if n > uint64(d.rem())*8 {
+		return nil, errShortFrame
+	}
+	return d.readColumn(int(n))
+}
+
+// columnKind picks the densest representation for the list: a scalar
+// kind when every non-null value shares it, colObject when every value
+// is an object with the identical field-name sequence (nulls allowed),
+// colGeneric otherwise.
+func columnKind(vals []data.Value) byte {
+	if len(vals) == 0 {
+		return colGeneric
+	}
+	kind := colGeneric
+	sawNonNull := false
+	var names []data.Field
+	for i := range vals {
+		v := &vals[i]
+		var k byte
+		switch v.Kind() {
+		case data.KindNull:
+			continue
+		case data.KindInt:
+			k = colInt
+		case data.KindDouble:
+			k = colDouble
+		case data.KindString:
+			k = colString
+		case data.KindBool:
+			k = colBool
+		case data.KindObject:
+			k = colObject
+		default:
+			return colGeneric
+		}
+		if !sawNonNull {
+			sawNonNull, kind = true, k
+			if k == colObject {
+				names = v.Fields()
+			}
+			continue
+		}
+		if k != kind {
+			return colGeneric
+		}
+		if k == colObject && !sameFieldNames(names, v.Fields()) {
+			return colGeneric
+		}
+	}
+	if !sawNonNull {
+		return colGeneric // all-null: tags are as small as a bitmap
+	}
+	return kind
+}
+
+func sameFieldNames(a, b []data.Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// writeNullBitmap writes one bit per value (1 = non-null).
+func (e *benc) writeNullBitmap(vals []data.Value) {
+	var cur byte
+	for i := range vals {
+		if vals[i].Kind() != data.KindNull {
+			cur |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			e.byte(cur)
+			cur = 0
+		}
+	}
+	if len(vals)&7 != 0 {
+		e.byte(cur)
+	}
+}
+
+// readNullBitmap returns the non-null flags for n values.
+func (d *bdec) readNullBitmap(n int) ([]byte, error) {
+	return d.take((n + 7) / 8)
+}
+
+func bitSet(bm []byte, i int) bool { return bm[i>>3]&(1<<(i&7)) != 0 }
+
+func (e *benc) writeColumn(vals []data.Value) {
+	kind := columnKind(vals)
+	e.byte(kind)
+	switch kind {
+	case colGeneric:
+		for i := range vals {
+			e.writeValue(vals[i])
+		}
+	case colInt:
+		e.writeNullBitmap(vals)
+		for i := range vals {
+			if vals[i].Kind() != data.KindNull {
+				e.varint(vals[i].Int())
+			}
+		}
+	case colDouble:
+		e.writeNullBitmap(vals)
+		for i := range vals {
+			if vals[i].Kind() != data.KindNull {
+				e.f64(vals[i].Float())
+			}
+		}
+	case colString:
+		e.writeNullBitmap(vals)
+		for i := range vals {
+			if vals[i].Kind() != data.KindNull {
+				e.str(vals[i].Str())
+			}
+		}
+	case colBool:
+		e.writeNullBitmap(vals)
+		var cur byte
+		nb := 0
+		for i := range vals {
+			if vals[i].Kind() == data.KindNull {
+				continue
+			}
+			if vals[i].Bool() {
+				cur |= 1 << (nb & 7)
+			}
+			if nb&7 == 7 {
+				e.byte(cur)
+				cur = 0
+			}
+			nb++
+		}
+		if nb&7 != 0 {
+			e.byte(cur)
+		}
+	case colObject:
+		e.writeNullBitmap(vals)
+		var first []data.Field
+		nonNull := 0
+		for i := range vals {
+			if vals[i].Kind() != data.KindNull {
+				if nonNull == 0 {
+					first = vals[i].Fields()
+				}
+				nonNull++
+			}
+		}
+		e.uvarint(uint64(len(first)))
+		for _, f := range first {
+			e.str(f.Name)
+		}
+		// One sub-column per field, over the non-null rows.
+		col := make([]data.Value, 0, nonNull)
+		for fi := range first {
+			col = col[:0]
+			for i := range vals {
+				if vals[i].Kind() != data.KindNull {
+					col = append(col, vals[i].Fields()[fi].Value)
+				}
+			}
+			e.writeColumn(col)
+		}
+	}
+}
+
+func (d *bdec) readColumn(n int) ([]data.Value, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]data.Value, n)
+	switch kind {
+	case colGeneric:
+		for i := 0; i < n; i++ {
+			if out[i], err = d.readValue(0); err != nil {
+				return nil, err
+			}
+		}
+	case colInt:
+		bm, err := d.readNullBitmap(n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if bitSet(bm, i) {
+				x, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				out[i] = data.Int(x)
+			}
+		}
+	case colDouble:
+		bm, err := d.readNullBitmap(n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if bitSet(bm, i) {
+				x, err := d.f64()
+				if err != nil {
+					return nil, err
+				}
+				out[i] = data.Double(x)
+			}
+		}
+	case colString:
+		bm, err := d.readNullBitmap(n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if bitSet(bm, i) {
+				s, err := d.str()
+				if err != nil {
+					return nil, err
+				}
+				out[i] = data.String(s)
+			}
+		}
+	case colBool:
+		bm, err := d.readNullBitmap(n)
+		if err != nil {
+			return nil, err
+		}
+		nonNull := 0
+		for i := 0; i < n; i++ {
+			if bitSet(bm, i) {
+				nonNull++
+			}
+		}
+		vb, err := d.take((nonNull + 7) / 8)
+		if err != nil {
+			return nil, err
+		}
+		nb := 0
+		for i := 0; i < n; i++ {
+			if bitSet(bm, i) {
+				out[i] = data.Bool(bitSet(vb, nb))
+				nb++
+			}
+		}
+	case colObject:
+		bm, err := d.readNullBitmap(n)
+		if err != nil {
+			return nil, err
+		}
+		nonNull := 0
+		for i := 0; i < n; i++ {
+			if bitSet(bm, i) {
+				nonNull++
+			}
+		}
+		nf, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nf > uint64(d.rem())+1 {
+			return nil, errShortFrame
+		}
+		names := make([]string, nf)
+		for i := range names {
+			if names[i], err = d.str(); err != nil {
+				return nil, err
+			}
+		}
+		cols := make([][]data.Value, nf)
+		for fi := range cols {
+			if cols[fi], err = d.readColumn(nonNull); err != nil {
+				return nil, err
+			}
+		}
+		// Reassemble rows; field order is the encoder's stored (sorted)
+		// order, so ObjectFromSorted rebuilds the identical layout.
+		row := 0
+		for i := 0; i < n; i++ {
+			if !bitSet(bm, i) {
+				continue
+			}
+			fields := make([]data.Field, nf)
+			for fi := range fields {
+				fields[fi] = data.Field{Name: names[fi], Value: cols[fi][row]}
+			}
+			out[i] = data.ObjectFromSorted(fields)
+			row++
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown column kind %d", kind)
+	}
+	return out, nil
+}
+
+// writeValue writes one tagged value (the generic row-wise form).
+func (e *benc) writeValue(v data.Value) {
+	switch v.Kind() {
+	case data.KindBool:
+		if v.Bool() {
+			e.byte(tagTrue)
+		} else {
+			e.byte(tagFalse)
+		}
+	case data.KindInt:
+		e.byte(tagInt)
+		e.varint(v.Int())
+	case data.KindDouble:
+		e.byte(tagDouble)
+		e.f64(v.Float())
+	case data.KindString:
+		e.byte(tagString)
+		e.str(v.Str())
+	case data.KindArray:
+		e.byte(tagArray)
+		elems := v.Elems()
+		e.uvarint(uint64(len(elems)))
+		for _, el := range elems {
+			e.writeValue(el)
+		}
+	case data.KindObject:
+		e.byte(tagObject)
+		fields := v.Fields()
+		e.uvarint(uint64(len(fields)))
+		for _, f := range fields {
+			e.str(f.Name)
+			e.writeValue(f.Value)
+		}
+	default:
+		e.byte(tagNull)
+	}
+}
+
+// maxValueDepth bounds nesting while decoding untrusted frames.
+const maxValueDepth = 512
+
+func (d *bdec) readValue(depth int) (data.Value, error) {
+	if depth > maxValueDepth {
+		return data.Null(), fmt.Errorf("wire: value nesting exceeds %d", maxValueDepth)
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return data.Null(), err
+	}
+	switch tag {
+	case tagNull:
+		return data.Null(), nil
+	case tagFalse:
+		return data.Bool(false), nil
+	case tagTrue:
+		return data.Bool(true), nil
+	case tagInt:
+		x, err := d.varint()
+		if err != nil {
+			return data.Null(), err
+		}
+		return data.Int(x), nil
+	case tagDouble:
+		x, err := d.f64()
+		if err != nil {
+			return data.Null(), err
+		}
+		return data.Double(x), nil
+	case tagString:
+		s, err := d.str()
+		if err != nil {
+			return data.Null(), err
+		}
+		return data.String(s), nil
+	case tagArray:
+		n, err := d.uvarint()
+		if err != nil {
+			return data.Null(), err
+		}
+		if n > uint64(d.rem()) {
+			return data.Null(), errShortFrame
+		}
+		elems := make([]data.Value, n)
+		for i := range elems {
+			if elems[i], err = d.readValue(depth + 1); err != nil {
+				return data.Null(), err
+			}
+		}
+		return data.Array(elems...), nil
+	case tagObject:
+		n, err := d.uvarint()
+		if err != nil {
+			return data.Null(), err
+		}
+		if n > uint64(d.rem()) {
+			return data.Null(), errShortFrame
+		}
+		fields := make([]data.Field, n)
+		for i := range fields {
+			if fields[i].Name, err = d.str(); err != nil {
+				return data.Null(), err
+			}
+			if fields[i].Value, err = d.readValue(depth + 1); err != nil {
+				return data.Null(), err
+			}
+		}
+		return data.ObjectFromSorted(fields), nil
+	default:
+		return data.Null(), fmt.Errorf("wire: unknown value tag %d", tag)
+	}
+}
+
+// writeKVs writes one KV batch: keys, tags, and records each as a
+// column over the batch.
+func (e *benc) writeKVs(pairs []KV) {
+	e.uvarint(uint64(len(pairs)))
+	if len(pairs) == 0 {
+		return
+	}
+	keys := make([]data.Value, len(pairs))
+	recs := make([]data.Value, len(pairs))
+	for i, kv := range pairs {
+		keys[i], recs[i] = kv.Key, kv.Rec
+	}
+	e.writeColumn(keys)
+	for i := range pairs {
+		e.str(pairs[i].Tag)
+	}
+	e.writeColumn(recs)
+}
+
+func (d *bdec) readKVs() ([]KV, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(d.rem()) {
+		return nil, errShortFrame
+	}
+	keys, err := d.readColumn(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, n)
+	for i := range out {
+		if out[i].Tag, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	recs, err := d.readColumn(int(n))
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].Key, out[i].Rec = keys[i], recs[i]
+	}
+	return out, nil
+}

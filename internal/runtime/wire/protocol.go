@@ -1,16 +1,53 @@
 package wire
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"dyno/internal/data"
+)
 
 // The controller/worker HTTP protocol. Workers register with the
-// controller and heartbeat; the controller POSTs TaskRequests to a
-// worker's /task endpoint and reads a TaskResponse. All payloads are
-// JSON; values and expressions travel in their wire images.
+// controller and heartbeat; the controller dispatches tasks either as
+// single JSON TaskRequests to /task (the PR 8 data plane, kept as the
+// fallback arm) or as per-worker batches to /tasks, where the payload
+// is the codec negotiated at registration: the binary frame codec
+// (Content-Type ContentTypeBinary) or JSON (TaskBatchRequest). Values
+// and expressions travel in wire images on the JSON arm and in binary
+// frames on the binary arm; both decode to data.Compare-equal values.
+
+// ContentTypeBinary marks a binary-frame request or response body.
+const ContentTypeBinary = "application/x-dyno-frame"
+
+// Caps is what a worker can speak, announced at registration. The
+// zero value means the PR 8 data plane: JSON, one task per POST.
+type Caps struct {
+	// Codecs lists supported payload codecs in preference order
+	// ("bin", "json"). Empty means JSON only.
+	Codecs []string `json:"codecs,omitempty"`
+	// Batch reports support for the batched /tasks endpoint.
+	Batch bool `json:"batch,omitempty"`
+}
+
+// Supports reports whether the capability set includes a codec.
+func (c Caps) Supports(codec string) bool {
+	if codec == CodecJSON {
+		return true // every worker speaks JSON
+	}
+	for _, s := range c.Codecs {
+		if s == codec {
+			return true
+		}
+	}
+	return false
+}
 
 // RegisterRequest announces a worker to the controller.
 type RegisterRequest struct {
 	// URL is the worker's base URL (e.g. http://127.0.0.1:9001).
 	URL string `json:"url"`
+	// Caps advertises the worker's codec and batching support; the
+	// controller picks and answers with its choice.
+	Caps Caps `json:"caps,omitempty"`
 }
 
 // RegisterResponse configures the worker. UDF carries the
@@ -20,6 +57,12 @@ type RegisterResponse struct {
 	ID              int             `json:"id"`
 	HeartbeatMillis int             `json:"heartbeatMillis"`
 	UDF             json.RawMessage `json:"udf,omitempty"`
+	// Codec is the controller's pick for this worker ("json" when
+	// absent). Workers answer each request in the codec it arrived
+	// in, so this is informational.
+	Codec string `json:"codec,omitempty"`
+	// Batch reports whether the controller will use /tasks.
+	Batch bool `json:"batch,omitempty"`
 }
 
 // HeartbeatRequest keeps a registration alive.
@@ -102,4 +145,132 @@ type TaskResponse struct {
 	CPUTotal   float64     `json:"cpuTotal,omitempty"`
 	CPUSeconds float64     `json:"cpuSeconds,omitempty"`
 	Err        string      `json:"err,omitempty"`
+}
+
+// TaskBatchRequest is the JSON form of a batched /tasks dispatch.
+type TaskBatchRequest struct {
+	Tasks []*TaskRequest `json:"tasks"`
+}
+
+// TaskBatchResponse answers a JSON batch, one result per task in
+// order.
+type TaskBatchResponse struct {
+	Results []*TaskResponse `json:"results"`
+}
+
+// Task is the codec-neutral form of one dispatched task: values stay
+// native data.Values, and the codec layer (JSON images or binary
+// frames) converts at the wire boundary only.
+type Task struct {
+	Job  string
+	Task string
+	Kind string // "map" | "reduce"
+	Op   *OpSpec
+
+	// Map tasks.
+	InputIdx    int
+	Block       string
+	NumReducers int
+	HasReduce   bool
+	RunCombine  bool
+	Builds      []BuildRef
+
+	// Reduce tasks.
+	Partition int
+	Pairs     []KV
+}
+
+// TaskResult is the codec-neutral form of a task's output.
+type TaskResult struct {
+	Rows       []data.Value
+	Pairs      [][]KV
+	CPUMap     float64
+	CPUTotal   float64
+	CPUSeconds float64
+	Err        string
+}
+
+// Request converts to the JSON wire form (byte-identical to the PR 8
+// protocol).
+func (t *Task) Request() *TaskRequest {
+	return &TaskRequest{
+		Job:         t.Job,
+		Task:        t.Task,
+		Kind:        t.Kind,
+		Op:          t.Op,
+		InputIdx:    t.InputIdx,
+		Block:       t.Block,
+		NumReducers: t.NumReducers,
+		HasReduce:   t.HasReduce,
+		RunCombine:  t.RunCombine,
+		Builds:      t.Builds,
+		Partition:   t.Partition,
+		Pairs:       EncodeKVs(t.Pairs),
+	}
+}
+
+// TaskFromRequest decodes the JSON wire form back to the neutral one.
+func TaskFromRequest(req *TaskRequest) (*Task, error) {
+	pairs, err := DecodeKVs(req.Pairs)
+	if err != nil {
+		return nil, err
+	}
+	return &Task{
+		Job:         req.Job,
+		Task:        req.Task,
+		Kind:        req.Kind,
+		Op:          req.Op,
+		InputIdx:    req.InputIdx,
+		Block:       req.Block,
+		NumReducers: req.NumReducers,
+		HasReduce:   req.HasReduce,
+		RunCombine:  req.RunCombine,
+		Builds:      req.Builds,
+		Partition:   req.Partition,
+		Pairs:       pairs,
+	}, nil
+}
+
+// Response converts to the JSON wire form.
+func (r *TaskResult) Response() *TaskResponse {
+	resp := &TaskResponse{CPUMap: r.CPUMap, CPUTotal: r.CPUTotal, CPUSeconds: r.CPUSeconds, Err: r.Err}
+	if len(r.Rows) > 0 {
+		resp.Rows = make([]any, len(r.Rows))
+		for i, row := range r.Rows {
+			resp.Rows[i] = EncodeValue(row)
+		}
+	}
+	if len(r.Pairs) > 0 {
+		resp.Pairs = make([][]KVImage, len(r.Pairs))
+		for p, pairs := range r.Pairs {
+			resp.Pairs[p] = EncodeKVs(pairs)
+		}
+	}
+	return resp
+}
+
+// ResultFromResponse decodes the JSON wire form back.
+func ResultFromResponse(resp *TaskResponse) (*TaskResult, error) {
+	r := &TaskResult{CPUMap: resp.CPUMap, CPUTotal: resp.CPUTotal, CPUSeconds: resp.CPUSeconds, Err: resp.Err}
+	if len(resp.Rows) > 0 {
+		r.Rows = make([]data.Value, len(resp.Rows))
+		for i, img := range resp.Rows {
+			v, err := DecodeValue(img)
+			if err != nil {
+				return nil, err
+			}
+			r.Rows[i] = v
+		}
+	}
+	if len(resp.Pairs) > 0 {
+		r.Pairs = make([][]KV, len(resp.Pairs))
+		for p, imgs := range resp.Pairs {
+			kvs, err := DecodeKVs(imgs)
+			if err != nil {
+				return nil, err
+			}
+			r.Pairs[p] = kvs
+		}
+	}
+	return r, nil
 }

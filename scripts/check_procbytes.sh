@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Proc dispatch-plane regression guard: reads a BENCH_proc.json report
+# (dynobench -exp procbench) and fails if the binary batched plane has
+# lost its committed edge over the JSON per-task baseline — >=3x fewer
+# dispatch bytes and >=2x fewer RPCs on the 2-worker TPC-H workload at
+# the default scale. Task counts must also agree across arms: the wire
+# plane must never change how much work runs, only how it travels.
+#
+# Usage: scripts/check_procbytes.sh [BENCH_proc.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+report="${1:-BENCH_proc.json}"
+min_byte_reduction=3.0
+min_rpc_reduction=2.0
+
+if [[ ! -f "$report" ]]; then
+    echo "check_procbytes: $report not found (run: go run ./cmd/dynobench -exp procbench -procbenchout $report)" >&2
+    exit 1
+fi
+
+bytes=$(jq -r '.byteReduction' "$report")
+rpcs=$(jq -r '.rpcReduction' "$report")
+distinct_tasks=$(jq -r '[.arms[].tasks] | unique | length' "$report")
+
+fail=0
+if [[ "$distinct_tasks" != 1 ]]; then
+    echo "check_procbytes: task counts differ across arms: $(jq -c '[.arms[] | {name, tasks}]' "$report")" >&2
+    fail=1
+fi
+if ! awk -v got="$bytes" -v min="$min_byte_reduction" 'BEGIN { exit !(got >= min) }'; then
+    echo "check_procbytes: dispatch byte reduction ${bytes}x is below the ${min_byte_reduction}x floor" >&2
+    fail=1
+else
+    echo "check_procbytes: byte reduction ${bytes}x (floor ${min_byte_reduction}x) ok"
+fi
+if ! awk -v got="$rpcs" -v min="$min_rpc_reduction" 'BEGIN { exit !(got >= min) }'; then
+    echo "check_procbytes: RPC reduction ${rpcs}x is below the ${min_rpc_reduction}x floor" >&2
+    fail=1
+else
+    echo "check_procbytes: RPC reduction ${rpcs}x (floor ${min_rpc_reduction}x) ok"
+fi
+
+jq -r '.arms[] | "check_procbytes: arm \(.name): \(.rpcs) rpcs, \(.tasks) tasks, \(.bytesOut + .bytesIn) dispatch bytes (\(.bytesPerTask | floor) B/task)"' "$report"
+exit $fail
