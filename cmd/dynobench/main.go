@@ -33,13 +33,13 @@ func main() {
 
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, optbench, procbench, load, all (comma-separated; load is not part of all)")
-		scale      = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
-		seed       = flag.Int64("seed", 2014, "data generation seed")
-		faultsOut  = flag.String("faultsout", "BENCH_faults.json", "file for the faults experiment's raw sweep points (JSON)")
-		serviceOut = flag.String("serviceout", "BENCH_service.json", "file for the service experiment's report (JSON)")
-		svcClients = flag.Int("service-clients", 4, "concurrent clients for the service experiment")
-		svcQueries = flag.Int("service-queries", 3, "queries per client for the service experiment")
+		exp         = flag.String("exp", "all", "experiments to run: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, faults, ablations, service, optbench, procbench, load, all (comma-separated; load is not part of all)")
+		scale       = flag.Float64("scale", 0.25, "row-count multiplier (virtual data volume stays at SF x 1 GB)")
+		seed        = flag.Int64("seed", 2014, "data generation seed")
+		faultsOut   = flag.String("faultsout", "BENCH_faults.json", "file for the faults experiment's raw sweep points (JSON)")
+		serviceOut  = flag.String("serviceout", "BENCH_service.json", "file for the service experiment's report (JSON)")
+		svcClients  = flag.Int("service-clients", 4, "concurrent clients for the service experiment")
+		svcQueries  = flag.Int("service-queries", 3, "queries per client for the service experiment")
 		loadOut     = flag.String("loadout", "BENCH_load.json", "file for the load experiment's saturation curves (JSON)")
 		loadClients = flag.String("load-clients", "1,4,16,64,256,1024", "comma-separated client-count sweep for the load experiment")
 		loadShards  = flag.String("load-shards", "1,4", "comma-separated shard counts to compare in the load experiment")
@@ -198,11 +198,13 @@ func run() int {
 		fmt.Printf("proc dispatch bench (GOMAXPROCS=%d, %d workers, parallelism %d, queries %v)\n",
 			rep.GOMAXPROCS, rep.Workers, rep.Parallelism, rep.Queries)
 		for _, arm := range rep.Arms {
-			fmt.Printf("  %-12s codec=%-4s batched=%-5v  %6d rpcs  %6d tasks  %9d B out  %9d B in  %7.0f B/task  wall %.2fs\n",
-				arm.Name, arm.Codec, arm.Batched, arm.RPCs, arm.Tasks, arm.BytesOut, arm.BytesIn, arm.BytesPerTask, arm.WallSec)
+			fmt.Printf("  %-12s codec=%-4s batched=%-5v peer=%-5v  %6d rpcs  %6d tasks  %9d B out  %9d B in  %7.0f B/task  %9d B ctl-shuf  %9d B peer-shuf  wall %.2fs\n",
+				arm.Name, arm.Codec, arm.Batched, arm.PeerShuffle, arm.RPCs, arm.Tasks, arm.BytesOut, arm.BytesIn, arm.BytesPerTask, arm.CtlShuffleBytes, arm.PeerShuffleBytes, arm.WallSec)
 		}
 		fmt.Printf("  binary batched vs json per-task: %.1fx fewer dispatch bytes, %.1fx fewer RPCs\n",
 			rep.ByteReduction, rep.RPCReduction)
+		fmt.Printf("  peer shuffle vs controller shuffle: %.1fx fewer controller-side shuffle bytes\n",
+			rep.CtlShuffleReduction)
 		if *procOut != "" {
 			if err := writeJSON(*procOut, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "dynobench: procbench: %v\n", err)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,8 +55,13 @@ func main() {
 		workerWait  = flag.Duration("worker-wait", 60*time.Second, "proc backend: how long to wait for -min-workers")
 		procCodec   = flag.String("proc-codec", "", "proc backend: wire codec kill-switch (json forces the PR 8 JSON plane; empty negotiates binary)")
 		procNoBatch = flag.Bool("proc-no-batch", false, "proc backend: disable wave-batched dispatch (one RPC per task)")
+		procNoPeer  = flag.Bool("proc-no-peer", false, "proc backend: disable worker-to-worker shuffle (map outputs round-trip through the controller)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	cfg := server.DefaultConfig()
 	cfg.SF = *sf
@@ -79,10 +85,11 @@ func main() {
 	case "proc":
 		var err error
 		fleet, err = procruntime.NewFleet(procruntime.Config{
-			Addr:         *ctrlAddr,
-			Codec:        *procCodec,
-			DisableBatch: *procNoBatch,
-			Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			Addr:               *ctrlAddr,
+			Codec:              *procCodec,
+			DisableBatch:       *procNoBatch,
+			DisablePeerShuffle: *procNoPeer,
+			Logf:               func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 		})
 		if err != nil {
 			fail(err)
@@ -139,6 +146,16 @@ func main() {
 		if err != nil && err != http.ErrServerClosed {
 			fail(err)
 		}
+	}
+}
+
+// servePprof exposes the default mux's net/http/pprof handlers on a
+// dedicated listener, kept off the query-serving port so profiling
+// can never interfere with admission control.
+func servePprof(addr string) {
+	fmt.Printf("dynod: pprof on http://%s/debug/pprof/\n", addr)
+	if err := http.ListenAndServe(addr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dynod: pprof:", err)
 	}
 }
 

@@ -51,6 +51,7 @@ func main() {
 		workerWait  = flag.Duration("worker-wait", 60*time.Second, "proc backend: how long to wait for -min-workers")
 		procCodec   = flag.String("proc-codec", "", "proc backend: wire codec kill-switch (json forces the PR 8 JSON plane; empty negotiates binary)")
 		procNoBatch = flag.Bool("proc-no-batch", false, "proc backend: disable wave-batched dispatch (one RPC per task)")
+		procNoPeer  = flag.Bool("proc-no-peer", false, "proc backend: disable worker-to-worker shuffle (map outputs round-trip through the controller)")
 	)
 	flag.Parse()
 
@@ -73,15 +74,17 @@ func main() {
 
 	ccfg := cluster.DefaultConfig()
 	var rt runtime.Runtime
+	var procFleet *procruntime.Fleet
 	switch *runtimeName {
 	case "sim":
 		rt = simruntime.New(ccfg)
 	case "proc":
 		fleet, err := procruntime.NewFleet(procruntime.Config{
-			Addr:         *ctrlAddr,
-			Codec:        *procCodec,
-			DisableBatch: *procNoBatch,
-			Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			Addr:               *ctrlAddr,
+			Codec:              *procCodec,
+			DisableBatch:       *procNoBatch,
+			DisablePeerShuffle: *procNoPeer,
+			Logf:               func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 		})
 		if err != nil {
 			fail(err)
@@ -95,6 +98,7 @@ func main() {
 			}
 		}
 		rt = procruntime.New(fleet, ccfg)
+		procFleet = fleet
 	default:
 		usage(fmt.Sprintf("unknown -runtime %q (sim | proc)", *runtimeName))
 	}
@@ -156,6 +160,12 @@ func main() {
 	fmt.Printf("\ntotal %.1fs virtual  (pilot %.1fs, optimize %.2fs, %d jobs: %d map-only, %d map-reduce, %d switched, %d plan changes)\n",
 		res.TotalSec, res.PilotSec, res.OptimizeSec, res.Jobs, res.MapOnlyJobs, res.MapReduceJobs, res.SwitchedJobs, res.PlanChanges)
 	fmt.Printf("\n%d result rows:\n%s", len(res.Rows), jaql.FormatRows(res.Rows, *maxRows))
+	if procFleet != nil {
+		// Stderr, not stdout: CI byte-diffs stdout against the sim run.
+		st := procFleet.WireStats()
+		fmt.Fprintf(os.Stderr, "dynoql: wire stats rpcs=%d tasks=%d bytesOut=%d bytesIn=%d ctlShuffleBytes=%d peerShuffleBytes=%d peerFetches=%d\n",
+			st.RPCs, st.Tasks, st.BytesOut, st.BytesIn, st.CtlShuffleBytes, st.PeerShuffleBytes, st.PeerFetches)
+	}
 }
 
 func profileName(hive bool) string {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,10 +37,18 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
 		advertise  = flag.String("advertise", "", "URL the controller should dial back (default derived from the listen address)")
 		regTimeout = flag.Duration("register-timeout", 30*time.Second, "how long to keep retrying registration")
+		blockMB    = flag.Int("block-cache-mb", 256, "mirrored-block cache bound in MB")
+		tableN     = flag.Int("table-cache", 64, "built broadcast-table cache bound in entries")
+		shuffleMB  = flag.Int("shuffle-cache-mb", 256, "retained shuffle registry bound in MB")
+		noPeer     = flag.Bool("no-peer", false, "do not announce peer-shuffle capability (map outputs round-trip through the controller)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	if *controller == "" {
 		fail(fmt.Errorf("-controller is required"))
+	}
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -54,7 +63,7 @@ func main() {
 	// Register (with retry: the controller may still be coming up),
 	// then build the expression registry from the controller's UDF
 	// parameters so both sides evaluate identically.
-	resp, err := register(*controller, selfURL, *regTimeout)
+	resp, err := register(*controller, selfURL, *regTimeout, !*noPeer)
 	if err != nil {
 		fail(err)
 	}
@@ -66,7 +75,11 @@ func main() {
 	}
 	reg := expr.NewRegistry()
 	tpch.RegisterUDFs(reg, udf)
-	w := procruntime.NewWorker(reg)
+	w := procruntime.NewWorkerCfg(reg, procruntime.WorkerConfig{
+		BlockCacheMB:   *blockMB,
+		TableCacheSize: *tableN,
+		ShuffleCacheMB: *shuffleMB,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -84,14 +97,14 @@ func main() {
 	if codec == "" {
 		codec = wire.CodecJSON // pre-negotiation controller
 	}
-	fmt.Printf("dynoworker: id=%d listening on %s (controller %s, codec=%s batch=%v)\n",
-		resp.ID, ln.Addr(), *controller, codec, resp.Batch)
+	fmt.Printf("dynoworker: id=%d listening on %s (controller %s, codec=%s batch=%v peer=%v)\n",
+		resp.ID, ln.Addr(), *controller, codec, resp.Batch, resp.Peer)
 
 	hb := time.Duration(resp.HeartbeatMillis) * time.Millisecond
 	if hb <= 0 {
 		hb = time.Second
 	}
-	go heartbeat(ctx, *controller, selfURL, resp.ID, hb)
+	go heartbeat(ctx, *controller, selfURL, resp.ID, hb, !*noPeer)
 
 	select {
 	case <-ctx.Done():
@@ -116,14 +129,15 @@ var ctlClient = &http.Client{Timeout: 10 * time.Second}
 
 // register announces the worker to the controller, retrying until the
 // deadline (the controller may start after its workers). The worker
-// advertises the binary codec and batched dispatch; the controller
-// answers with its pick (its kill-switches may force JSON or per-task
-// POSTs), and each request is answered in the codec it arrived in, so
-// no further negotiation state is needed here.
-func register(controller, selfURL string, timeout time.Duration) (*wire.RegisterResponse, error) {
+// advertises the binary codec, batched dispatch, and (unless -no-peer)
+// peer shuffle; the controller answers with its pick (its
+// kill-switches may force JSON, per-task POSTs, or controller-side
+// shuffle), and each request is answered in the codec it arrived in,
+// so no further negotiation state is needed here.
+func register(controller, selfURL string, timeout time.Duration, peer bool) (*wire.RegisterResponse, error) {
 	payload, err := json.Marshal(wire.RegisterRequest{
 		URL:  selfURL,
-		Caps: wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true},
+		Caps: wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true, PeerShuffle: peer},
 	})
 	if err != nil {
 		return nil, err
@@ -155,7 +169,7 @@ func register(controller, selfURL string, timeout time.Duration) (*wire.Register
 
 // heartbeat reports liveness until the context ends. A Gone response
 // means the controller no longer knows us (restart); re-register.
-func heartbeat(ctx context.Context, controller, selfURL string, id int, every time.Duration) {
+func heartbeat(ctx context.Context, controller, selfURL string, id int, every time.Duration, peer bool) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	payload, _ := json.Marshal(wire.HeartbeatRequest{ID: id})
@@ -173,8 +187,18 @@ func heartbeat(ctx context.Context, controller, selfURL string, id int, every ti
 		if resp.StatusCode == http.StatusGone {
 			// Controller restarted: re-register under the same URL (it
 			// re-keys workers by URL, so the id stays stable).
-			register(controller, selfURL, 2*time.Second)
+			register(controller, selfURL, 2*time.Second, peer)
 		}
+	}
+}
+
+// servePprof exposes the default mux's net/http/pprof handlers on a
+// dedicated listener, kept off the worker's task port so profiling
+// can never interfere with dispatch.
+func servePprof(addr string) {
+	fmt.Printf("dynoworker: pprof on http://%s/debug/pprof/\n", addr)
+	if err := http.ListenAndServe(addr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dynoworker: pprof:", err)
 	}
 }
 

@@ -18,18 +18,21 @@ import (
 
 // ProcBench measures the proc backend's dispatch plane: the same
 // TPC-H workload runs on a real worker fleet (in-process HTTP
-// servers, the handler cmd/dynoworker serves) under three wire
-// configurations — the PR 8 JSON per-task POSTs, JSON batched, and
-// binary batched — and reports RPC counts, payload bytes, and wall
-// time per arm. Virtual timelines must match across arms exactly (the
-// wire plane must be invisible to the simulated accounting); ProcBench
-// errors out if they diverge.
+// servers, the handler cmd/dynoworker serves) under four wire
+// configurations — the PR 8 JSON per-task POSTs, JSON batched, binary
+// batched (controller shuffle), and binary batched with
+// worker-to-worker shuffle — and reports RPC counts, payload bytes
+// (split controller vs peer), and wall time per arm. Virtual
+// timelines must match across arms exactly (the wire plane must be
+// invisible to the simulated accounting); ProcBench errors out if
+// they diverge.
 
 // ProcBenchArm is one dispatch-plane configuration's measurement.
 type ProcBenchArm struct {
-	Name    string `json:"name"`
-	Codec   string `json:"codec"`
-	Batched bool   `json:"batched"`
+	Name        string `json:"name"`
+	Codec       string `json:"codec"`
+	Batched     bool   `json:"batched"`
+	PeerShuffle bool   `json:"peerShuffle"`
 
 	WallSec      float64 `json:"wallSec"`
 	RPCs         int64   `json:"rpcs"`
@@ -38,6 +41,12 @@ type ProcBenchArm struct {
 	BytesIn      int64   `json:"bytesIn"`
 	BytesPerTask float64 `json:"bytesPerTask"` // (out+in)/tasks
 	VirtualSec   float64 `json:"virtualSec"`   // summed simulated time, identical across arms
+
+	// Byte split: shuffle pairs riding the controller dispatch plane
+	// vs fetched worker-to-worker.
+	CtlShuffleBytes  int64 `json:"ctlShuffleBytes"`
+	PeerShuffleBytes int64 `json:"peerShuffleBytes"`
+	PeerFetches      int64 `json:"peerFetches"`
 }
 
 // ProcBenchReport is the procbench experiment's JSON report
@@ -52,9 +61,12 @@ type ProcBenchReport struct {
 
 	Arms []ProcBenchArm `json:"arms"`
 
-	// Headline ratios: binary+batched vs the JSON per-task plane.
-	ByteReduction float64 `json:"byteReduction"` // dispatch bytes, x smaller
-	RPCReduction  float64 `json:"rpcReduction"`  // HTTP round-trips, x fewer
+	// Headline ratios: binary+batched vs the JSON per-task plane, and
+	// controller-side shuffle bytes peer vs no-peer on the binary
+	// batched plane.
+	ByteReduction       float64 `json:"byteReduction"`       // dispatch bytes, x smaller
+	RPCReduction        float64 `json:"rpcReduction"`        // HTTP round-trips, x fewer
+	CtlShuffleReduction float64 `json:"ctlShuffleReduction"` // controller shuffle bytes, x smaller with peer shuffle
 }
 
 // procBenchWorkers is the benchmark fleet size; Parallelism stays
@@ -69,12 +81,13 @@ var procBenchArms = []struct {
 	name string
 	cfg  procruntime.Config
 }{
-	{"json_pertask", procruntime.Config{Codec: wire.CodecJSON, DisableBatch: true}},
-	{"json_batched", procruntime.Config{Codec: wire.CodecJSON}},
-	{"bin_batched", procruntime.Config{}},
+	{"json_pertask", procruntime.Config{Codec: wire.CodecJSON, DisableBatch: true, DisablePeerShuffle: true}},
+	{"json_batched", procruntime.Config{Codec: wire.CodecJSON, DisablePeerShuffle: true}},
+	{"bin_batched", procruntime.Config{DisablePeerShuffle: true}},
+	{"bin_peer", procruntime.Config{}},
 }
 
-// ProcBench runs the three-arm dispatch-plane benchmark.
+// ProcBench runs the four-arm dispatch-plane benchmark.
 func ProcBench(cfg Config) (*ProcBenchReport, error) {
 	cfg = cfg.normalized()
 	queries := tpch.QueryNames
@@ -100,10 +113,27 @@ func ProcBench(cfg Config) (*ProcBenchReport, error) {
 				rep.Arms[0].Name, rep.Arms[0].VirtualSec, arm.Name, arm.VirtualSec)
 		}
 	}
-	base, bin := rep.Arms[0], rep.Arms[len(rep.Arms)-1]
+	base := rep.arm("json_pertask")
+	bin := rep.arm("bin_batched")
+	peer := rep.arm("bin_peer")
 	rep.ByteReduction = ratio(float64(base.BytesOut+base.BytesIn), float64(bin.BytesOut+bin.BytesIn))
 	rep.RPCReduction = ratio(float64(base.RPCs), float64(bin.RPCs))
+	// Not ratio(): the peer arm's controller shuffle bytes are expected
+	// to reach zero, and ratio() maps a zero denominator to 0 — the
+	// opposite of the improvement it represents.
+	rep.CtlShuffleReduction = float64(bin.CtlShuffleBytes) / float64(max(peer.CtlShuffleBytes, 1))
 	return rep, nil
+}
+
+// arm returns the named arm's measurement; procBenchArms is fixed, so
+// a miss is a programming error.
+func (r *ProcBenchReport) arm(name string) *ProcBenchArm {
+	for i := range r.Arms {
+		if r.Arms[i].Name == name {
+			return &r.Arms[i]
+		}
+	}
+	panic("procbench: unknown arm " + name)
 }
 
 // runProcArm executes the workload once under one fleet configuration
@@ -121,7 +151,7 @@ func runProcArm(cfg Config, pcfg procruntime.Config, queries []string) (*ProcBen
 			s.Close()
 		}
 	}()
-	caps := wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true}
+	caps := wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true, PeerShuffle: true}
 	for i := 0; i < procBenchWorkers; i++ {
 		reg := expr.NewRegistry()
 		tpch.RegisterUDFs(reg, cfg.UDF)
@@ -148,6 +178,7 @@ func runProcArm(cfg Config, pcfg procruntime.Config, queries []string) (*ProcBen
 		arm.Codec = wire.CodecJSON
 	}
 	arm.Batched = !pcfg.DisableBatch
+	arm.PeerShuffle = !pcfg.DisablePeerShuffle
 
 	start := time.Now()
 	for _, query := range queries {
@@ -176,5 +207,8 @@ func runProcArm(cfg Config, pcfg procruntime.Config, queries []string) (*ProcBen
 	arm.RPCs, arm.Tasks = st.RPCs, st.Tasks
 	arm.BytesOut, arm.BytesIn = st.BytesOut, st.BytesIn
 	arm.BytesPerTask = ratio(float64(st.BytesOut+st.BytesIn), float64(st.Tasks))
+	arm.CtlShuffleBytes = st.CtlShuffleBytes
+	arm.PeerShuffleBytes = st.PeerShuffleBytes
+	arm.PeerFetches = st.PeerFetches
 	return arm, nil
 }

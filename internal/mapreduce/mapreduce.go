@@ -539,12 +539,17 @@ type kvPair struct {
 }
 
 type mapTaskState struct {
-	inputIdx  int
-	splitIdx  int
-	seq       int // submission order, for deterministic output assembly
-	outRows   []data.Value
-	buckets   [][]kvPair
-	collector *stats.Collector
+	inputIdx int
+	splitIdx int
+	seq      int // submission order, for deterministic output assembly
+	outRows  []data.Value
+	buckets  [][]kvPair
+	// shuffle, when non-nil, is the executor's handle to this task's
+	// output retained away from the controller; shuffleParts carries
+	// the per-partition digests that stand in for buckets.
+	shuffle      any
+	shuffleParts []ShufflePart
+	collector    *stats.Collector
 }
 
 type reduceTaskState struct {
@@ -1127,6 +1132,12 @@ func (j *Job) finish(sub *cluster.Submission) {
 	res.OutputVirtual = res.Output.Size()
 	if len(parts) > 0 {
 		res.Stats = stats.MergePartials(parts)
+	}
+	// Intermediate shuffle state held outside the controller is dead
+	// once the output file exists; tell a retaining executor so worker
+	// disks don't accumulate retired jobs.
+	if r, ok := j.env.Exec.(JobRetirer); ok {
+		r.RetireJob(j.spec.Name)
 	}
 	// The shuffle and output buffers are fully consumed once the job
 	// finishes (the writer copied every record into its blocks); recycle

@@ -22,13 +22,19 @@ import (
 // with no added latency. Nothing here knows about waves, so retries,
 // hedges, and single stray tasks degrade to small batches instead of
 // deadlocking on co-arrivals that will never come.
+//
+// Urgent tasks (retries and hedges — another worker is already late
+// on them) enter a separate priority lane drained ahead of the
+// regular queue, so a hedged straggler probe never FIFOs behind a
+// full wave batch that happened to be queued first.
 type batcher struct {
 	f *Fleet
 	w *workerState
 
 	mu      sync.Mutex
+	prio    []*batchItem // urgent lane, drained before queue
 	queue   []*batchItem
-	running bool // a sender goroutine is draining the queue
+	running bool // a sender goroutine is draining the queues
 }
 
 type batchItem struct {
@@ -45,12 +51,16 @@ func newBatcher(f *Fleet, w *workerState) *batcher {
 	return &batcher{f: f, w: w}
 }
 
-// do enqueues one task and blocks until its result arrives or the
-// fleet closes.
-func (b *batcher) do(task *wire.Task) (*wire.TaskResult, error) {
+// do enqueues one task — on the priority lane when urgent — and
+// blocks until its result arrives or the fleet closes.
+func (b *batcher) do(task *wire.Task, urgent bool) (*wire.TaskResult, error) {
 	item := &batchItem{task: task, done: make(chan batchOut, 1)}
 	b.mu.Lock()
-	b.queue = append(b.queue, item)
+	if urgent {
+		b.prio = append(b.prio, item)
+	} else {
+		b.queue = append(b.queue, item)
+	}
 	if !b.running {
 		b.running = true
 		go b.run()
@@ -78,17 +88,22 @@ func (b *batcher) run() {
 	}
 	for {
 		b.mu.Lock()
-		n := len(b.queue)
-		if n == 0 {
+		if len(b.prio) == 0 && len(b.queue) == 0 {
 			b.running = false
 			b.mu.Unlock()
 			return
 		}
-		if n > b.f.cfg.MaxBatch {
-			n = b.f.cfg.MaxBatch
+		// Fill each chunk from the priority lane first; urgent tasks
+		// arriving while a wave drains jump every queued regular task.
+		var items []*batchItem
+		if n := min(len(b.prio), b.f.cfg.MaxBatch); n > 0 {
+			items = b.prio[:n:n]
+			b.prio = b.prio[n:]
 		}
-		items := b.queue[:n:n]
-		b.queue = b.queue[n:]
+		if n := min(len(b.queue), b.f.cfg.MaxBatch-len(items)); n > 0 {
+			items = append(items, b.queue[:n]...)
+			b.queue = b.queue[n:]
+		}
 		b.mu.Unlock()
 		b.flush(items)
 	}
@@ -122,6 +137,13 @@ func (b *batcher) flush(items []*batchItem) {
 // deadline scales with batch size because the worker executes the
 // tasks sequentially: each task keeps its TaskTimeout budget.
 func (f *Fleet) postBatch(w *workerState, tasks []*wire.Task) ([]*wire.TaskResult, error) {
+	if !w.peer {
+		adapted := make([]*wire.Task, len(tasks))
+		for i, t := range tasks {
+			adapted[i] = taskFor(w, t)
+		}
+		tasks = adapted
+	}
 	var payload []byte
 	contentType := "application/json"
 	if w.codec == wire.CodecBinary {

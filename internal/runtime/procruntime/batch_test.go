@@ -291,3 +291,94 @@ func TestJSONBatchArm(t *testing.T) {
 		t.Fatalf("JSON batching stats %+v, want conflation with 8 tasks", st)
 	}
 }
+
+// TestBatcherPriorityLane: the acceptance property for the second
+// dispatch lane — an urgent task (how dispatch marks retries and
+// hedges) enqueued while a full wave batch sits queued behind an
+// in-flight RPC is sent ahead of every queued regular task.
+func TestBatcherPriorityLane(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	release := make(chan struct{})
+	stub := newBatchStub(t, func(task *wire.Task) *wire.TaskResult {
+		mu.Lock()
+		order = append(order, task.Task)
+		mu.Unlock()
+		if task.Task == "t1" {
+			<-release // hold the first RPC so later tasks queue behind it
+		}
+		return &wire.TaskResult{CPUSeconds: 1}
+	})
+	// MaxBatch 1 gives a total order over sends; linger disabled so the
+	// sender grabs t1 immediately.
+	f := newBareFleet(t, Config{MaxBatch: 1, BatchLinger: -1})
+	f.RegisterWorkerCaps(stub.srv.URL, binCaps)
+	f.mu.Lock()
+	var b *batcher
+	for _, w := range f.workers {
+		b = w.batcher
+	}
+	f.mu.Unlock()
+	if b == nil {
+		t.Fatal("worker negotiated no batcher")
+	}
+
+	var wg sync.WaitGroup
+	enqueue := func(name string, urgent bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.do(&wire.Task{Task: name, Kind: "map"}, urgent); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}()
+	}
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	enqueue("t1", false)
+	waitFor("t1 in flight", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == 1
+	})
+	// A wave queues behind the blocked RPC, in order.
+	for i, name := range []string{"t2", "t3", "t4"} {
+		enqueue(name, false)
+		n := i + 1
+		waitFor(name+" queued", func() bool {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return len(b.queue) == n
+		})
+	}
+	// The hedge arrives last but must be sent next.
+	enqueue("t5", true)
+	waitFor("t5 on the priority lane", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.prio) == 1
+	})
+	close(release)
+	wg.Wait()
+
+	want := []string{"t1", "t5", "t2", "t3", "t4"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("sent %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("send order %v, want %v (urgent task must preempt the queued wave)", order, want)
+		}
+	}
+}

@@ -43,19 +43,22 @@ type engineTweaks struct {
 	parallelism int
 }
 
-// procArms are the two proc-backend data planes the differential
-// matrix exercises against the sim: the PR 8 JSON per-task plane
-// (both kill-switches thrown) and the negotiated binary batched one.
+// procArms are the proc-backend data planes the differential matrix
+// exercises against the sim: the PR 8 JSON per-task plane (every
+// kill-switch thrown), the binary batched controller-shuffle plane
+// (peer shuffle disabled), and the negotiated default with
+// worker-to-worker shuffle.
 var procArms = []struct {
 	name string
 	cfg  procruntime.Config
 }{
-	{"procJSON", procruntime.Config{Codec: "json", DisableBatch: true}},
-	{"procBin", procruntime.Config{}},
+	{"procJSON", procruntime.Config{Codec: "json", DisableBatch: true, DisablePeerShuffle: true}},
+	{"procBinCtl", procruntime.Config{DisablePeerShuffle: true}},
+	{"procBinPeer", procruntime.Config{}},
 }
 
 // fullCaps is what cmd/dynoworker announces.
-var fullCaps = wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true}
+var fullCaps = wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true, PeerShuffle: true}
 
 // newProcRuntime builds a fleet with n in-process workers plus the
 // runtime over it. Worker registries are built exactly like
@@ -204,6 +207,36 @@ func TestDifferentialTPCH(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestMixedCapabilityFleet serves one job from a fleet mixing a
+// capability-less PR 8 worker (JSON, per-task, no peer shuffle) with
+// a fully capable peer worker: map tasks landing on the old worker
+// return their pairs through the controller, tasks landing on the new
+// one retain them, and reduces stitch inline and fetched segments
+// into the same rows the sim produces.
+func TestMixedCapabilityFleet(t *testing.T) {
+	ccfg := cluster.DefaultConfig()
+	sim := runQuery(t, simruntime.New(ccfg), "Q10", engineTweaks{})
+
+	pcfg := procruntime.Config{}
+	pcfg.StaleAfter = time.Hour
+	fleet, err := procruntime.NewFleet(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+	for i, caps := range []wire.Caps{{}, fullCaps} {
+		reg := expr.NewRegistry()
+		tpch.RegisterUDFs(reg, tpch.DefaultUDFParams())
+		ts := httptest.NewServer(procruntime.NewWorker(reg).Handler())
+		t.Cleanup(ts.Close)
+		if id := fleet.RegisterWorkerCaps(ts.URL, caps); id != i+1 {
+			t.Fatalf("worker %d registered as id %d", i, id)
+		}
+	}
+	proc := runQuery(t, procruntime.New(fleet, ccfg), "Q10", engineTweaks{})
+	diffOutcomes(t, "Q10", "mixed", sim, proc)
 }
 
 // TestDifferentialFeatureMatrix exercises the remote encodings the

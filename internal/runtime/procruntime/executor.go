@@ -1,8 +1,11 @@
 package procruntime
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
+	"dyno/internal/dfs"
 	"dyno/internal/mapreduce"
 	"dyno/internal/runtime/wire"
 )
@@ -11,11 +14,60 @@ import (
 // protocol: it resolves DFS blocks to mirrored files and dispatches
 // codec-neutral tasks — values stay native data.Values here, and the
 // dispatch layer encodes them in the codec each worker negotiated.
+//
+// When peer shuffle is enabled, map tasks retain their partitioned
+// output on the producing worker and return per-partition digests;
+// reduce tasks then carry a fetch list instead of materialized pairs,
+// and the fallback ladder below keeps every failure recoverable
+// through the controller mirror (a deterministic re-run of the
+// producing map), so correctness never depends on a peer staying up.
 type executor struct {
-	f *Fleet
+	f  *Fleet
+	fs *dfs.FS
 }
 
-var _ mapreduce.TaskExecutor = executor{}
+var (
+	_ mapreduce.TaskExecutor = executor{}
+	_ mapreduce.JobRetirer   = executor{}
+)
+
+// RetireJob implements mapreduce.JobRetirer: the job's retained
+// shuffle blocks are garbage on every worker once its output exists.
+func (e executor) RetireJob(jobName string) { e.f.RetireJob(jobName) }
+
+// peerOutput is the controller's handle to one map task's shuffle
+// output retained on the producing worker. recover re-materializes
+// the full output through the controller mirror path — a re-run of
+// the deterministic map task with the retain fields stripped — when
+// the peer is gone or has evicted the block.
+type peerOutput struct {
+	f     *Fleet
+	url   string     // producing worker (the dispatch winner)
+	id    string     // shuffle id in the producer's registry
+	task  *wire.Task // retain-stripped clone for mirror recovery
+	parts []wire.ShufflePart
+
+	mu        sync.Mutex
+	recovered bool
+	pairs     [][]wire.KV
+}
+
+func (p *peerOutput) recover(part int) ([]wire.KV, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.recovered {
+		res, err := p.f.dispatch(p.task)
+		if err != nil {
+			return nil, fmt.Errorf("procruntime: mirror recovery of shuffle %s: %w", p.id, err)
+		}
+		p.pairs = res.Pairs
+		p.recovered = true
+	}
+	if part < 0 || part >= len(p.pairs) {
+		return nil, nil
+	}
+	return p.pairs[part], nil
+}
 
 func (e executor) ExecMap(m mapreduce.MapExec) (*mapreduce.MapExecOut, error) {
 	op, ok := m.Op.(*wire.OpSpec)
@@ -48,7 +100,7 @@ func (e executor) ExecMap(m mapreduce.MapExec) (*mapreduce.MapExecOut, error) {
 			Version: version,
 		})
 	}
-	res, err := e.f.dispatch(&wire.Task{
+	task := &wire.Task{
 		Job:         m.JobName,
 		Task:        m.TaskName,
 		Kind:        "map",
@@ -59,13 +111,40 @@ func (e executor) ExecMap(m mapreduce.MapExec) (*mapreduce.MapExecOut, error) {
 		HasReduce:   m.HasReduce,
 		RunCombine:  m.RunCombine,
 		Builds:      builds,
-	})
+	}
+	if m.HasReduce && !e.f.cfg.DisablePeerShuffle {
+		// Ask the winning worker to retain its output; capability-less
+		// workers get these fields stripped at dispatch and answer with
+		// legacy pairs, which the branch below passes through.
+		task.RetainShuffle = true
+		task.ShuffleID = e.f.nextShuffleID(m.JobName, m.TaskName)
+		task.ByteScale = e.fs.ByteScale()
+	}
+	res, err := e.f.dispatch(task)
 	if err != nil {
 		return nil, err
 	}
 	out := &mapreduce.MapExecOut{CPUMap: res.CPUMap, CPUTotal: res.CPUTotal}
 	if !m.HasReduce {
 		out.Rows = res.Rows
+		return out, nil
+	}
+	if res.Parts != nil {
+		stripped := *task
+		stripped.RetainShuffle = false
+		stripped.ShuffleID = ""
+		stripped.ByteScale = 0
+		out.Shuffle = &peerOutput{
+			f:     e.f,
+			url:   res.Worker,
+			id:    task.ShuffleID,
+			task:  &stripped,
+			parts: res.Parts,
+		}
+		out.ShuffleParts = make([]mapreduce.ShufflePart, len(res.Parts))
+		for i, p := range res.Parts {
+			out.ShuffleParts[i] = mapreduce.ShufflePart{Count: p.Count, Bytes: p.Bytes}
+		}
 		return out, nil
 	}
 	out.Pairs = make([][]mapreduce.RemoteKV, len(res.Pairs))
@@ -79,23 +158,118 @@ func (e executor) ExecMap(m mapreduce.MapExec) (*mapreduce.MapExecOut, error) {
 	return out, nil
 }
 
+func toWireKVs(pairs []mapreduce.RemoteKV) []wire.KV {
+	kvs := make([]wire.KV, len(pairs))
+	for i, kv := range pairs {
+		kvs[i] = wire.KV{Key: kv.Key, Tag: kv.Tag, Rec: kv.Rec}
+	}
+	return kvs
+}
+
 func (e executor) ExecReduce(r mapreduce.ReduceExec) (*mapreduce.ReduceExecOut, error) {
 	op, ok := r.Op.(*wire.OpSpec)
 	if !ok {
 		return nil, fmt.Errorf("procruntime: job %s: remote op is %T, want *wire.OpSpec", r.JobName, r.Op)
 	}
-	pairs := make([]wire.KV, len(r.Pairs))
-	for i, kv := range r.Pairs {
-		pairs[i] = wire.KV{Key: kv.Key, Tag: kv.Tag, Rec: kv.Rec}
+	if len(r.Inputs) == 0 {
+		// Classic path: the controller gathered and sorted the pairs.
+		res, err := e.f.dispatch(&wire.Task{
+			Job:       r.JobName,
+			Task:      r.TaskName,
+			Kind:      "reduce",
+			Op:        op,
+			Partition: r.Partition,
+			Pairs:     toWireKVs(r.Pairs),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &mapreduce.ReduceExecOut{Rows: res.Rows, CPUSeconds: res.CPUSeconds}, nil
 	}
-	res, err := e.f.dispatch(&wire.Task{
+
+	// Peer path: ship the segment list; the worker pulls handle
+	// segments from their producers and sorts the assembly. Empty
+	// segments carry no pairs and are elided up front.
+	fetches := make([]wire.ShuffleRef, 0, len(r.Inputs))
+	handles := make([]*peerOutput, 0, len(r.Inputs))
+	for _, in := range r.Inputs {
+		if in.Handle != nil {
+			po, ok := in.Handle.(*peerOutput)
+			if !ok {
+				return nil, fmt.Errorf("procruntime: job %s: shuffle handle is %T, want *peerOutput", r.JobName, in.Handle)
+			}
+			if r.Partition < 0 || r.Partition >= len(po.parts) || po.parts[r.Partition].Count == 0 {
+				continue
+			}
+			fetches = append(fetches, wire.ShuffleRef{URL: po.url, ID: po.id, Part: r.Partition})
+			handles = append(handles, po)
+			continue
+		}
+		if len(in.Pairs) == 0 {
+			continue
+		}
+		fetches = append(fetches, wire.ShuffleRef{Pairs: toWireKVs(in.Pairs)})
+		handles = append(handles, nil)
+	}
+	task := &wire.Task{
 		Job:       r.JobName,
 		Task:      r.TaskName,
 		Kind:      "reduce",
 		Op:        op,
 		Partition: r.Partition,
-		Pairs:     pairs,
-	})
+		Fetches:   fetches,
+	}
+	// Fallback ladder: a failed peer fetch inlines that one segment
+	// through the mirror and retries; transport exhaustion (or a fleet
+	// with no live peer-capable worker left) inlines everything and
+	// runs the reduce as a classic task any worker can serve.
+	for {
+		res, err := e.f.dispatch(task)
+		if err == nil {
+			return &mapreduce.ReduceExecOut{Rows: res.Rows, CPUSeconds: res.CPUSeconds}, nil
+		}
+		var tfe *taskFailedError
+		if errors.As(err, &tfe) {
+			idx, isFetch := wire.ParsePeerFetchErr(tfe.msg)
+			if !isFetch || idx < 0 || idx >= len(fetches) || handles[idx] == nil {
+				return nil, err // deterministic operator error: fail fast
+			}
+			pairs, rerr := handles[idx].recover(r.Partition)
+			if rerr != nil {
+				return nil, rerr
+			}
+			fetches[idx] = wire.ShuffleRef{Pairs: pairs}
+			handles[idx] = nil
+			task.Fetches = fetches
+			continue
+		}
+		return e.reduceInline(task, fetches, handles, r.Partition, err)
+	}
+}
+
+// reduceInline is the bottom rung of the fallback ladder: recover
+// every remaining peer segment through the controller mirror,
+// assemble and sort the partition controller-side (exactly the
+// classic gather), and dispatch it as a plain pairs-carrying reduce
+// that any worker — peer-capable or not — can run.
+func (e executor) reduceInline(task *wire.Task, fetches []wire.ShuffleRef, handles []*peerOutput, partition int, cause error) (*mapreduce.ReduceExecOut, error) {
+	var pairs []wire.KV
+	for i := range fetches {
+		if handles[i] == nil {
+			pairs = append(pairs, fetches[i].Pairs...)
+			continue
+		}
+		seg, err := handles[i].recover(partition)
+		if err != nil {
+			return nil, fmt.Errorf("%w (falling back from: %v)", err, cause)
+		}
+		pairs = append(pairs, seg...)
+	}
+	wire.SortKVs(pairs)
+	legacy := *task
+	legacy.Fetches = nil
+	legacy.Pairs = pairs
+	res, err := e.f.dispatch(&legacy)
 	if err != nil {
 		return nil, err
 	}

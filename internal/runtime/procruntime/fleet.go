@@ -73,6 +73,10 @@ type Config struct {
 	// out as its own POST (the PR 8 behavior), regardless of worker
 	// capability.
 	DisableBatch bool
+	// DisablePeerShuffle turns off worker-to-worker shuffle: map
+	// outputs round-trip through the controller (the PR 8/9 data
+	// plane), regardless of worker capability.
+	DisablePeerShuffle bool
 	// BatchLinger is how long a worker's batcher waits after the first
 	// task of an idle period for wave co-arrivals before sending;
 	// tasks arriving while an RPC is in flight ride the next batch for
@@ -134,10 +138,12 @@ type workerState struct {
 	fails    int
 	black    bool
 	lastSeen time.Time
-	// codec and batch are fixed at registration (negotiated from the
-	// worker's announced capabilities and the fleet's kill-switches).
+	// codec, batch, and peer are fixed at registration (negotiated
+	// from the worker's announced capabilities and the fleet's
+	// kill-switches).
 	codec string
 	batch bool
+	peer  bool
 	// batcher conflates concurrent dispatches into one RPC; nil for
 	// per-task workers.
 	batcher *batcher
@@ -166,13 +172,22 @@ type Fleet struct {
 	durMu     sync.Mutex
 	durations map[string][]float64 // task kind -> completed seconds, sorted on read
 
+	// shufSeq allocates fleet-global shuffle ids; jobShuffles tracks
+	// the ids each job produced so RetireJob can broadcast GC.
+	shufSeq     atomic.Int64
+	shufMu      sync.Mutex
+	jobShuffles map[string][]string
+
 	// Wire-level counters for the procbench experiment and the
 	// bytes-per-task regression guard (task dispatch only; register,
-	// heartbeat, and drain traffic is not counted).
-	statRPCs     atomic.Int64
-	statTasks    atomic.Int64
-	statBytesOut atomic.Int64
-	statBytesIn  atomic.Int64
+	// heartbeat, drain, and shuffle-GC traffic is not counted).
+	statRPCs      atomic.Int64
+	statTasks     atomic.Int64
+	statBytesOut  atomic.Int64
+	statBytesIn   atomic.Int64
+	statCtlShufB  atomic.Int64
+	statPeerShufB atomic.Int64
+	statPeerFetch atomic.Int64
 }
 
 // WireStats is a snapshot of the fleet's dispatch-plane counters.
@@ -184,15 +199,27 @@ type WireStats struct {
 	// BytesOut/BytesIn are request/response payload bytes.
 	BytesOut int64 `json:"bytesOut"`
 	BytesIn  int64 `json:"bytesIn"`
+	// CtlShuffleBytes is shuffle payload carried on the controller's
+	// dispatch plane (map-output pairs returned to the controller,
+	// reduce-input pairs shipped back out, inline fallback segments),
+	// measured in the worker's negotiated codec. PeerShuffleBytes is
+	// shuffle payload fetched worker-to-worker, bypassing the
+	// controller; PeerFetches counts those fetch RPCs.
+	CtlShuffleBytes  int64 `json:"ctlShuffleBytes"`
+	PeerShuffleBytes int64 `json:"peerShuffleBytes"`
+	PeerFetches      int64 `json:"peerFetches"`
 }
 
 // WireStats returns the dispatch counters accumulated so far.
 func (f *Fleet) WireStats() WireStats {
 	return WireStats{
-		RPCs:     f.statRPCs.Load(),
-		Tasks:    f.statTasks.Load(),
-		BytesOut: f.statBytesOut.Load(),
-		BytesIn:  f.statBytesIn.Load(),
+		RPCs:             f.statRPCs.Load(),
+		Tasks:            f.statTasks.Load(),
+		BytesOut:         f.statBytesOut.Load(),
+		BytesIn:          f.statBytesIn.Load(),
+		CtlShuffleBytes:  f.statCtlShufB.Load(),
+		PeerShuffleBytes: f.statPeerShufB.Load(),
+		PeerFetches:      f.statPeerFetch.Load(),
 	}
 }
 
@@ -217,10 +244,11 @@ func NewFleet(cfg Config) (*Fleet, error) {
 			MaxIdleConnsPerHost: 8,
 			IdleConnTimeout:     90 * time.Second,
 		}},
-		done:      make(chan struct{}),
-		workers:   map[int]*workerState{},
-		mirrors:   map[*dfs.File]*mirror{},
-		durations: map[string][]float64{},
+		done:        make(chan struct{}),
+		workers:     map[int]*workerState{},
+		mirrors:     map[*dfs.File]*mirror{},
+		durations:   map[string][]float64{},
+		jobShuffles: map[string][]string{},
 	}
 	if cfg.SpillDir == "" {
 		dir, err := os.MkdirTemp("", "dyno-spill-*")
@@ -266,17 +294,19 @@ func (f *Fleet) RegisterWorker(url string) int {
 	return f.RegisterWorkerCaps(url, wire.Caps{})
 }
 
-// RegisterWorkerCaps adds a worker, negotiating the wire codec and
-// batching from its announced capabilities and the fleet's
-// kill-switches: binary frames when the worker speaks them and
-// Config.Codec is not "json", batched /tasks dispatch when the worker
-// supports it and batching is not disabled.
+// RegisterWorkerCaps adds a worker, negotiating the wire codec,
+// batching, and peer shuffle from its announced capabilities and the
+// fleet's kill-switches: binary frames when the worker speaks them
+// and Config.Codec is not "json", batched /tasks dispatch when the
+// worker supports it and batching is not disabled, peer shuffle when
+// the worker serves /shuffle and DisablePeerShuffle is off.
 func (f *Fleet) RegisterWorkerCaps(url string, caps wire.Caps) int {
 	codec := wire.CodecJSON
 	if f.cfg.Codec != wire.CodecJSON && caps.Supports(f.cfg.Codec) {
 		codec = f.cfg.Codec
 	}
 	batch := caps.Batch && !f.cfg.DisableBatch
+	peer := caps.PeerShuffle && !f.cfg.DisablePeerShuffle
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, w := range f.workers {
@@ -289,17 +319,18 @@ func (f *Fleet) RegisterWorkerCaps(url string, caps wire.Caps) int {
 				w.batcher = newBatcher(f, w)
 			}
 			w.batch = batch
+			w.peer = peer
 			return w.id
 		}
 	}
 	f.nextID++
 	id := f.nextID
-	w := &workerState{id: id, url: url, lastSeen: time.Now(), codec: codec, batch: batch}
+	w := &workerState{id: id, url: url, lastSeen: time.Now(), codec: codec, batch: batch, peer: peer}
 	if batch {
 		w.batcher = newBatcher(f, w)
 	}
 	f.workers[id] = w
-	f.logf("procruntime: worker %d registered at %s (codec=%s batch=%v)", id, url, codec, batch)
+	f.logf("procruntime: worker %d registered at %s (codec=%s batch=%v peer=%v)", id, url, codec, batch, peer)
 	return id
 }
 
@@ -390,7 +421,7 @@ func (f *Fleet) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	f.mu.Lock()
 	ws := f.workers[id]
-	codec, batch := ws.codec, ws.batch
+	codec, batch, peer := ws.codec, ws.batch, ws.peer
 	f.mu.Unlock()
 	json.NewEncoder(w).Encode(wire.RegisterResponse{
 		ID:              id,
@@ -398,6 +429,7 @@ func (f *Fleet) handleRegister(w http.ResponseWriter, r *http.Request) {
 		UDF:             udf,
 		Codec:           codec,
 		Batch:           batch,
+		Peer:            peer,
 	})
 }
 
@@ -514,8 +546,10 @@ func writeBlockFile(path string, recs []data.Value) error {
 }
 
 // pickWorker returns the next live worker not in tried, round-robin;
-// callers get nil when none remain.
-func (f *Fleet) pickWorker(tried map[int]bool) *workerState {
+// callers get nil when none remain. needPeer restricts the pick to
+// peer-shuffle workers — tasks carrying a fetch list are only
+// intelligible to them.
+func (f *Fleet) pickWorker(tried map[int]bool, needPeer bool) *workerState {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	ids := make([]int, 0, len(f.workers))
@@ -526,11 +560,28 @@ func (f *Fleet) pickWorker(tried map[int]bool) *workerState {
 	for range ids {
 		f.rr++
 		w := f.workers[ids[f.rr%len(ids)]]
-		if f.alive(w) && !tried[w.id] {
+		if f.alive(w) && !tried[w.id] && (!needPeer || w.peer) {
 			return w
 		}
 	}
 	return nil
+}
+
+// taskFor adapts a task to one worker's negotiated protocol: peer
+// workers get it verbatim; for capability-less workers the
+// peer-shuffle fields are stripped (a shallow copy) so the task runs
+// as a plain PR 8 map whose output returns through the controller.
+// Fetch-carrying tasks never reach non-peer workers (pickWorker
+// guards), so only the map-side retain fields need stripping.
+func taskFor(w *workerState, task *wire.Task) *wire.Task {
+	if w.peer || (!task.RetainShuffle && task.ShuffleID == "") {
+		return task
+	}
+	t := *task
+	t.RetainShuffle = false
+	t.ShuffleID = ""
+	t.ByteScale = 0
+	return &t
 }
 
 func (f *Fleet) noteSuccess(w *workerState, kind string, d time.Duration) {
@@ -577,7 +628,7 @@ func (f *Fleet) hedgeDelay(kind string) time.Duration {
 // the pooled connection state the way a throwaway per-call client
 // would.
 func (f *Fleet) post(w *workerState, task *wire.Task) (*wire.TaskResult, error) {
-	payload, err := json.Marshal(task.Request())
+	payload, err := json.Marshal(taskFor(w, task).Request())
 	if err != nil {
 		return nil, err
 	}
@@ -619,18 +670,113 @@ func (f *Fleet) post(w *workerState, task *wire.Task) (*wire.TaskResult, error) 
 }
 
 // send runs one attempt of a task on one worker, routing through the
-// worker's batcher when batching was negotiated at registration. RPC
-// transport failures are recorded against the worker by the RPC layer
-// (post / the batcher), once per failed RPC — not once per task a
-// failed batch happened to carry.
-func (f *Fleet) send(w *workerState, task *wire.Task) (*wire.TaskResult, error) {
+// worker's batcher when batching was negotiated at registration.
+// urgent attempts (retries, hedges) ride the batcher's priority lane
+// ahead of queued wave batches. RPC transport failures are recorded
+// against the worker by the RPC layer (post / the batcher), once per
+// failed RPC — not once per task a failed batch happened to carry.
+func (f *Fleet) send(w *workerState, task *wire.Task, urgent bool) (*wire.TaskResult, error) {
 	f.mu.Lock()
 	b := w.batcher
 	f.mu.Unlock()
 	if b != nil {
-		return b.do(task)
+		return b.do(task, urgent)
 	}
 	return f.post(w, task)
+}
+
+// taskFailedError is a deterministic task failure: the worker ran the
+// operator and it returned an error (no retry — it would fail
+// identically elsewhere). The executor inspects it to distinguish
+// recoverable peer-fetch failures from genuine operator errors.
+type taskFailedError struct {
+	task   string
+	worker string
+	msg    string
+}
+
+func (e *taskFailedError) Error() string {
+	return fmt.Sprintf("procruntime: task %s failed on worker %s: %s", e.task, e.worker, e.msg)
+}
+
+// nextShuffleID allocates a fleet-global shuffle id and records it
+// against the producing job for retirement GC. IDs stay unique across
+// the runtimes sharing the fleet via the global sequence; hedged
+// attempts of one task intentionally share the id (the output is
+// deterministic), and the GC broadcast reclaims the loser's orphan.
+func (f *Fleet) nextShuffleID(jobName, taskName string) string {
+	id := taskName + "#" + strconv.FormatInt(f.shufSeq.Add(1), 10)
+	f.shufMu.Lock()
+	f.jobShuffles[jobName] = append(f.jobShuffles[jobName], id)
+	f.shufMu.Unlock()
+	return id
+}
+
+// RetireJob broadcasts a shuffle-GC request for the job's retained
+// map outputs to every registered worker (every worker, not just
+// known producers: hedged losers may hold orphan copies the
+// controller never saw win). Fire-and-forget — a missed GC only
+// costs cache space the worker's own byte bound reclaims.
+func (f *Fleet) RetireJob(jobName string) {
+	f.shufMu.Lock()
+	ids := f.jobShuffles[jobName]
+	delete(f.jobShuffles, jobName)
+	f.shufMu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	payload, err := json.Marshal(wire.ShuffleGCRequest{IDs: ids})
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	urls := make([]string, 0, len(f.workers))
+	for _, w := range f.workers {
+		if w.peer {
+			urls = append(urls, w.url)
+		}
+	}
+	f.mu.Unlock()
+	for _, u := range urls {
+		go func(u string) {
+			req, err := http.NewRequest(http.MethodPost, u+"/shuffle/gc", bytes.NewReader(payload))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := f.client.Do(req)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(u)
+	}
+}
+
+// countShuffle attributes one successful attempt's shuffle traffic:
+// pairs that crossed the controller's dispatch plane (in the worker's
+// negotiated codec) versus bytes the worker pulled from peers.
+func (f *Fleet) countShuffle(w *workerState, task *wire.Task, res *wire.TaskResult) {
+	var ctl int64
+	ctl += wire.ShuffleWireBytes(w.codec, task.Pairs)
+	for i := range task.Fetches {
+		if task.Fetches[i].ID == "" {
+			ctl += wire.ShuffleWireBytes(w.codec, task.Fetches[i].Pairs)
+		}
+	}
+	for _, part := range res.Pairs {
+		ctl += wire.ShuffleWireBytes(w.codec, part)
+	}
+	if ctl != 0 {
+		f.statCtlShufB.Add(ctl)
+	}
+	if res.PeerBytes != 0 {
+		f.statPeerShufB.Add(res.PeerBytes)
+	}
+	if res.PeerFetches != 0 {
+		f.statPeerFetch.Add(int64(res.PeerFetches))
+	}
 }
 
 // dispatch runs a task to completion across the fleet: retry on
@@ -648,20 +794,21 @@ func (f *Fleet) dispatch(task *wire.Task) (*wire.TaskResult, error) {
 	}
 	results := make(chan attempt, f.cfg.MaxAttempts+1)
 	tried := map[int]bool{}
-	launch := func() bool {
-		w := f.pickWorker(tried)
+	needPeer := len(task.Fetches) > 0
+	launch := func(urgent bool) bool {
+		w := f.pickWorker(tried, needPeer)
 		if w == nil {
 			return false
 		}
 		tried[w.id] = true
 		go func() {
 			start := time.Now()
-			res, err := f.send(w, task)
+			res, err := f.send(w, task, urgent)
 			results <- attempt{res: res, err: err, w: w, elapsed: time.Since(start)}
 		}()
 		return true
 	}
-	if !launch() {
+	if !launch(false) {
 		return nil, fmt.Errorf("procruntime: no live workers for task %s", task.Task)
 	}
 	attempts, inflight := 1, 1
@@ -674,22 +821,24 @@ func (f *Fleet) dispatch(task *wire.Task) (*wire.TaskResult, error) {
 		case a := <-results:
 			inflight--
 			if a.err == nil && a.res.Err == "" {
+				a.res.Worker = a.w.url
+				f.countShuffle(a.w, task, a.res)
 				f.noteSuccess(a.w, task.Kind, a.elapsed)
 				return a.res, nil
 			}
 			if a.err == nil {
-				return nil, fmt.Errorf("procruntime: task %s failed on worker %s: %s", task.Task, a.w.url, a.res.Err)
+				return nil, &taskFailedError{task: task.Task, worker: a.w.url, msg: a.res.Err}
 			}
 			lastErr = a.err
 			f.logf("procruntime: task %s attempt on worker %d failed: %v", task.Task, a.w.id, a.err)
-			if attempts < f.cfg.MaxAttempts && launch() {
+			if attempts < f.cfg.MaxAttempts && launch(true) {
 				attempts++
 				inflight++
 			} else if inflight == 0 {
 				return nil, fmt.Errorf("procruntime: task %s failed after %d attempts: %w", task.Task, attempts, lastErr)
 			}
 		case <-hedge.C:
-			if !hedged && attempts < f.cfg.MaxAttempts && launch() {
+			if !hedged && attempts < f.cfg.MaxAttempts && launch(true) {
 				hedged = true
 				attempts++
 				inflight++

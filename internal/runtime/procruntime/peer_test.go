@@ -1,0 +1,252 @@
+package procruntime
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"dyno/internal/data"
+	"dyno/internal/dfs"
+	"dyno/internal/expr"
+	"dyno/internal/mapreduce"
+	"dyno/internal/runtime/wire"
+)
+
+// rowsJSON renders rows as canonical wire images for comparison.
+func rowsJSON(t *testing.T, rows []data.Value) []string {
+	t.Helper()
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		b, err := json.Marshal(wire.EncodeValue(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// workerStatus fetches one worker's GET /status snapshot.
+func workerStatus(t *testing.T, base string) WorkerStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st WorkerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// These tests drive the executor's peer-shuffle data plane end to end
+// against real workers (the same handler cmd/dynoworker serves):
+// retained map outputs, direct reduce-side fetches, and the fallback
+// ladder down to the controller mirror when a producer dies.
+
+var peerCaps = wire.Caps{Codecs: []string{wire.CodecBinary, wire.CodecJSON}, Batch: true, PeerShuffle: true}
+
+// sumOp groups records {k, v} by k and sums v — the smallest op that
+// exercises the full map/shuffle/reduce path.
+func sumOp() *wire.OpSpec {
+	return &wire.OpSpec{
+		Kind:    "aggregate",
+		GroupBy: []*wire.ExprSpec{{T: "col", P: "k"}},
+		Select: []wire.SelectItem{
+			{Expr: &wire.ExprSpec{T: "col", P: "k"}, As: "k"},
+			{Agg: "sum", Expr: &wire.ExprSpec{T: "col", P: "v"}, As: "s"},
+		},
+	}
+}
+
+// newPeerHarness builds a fleet with n real peer-capable workers, a
+// DFS file of {k, v} records (one record per block, so each record is
+// its own map task), and the executor over them. It returns the
+// executor, the file, and the workers' servers by registration order.
+func newPeerHarness(t *testing.T, n, records int) (executor, *dfs.File, []*httptest.Server) {
+	t.Helper()
+	f := newBareFleet(t, Config{})
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(NewWorker(expr.NewRegistry()).Handler())
+		t.Cleanup(ts.Close)
+		servers[i] = ts
+		f.RegisterWorkerCaps(ts.URL, peerCaps)
+	}
+	fs := dfs.New(dfs.WithBlockSize(1))
+	w := fs.Create("in")
+	for i := 0; i < records; i++ {
+		w.Append(data.Object(
+			data.Field{Name: "k", Value: data.Int(int64(i % 3))},
+			data.Field{Name: "v", Value: data.Int(int64(i + 1))},
+		))
+	}
+	return executor{f: f, fs: fs}, w.Close(), servers
+}
+
+// runPeerJob maps every block with retained shuffle output and
+// reduces both partitions, returning the reduce rows per partition
+// and the map outputs (for handle surgery in the fault tests).
+func runPeerJob(t *testing.T, ex executor, file *dfs.File, numReducers int) ([][]data.Value, []*mapreduce.MapExecOut) {
+	t.Helper()
+	op := sumOp()
+	outs := make([]*mapreduce.MapExecOut, file.NumBlocks())
+	for i := range outs {
+		out, err := ex.ExecMap(mapreduce.MapExec{
+			JobName:     "peerjob",
+			TaskName:    fmt.Sprintf("peerjob-m%d", i),
+			File:        file,
+			Split:       i,
+			NumReducers: numReducers,
+			HasReduce:   true,
+			Op:          op,
+		})
+		if err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+		outs[i] = out
+	}
+	rows := make([][]data.Value, numReducers)
+	for p := 0; p < numReducers; p++ {
+		inputs := make([]mapreduce.ShuffleInput, 0, len(outs))
+		for _, out := range outs {
+			if out.Shuffle != nil {
+				inputs = append(inputs, mapreduce.ShuffleInput{Handle: out.Shuffle})
+				continue
+			}
+			inputs = append(inputs, mapreduce.ShuffleInput{Pairs: out.Pairs[p]})
+		}
+		res, err := ex.ExecReduce(mapreduce.ReduceExec{
+			JobName:   "peerjob",
+			TaskName:  fmt.Sprintf("peerjob-r%d", p),
+			Partition: p,
+			Inputs:    inputs,
+			Op:        op,
+		})
+		if err != nil {
+			t.Fatalf("reduce %d: %v", p, err)
+		}
+		rows[p] = res.Rows
+	}
+	return rows, outs
+}
+
+// TestPeerShuffleKeepsBytesOffController: with every worker
+// peer-capable, map outputs are retained on their producers and
+// reduce inputs travel worker-to-worker — the controller's dispatch
+// plane carries zero shuffle pairs.
+func TestPeerShuffleKeepsBytesOffController(t *testing.T) {
+	ex, file, _ := newPeerHarness(t, 2, 8)
+	rows, outs := runPeerJob(t, ex, file, 2)
+	for i, out := range outs {
+		if out.Shuffle == nil {
+			t.Fatalf("map %d: output not retained on the producer", i)
+		}
+		if len(out.ShuffleParts) != 2 {
+			t.Fatalf("map %d: %d shuffle parts, want 2", i, len(out.ShuffleParts))
+		}
+	}
+	var total int64
+	for _, out := range outs {
+		for _, part := range out.ShuffleParts {
+			total += int64(part.Count)
+		}
+	}
+	if total != int64(file.NumBlocks()) {
+		t.Errorf("digests count %d pairs, want %d (one per record)", total, file.NumBlocks())
+	}
+	if got := len(rows[0]) + len(rows[1]); got != 3 {
+		t.Errorf("reduce produced %d groups, want 3", got)
+	}
+	st := ex.f.WireStats()
+	if st.CtlShuffleBytes != 0 {
+		t.Errorf("controller carried %d shuffle bytes, want 0 with an all-peer fleet", st.CtlShuffleBytes)
+	}
+	// With one record per block spread over two workers, at least one
+	// reduce input segment lives on the other worker.
+	if st.PeerFetches == 0 {
+		t.Error("no peer fetches recorded; reduce inputs did not travel worker-to-worker")
+	}
+	if st.PeerShuffleBytes == 0 {
+		t.Error("peer shuffle bytes counter stayed zero")
+	}
+}
+
+// TestPeerDeathFallsBackToMirror: killing a producing worker after
+// its maps complete must not fail the job — the reduce's failed peer
+// fetch is recovered by re-running the deterministic map through the
+// controller mirror and inlining the segment.
+func TestPeerDeathFallsBackToMirror(t *testing.T) {
+	ex, file, servers := newPeerHarness(t, 2, 8)
+	want, outs := runPeerJob(t, ex, file, 2)
+
+	// Kill the producer of the first map's output; every handle whose
+	// segment lived there now dereferences a dead peer.
+	dead := outs[0].Shuffle.(*peerOutput).url
+	var killed bool
+	for _, ts := range servers {
+		if ts.URL == dead {
+			ts.Close()
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatalf("producer %s not among the harness servers", dead)
+	}
+
+	op := sumOp()
+	for p := 0; p < 2; p++ {
+		inputs := make([]mapreduce.ShuffleInput, 0, len(outs))
+		for _, out := range outs {
+			inputs = append(inputs, mapreduce.ShuffleInput{Handle: out.Shuffle})
+		}
+		res, err := ex.ExecReduce(mapreduce.ReduceExec{
+			JobName:   "peerjob",
+			TaskName:  fmt.Sprintf("peerjob-r%d", p),
+			Partition: p,
+			Inputs:    inputs,
+			Op:        op,
+		})
+		if err != nil {
+			t.Fatalf("reduce %d after peer death: %v", p, err)
+		}
+		if !reflect.DeepEqual(rowsJSON(t, res.Rows), rowsJSON(t, want[p])) {
+			t.Errorf("partition %d rows changed after mirror fallback:\ngot  %v\nwant %v",
+				p, rowsJSON(t, res.Rows), rowsJSON(t, want[p]))
+		}
+	}
+	if st := ex.f.WireStats(); st.CtlShuffleBytes == 0 {
+		t.Error("mirror fallback shipped no controller-side shuffle bytes")
+	}
+}
+
+// TestShuffleGCOnJobRetirement: retiring a job broadcasts a GC that
+// empties every worker's shuffle registry for that job's blocks.
+func TestShuffleGCOnJobRetirement(t *testing.T) {
+	ex, file, servers := newPeerHarness(t, 2, 6)
+	_, outs := runPeerJob(t, ex, file, 2)
+	if outs[0].Shuffle == nil {
+		t.Fatal("map output not retained")
+	}
+	ex.RetireJob("peerjob")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for _, ts := range servers {
+			total += workerStatus(t, ts.URL).ShuffleBlocks
+		}
+		if total == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d shuffle blocks still retained after job retirement", total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

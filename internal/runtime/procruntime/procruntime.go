@@ -58,7 +58,7 @@ func (r *Runtime) NewEnv(reg *expr.Registry) *mapreduce.Env {
 		Sim:   r.sim,
 		Coord: r.coord,
 		Reg:   reg,
-		Exec:  executor{f: r.fleet},
+		Exec:  executor{f: r.fleet, fs: r.fs},
 	}
 }
 

@@ -6,21 +6,84 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dyno/internal/data"
 	"dyno/internal/expr"
 	"dyno/internal/runtime/wire"
 )
 
-// cache limits; blocks and built tables are immutable (new file
-// version = new mirror directory), so plain FIFO eviction is safe.
-const (
-	maxCachedBlocks = 256
-	maxCachedTables = 64
-)
+// WorkerConfig bounds the worker's caches. Blocks and built tables
+// are immutable (new file version = new mirror directory), so plain
+// FIFO eviction is safe; the shuffle registry holds retained map
+// outputs that the controller garbage-collects on job retirement, and
+// the byte cap here is the backstop for jobs that never retire
+// cleanly — an evicted-but-needed shuffle block degrades to a 404,
+// which the controller recovers through the mirror path.
+type WorkerConfig struct {
+	// BlockCacheMB bounds the mirrored-block record cache; default 256.
+	BlockCacheMB int
+	// TableCacheSize bounds the built broadcast-table cache (entries);
+	// default 64.
+	TableCacheSize int
+	// ShuffleCacheMB bounds the retained shuffle registry; default 256.
+	ShuffleCacheMB int
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.BlockCacheMB <= 0 {
+		c.BlockCacheMB = 256
+	}
+	if c.TableCacheSize <= 0 {
+		c.TableCacheSize = 64
+	}
+	if c.ShuffleCacheMB <= 0 {
+		c.ShuffleCacheMB = 256
+	}
+	return c
+}
+
+// WorkerStatus is the GET /status payload: cache occupancy plus
+// hit/miss/eviction counters, and the worker's peer-shuffle traffic
+// totals.
+type WorkerStatus struct {
+	Draining bool `json:"draining,omitempty"`
+
+	Blocks         int   `json:"blocks"`
+	BlockBytes     int64 `json:"blockBytes"`
+	BlockHits      int64 `json:"blockHits"`
+	BlockMisses    int64 `json:"blockMisses"`
+	BlockEvictions int64 `json:"blockEvictions"`
+
+	Tables         int   `json:"tables"`
+	TableHits      int64 `json:"tableHits"`
+	TableMisses    int64 `json:"tableMisses"`
+	TableEvictions int64 `json:"tableEvictions"`
+
+	ShuffleBlocks    int   `json:"shuffleBlocks"`
+	ShuffleBytes     int64 `json:"shuffleBytes"`
+	ShuffleServed    int64 `json:"shuffleServed"`
+	ShuffleEvictions int64 `json:"shuffleEvictions"`
+
+	PeerFetches int64 `json:"peerFetches"`
+	PeerBytes   int64 `json:"peerBytes"`
+}
+
+type blockEntry struct {
+	recs  []data.Value
+	bytes int64 // on-disk size, the cache accounting unit
+}
+
+type shuffleEntry struct {
+	parts [][]wire.KV
+	bytes int64 // approximate resident size (encoded sizes of the pairs)
+}
 
 // Worker executes dispatched map/reduce task bodies. It serves the
 // controller's wire protocol from Handler(), so the same code runs as
@@ -28,24 +91,52 @@ const (
 // the differential tests.
 type Worker struct {
 	reg *expr.Registry
+	cfg WorkerConfig
+	// peers fetches shuffle segments from other workers; keep-alive so
+	// a reduce wave's fetches reuse connections.
+	peers *http.Client
 
 	mu          sync.Mutex
-	blocks      map[string][]data.Value
+	blocks      map[string]blockEntry
 	blockOrder  []string
+	blockBytes  int64
 	tables      map[string]*wire.Table
 	tableOrder  []string
+	shuffles    map[string]*shuffleEntry
+	shufOrder   []string
+	shufBytes   int64
 	draining    bool
 	drainNotify func()
+
+	statBlockHits   atomic.Int64
+	statBlockMisses atomic.Int64
+	statBlockEvicts atomic.Int64
+	statTableHits   atomic.Int64
+	statTableMisses atomic.Int64
+	statTableEvicts atomic.Int64
+	statShufServed  atomic.Int64
+	statShufEvicts  atomic.Int64
+	statPeerFetches atomic.Int64
+	statPeerBytes   atomic.Int64
 }
 
-// NewWorker builds a worker evaluating expressions against reg (which
-// must carry the same UDF registrations as the controller's registry
-// for the differential contract to hold).
+// NewWorker builds a worker with default cache bounds, evaluating
+// expressions against reg (which must carry the same UDF
+// registrations as the controller's registry for the differential
+// contract to hold).
 func NewWorker(reg *expr.Registry) *Worker {
+	return NewWorkerCfg(reg, WorkerConfig{})
+}
+
+// NewWorkerCfg builds a worker with explicit cache bounds.
+func NewWorkerCfg(reg *expr.Registry, cfg WorkerConfig) *Worker {
 	return &Worker{
-		reg:    reg,
-		blocks: map[string][]data.Value{},
-		tables: map[string]*wire.Table{},
+		reg:      reg,
+		cfg:      cfg.withDefaults(),
+		peers:    &http.Client{Timeout: 30 * time.Second},
+		blocks:   map[string]blockEntry{},
+		tables:   map[string]*wire.Table{},
+		shuffles: map[string]*shuffleEntry{},
 	}
 }
 
@@ -56,11 +147,15 @@ func (w *Worker) OnDrain(fn func()) { w.drainNotify = fn }
 // Handler returns the worker's HTTP surface: /task (single, JSON —
 // the PR 8 endpoint, kept for rollback), /tasks (batched; JSON or
 // binary frames, answered in the codec the request arrived in),
-// /healthz, and /drain.
+// /shuffle (peer block serving: binary DYS1 frames, JSON fallback),
+// /shuffle/gc, /status, /healthz, and /drain.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /task", w.handleTask)
 	mux.HandleFunc("POST /tasks", w.handleTaskBatch)
+	mux.HandleFunc("GET /shuffle", w.handleShuffle)
+	mux.HandleFunc("POST /shuffle/gc", w.handleShuffleGC)
+	mux.HandleFunc("GET /status", w.handleStatus)
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		rw.Write([]byte("ok\n"))
@@ -78,6 +173,90 @@ func (w *Worker) handleDrain(rw http.ResponseWriter, r *http.Request) {
 	if !already && w.drainNotify != nil {
 		go w.drainNotify()
 	}
+}
+
+// handleShuffle serves one retained shuffle partition to a peer. The
+// response codec follows the Accept header: binary DYS1 frames for
+// peer-capable fetchers, a JSON KV-image array otherwise. Draining
+// workers keep serving — retained data stays valid until the process
+// exits, and a vanished process surfaces as a fetch error the
+// controller recovers from.
+func (w *Worker) handleShuffle(rw http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	part, err := strconv.Atoi(r.URL.Query().Get("part"))
+	if id == "" || err != nil {
+		http.Error(rw, "bad shuffle request: need id and part", http.StatusBadRequest)
+		return
+	}
+	pairs, ok := w.shuffleLookup(id, part)
+	if !ok {
+		http.Error(rw, "unknown shuffle block", http.StatusNotFound)
+		return
+	}
+	w.statShufServed.Add(1)
+	if r.Header.Get("Accept") == wire.ContentTypeBinary {
+		frame := wire.EncodeShuffle(pairs)
+		defer frame.Close()
+		rw.Header().Set("Content-Type", wire.ContentTypeBinary)
+		rw.Write(frame.Bytes())
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(wire.EncodeKVs(pairs))
+}
+
+func (w *Worker) handleShuffleGC(rw http.ResponseWriter, r *http.Request) {
+	var req wire.ShuffleGCRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad gc payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.IDs) > 0 {
+		drop := make(map[string]bool, len(req.IDs))
+		for _, id := range req.IDs {
+			drop[id] = true
+		}
+		w.mu.Lock()
+		kept := w.shufOrder[:0]
+		for _, id := range w.shufOrder {
+			if drop[id] {
+				if e, ok := w.shuffles[id]; ok {
+					w.shufBytes -= e.bytes
+					delete(w.shuffles, id)
+				}
+				continue
+			}
+			kept = append(kept, id)
+		}
+		w.shufOrder = kept
+		w.mu.Unlock()
+	}
+	rw.WriteHeader(http.StatusOK)
+}
+
+func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	st := WorkerStatus{
+		Draining:      w.draining,
+		Blocks:        len(w.blocks),
+		BlockBytes:    w.blockBytes,
+		Tables:        len(w.tables),
+		ShuffleBlocks: len(w.shuffles),
+		ShuffleBytes:  w.shufBytes,
+	}
+	w.mu.Unlock()
+	st.BlockHits = w.statBlockHits.Load()
+	st.BlockMisses = w.statBlockMisses.Load()
+	st.BlockEvictions = w.statBlockEvicts.Load()
+	st.TableHits = w.statTableHits.Load()
+	st.TableMisses = w.statTableMisses.Load()
+	st.TableEvictions = w.statTableEvicts.Load()
+	st.ShuffleServed = w.statShufServed.Load()
+	st.ShuffleEvictions = w.statShufEvicts.Load()
+	st.PeerFetches = w.statPeerFetches.Load()
+	st.PeerBytes = w.statPeerBytes.Load()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(st)
 }
 
 func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
@@ -182,41 +361,183 @@ func (w *Worker) runMap(task *wire.Task) *wire.TaskResult {
 		res.Rows = out.Rows
 		return res
 	}
+	if task.RetainShuffle && task.ShuffleID != "" {
+		res.Parts = w.retainShuffle(task.ShuffleID, out.Pairs, task.ByteScale)
+		return res
+	}
 	res.Pairs = out.Pairs
 	return res
 }
 
+// retainShuffle registers a map task's partitioned output in the
+// shuffle registry and returns the per-partition digests the
+// controller accounts with. The virtual size replicates the
+// controller's per-record arithmetic exactly — int64 conversion per
+// record, then int64 summation — so peer-shuffled and
+// controller-shuffled runs charge identical virtual bytes.
+func (w *Worker) retainShuffle(id string, parts [][]wire.KV, scale float64) []wire.ShufflePart {
+	digests := make([]wire.ShufflePart, len(parts))
+	var raw int64
+	for p, pairs := range parts {
+		var vb int64
+		for _, kv := range pairs {
+			vb += int64(float64(kv.Rec.EncodedSize()+1) * scale)
+			raw += kv.Key.EncodedSize() + kv.Rec.EncodedSize() + int64(len(kv.Tag)) + 16
+		}
+		digests[p] = wire.ShufflePart{Count: len(pairs), Bytes: vb}
+	}
+	w.mu.Lock()
+	if old, ok := w.shuffles[id]; ok {
+		// Hedged duplicate or re-run of a deterministic map: the output
+		// is byte-identical, so replacing is safe.
+		w.shufBytes -= old.bytes
+	} else {
+		w.shufOrder = append(w.shufOrder, id)
+	}
+	w.shuffles[id] = &shuffleEntry{parts: parts, bytes: raw}
+	w.shufBytes += raw
+	max := int64(w.cfg.ShuffleCacheMB) << 20
+	for w.shufBytes > max && len(w.shufOrder) > 0 {
+		evict := w.shufOrder[0]
+		w.shufOrder = w.shufOrder[1:]
+		if e, ok := w.shuffles[evict]; ok {
+			w.shufBytes -= e.bytes
+			delete(w.shuffles, evict)
+			w.statShufEvicts.Add(1)
+		}
+	}
+	w.mu.Unlock()
+	return digests
+}
+
+func (w *Worker) shuffleLookup(id string, part int) ([]wire.KV, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.shuffles[id]
+	if !ok || part < 0 || part >= len(e.parts) {
+		return nil, false
+	}
+	return e.parts[part], true
+}
+
+// fetchShuffle pulls one shuffle segment from the producing peer,
+// retrying one transient transport failure. A non-OK status (the peer
+// is up but no longer holds the block) is deterministic and not
+// retried — the controller falls back to the mirror path instead.
+func (w *Worker) fetchShuffle(base, id string, part int) ([]wire.KV, int64, error) {
+	target := base + "/shuffle?id=" + url.QueryEscape(id) + "&part=" + strconv.Itoa(part)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		req, err := http.NewRequest(http.MethodGet, target, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		req.Header.Set("Accept", wire.ContentTypeBinary)
+		resp, err := w.peers.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			if len(body) > 512 {
+				body = body[:512]
+			}
+			return nil, 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		var kvs []wire.KV
+		if wire.IsShuffleFrame(body) {
+			kvs, err = wire.DecodeShuffle(body)
+		} else {
+			var imgs []wire.KVImage
+			if err = json.Unmarshal(body, &imgs); err == nil {
+				kvs, err = wire.DecodeKVs(imgs)
+			}
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		w.statPeerFetches.Add(1)
+		w.statPeerBytes.Add(int64(len(body)))
+		return kvs, int64(len(body)), nil
+	}
+	return nil, 0, lastErr
+}
+
 func (w *Worker) runReduce(task *wire.Task) *wire.TaskResult {
-	rows, cpu, err := task.Op.RunReduce(w.reg, task.Pairs)
+	pairs := task.Pairs
+	var peerBytes int64
+	var peerFetches int
+	if len(task.Fetches) > 0 {
+		// Assemble the reduce input from the segment list in order —
+		// local registry first, then the producing peer — and sort
+		// worker-side (inline segments from the legacy Pairs path arrive
+		// pre-sorted; fetched assemblies do not).
+		var assembled []wire.KV
+		for i := range task.Fetches {
+			ref := &task.Fetches[i]
+			if ref.ID == "" {
+				assembled = append(assembled, ref.Pairs...)
+				continue
+			}
+			if local, ok := w.shuffleLookup(ref.ID, ref.Part); ok {
+				assembled = append(assembled, local...)
+				continue
+			}
+			kvs, n, err := w.fetchShuffle(ref.URL, ref.ID, ref.Part)
+			if err != nil {
+				return &wire.TaskResult{Err: wire.PeerFetchErr(i, ref.URL, err)}
+			}
+			peerFetches++
+			peerBytes += n
+			assembled = append(assembled, kvs...)
+		}
+		wire.SortKVs(assembled)
+		pairs = assembled
+	}
+	rows, cpu, err := task.Op.RunReduce(w.reg, pairs)
 	if err != nil {
 		return &wire.TaskResult{Err: err.Error()}
 	}
-	return &wire.TaskResult{Rows: rows, CPUSeconds: cpu}
+	return &wire.TaskResult{Rows: rows, CPUSeconds: cpu, PeerBytes: peerBytes, PeerFetches: peerFetches}
 }
 
-// blockRecords loads one mirrored block file, memoizing by path.
+// blockRecords loads one mirrored block file, memoizing by path under
+// the byte-bounded FIFO block cache.
 func (w *Worker) blockRecords(path string) ([]data.Value, error) {
 	if path == "" {
 		return nil, fmt.Errorf("map task has no input block")
 	}
 	w.mu.Lock()
-	recs, ok := w.blocks[path]
+	ent, ok := w.blocks[path]
 	w.mu.Unlock()
 	if ok {
-		return recs, nil
+		w.statBlockHits.Add(1)
+		return ent.recs, nil
 	}
-	recs, err := readBlockFile(path)
+	w.statBlockMisses.Add(1)
+	recs, size, err := readBlockFile(path)
 	if err != nil {
 		return nil, err
 	}
 	w.mu.Lock()
 	if _, dup := w.blocks[path]; !dup {
-		if len(w.blockOrder) >= maxCachedBlocks {
-			delete(w.blocks, w.blockOrder[0])
+		max := int64(w.cfg.BlockCacheMB) << 20
+		for w.blockBytes+size > max && len(w.blockOrder) > 0 {
+			evict := w.blockOrder[0]
 			w.blockOrder = w.blockOrder[1:]
+			w.blockBytes -= w.blocks[evict].bytes
+			delete(w.blocks, evict)
+			w.statBlockEvicts.Add(1)
 		}
-		w.blocks[path] = recs
+		w.blocks[path] = blockEntry{recs: recs, bytes: size}
 		w.blockOrder = append(w.blockOrder, path)
+		w.blockBytes += size
 	}
 	w.mu.Unlock()
 	return recs, nil
@@ -224,33 +545,35 @@ func (w *Worker) blockRecords(path string) ([]data.Value, error) {
 
 // readBlockFile decodes one mirrored block, sniffing the format: a
 // binary frame (the negotiated fast path) or wire-image JSONL (the
-// PR 8 format, kept as the kill-switch arm).
-func readBlockFile(path string) ([]data.Value, error) {
+// PR 8 format, kept as the kill-switch arm). The on-disk size feeds
+// the block cache's byte accounting.
+func readBlockFile(path string) ([]data.Value, int64, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("open block: %w", err)
+		return nil, 0, fmt.Errorf("open block: %w", err)
 	}
+	size := int64(len(b))
 	if wire.IsBlockFrame(b) {
 		recs, err := wire.DecodeBlock(b)
 		if err != nil {
-			return nil, fmt.Errorf("decode block %s: %w", path, err)
+			return nil, 0, fmt.Errorf("decode block %s: %w", path, err)
 		}
-		return recs, nil
+		return recs, size, nil
 	}
 	dec := json.NewDecoder(bytes.NewReader(b))
 	var recs []data.Value
 	for dec.More() {
 		var img any
 		if err := dec.Decode(&img); err != nil {
-			return nil, fmt.Errorf("decode block %s: %w", path, err)
+			return nil, 0, fmt.Errorf("decode block %s: %w", path, err)
 		}
 		v, err := wire.DecodeValue(img)
 		if err != nil {
-			return nil, fmt.Errorf("decode block %s: %w", path, err)
+			return nil, 0, fmt.Errorf("decode block %s: %w", path, err)
 		}
 		recs = append(recs, v)
 	}
-	return recs, nil
+	return recs, size, nil
 }
 
 // table returns the built hash table for a broadcast ref, memoized by
@@ -270,8 +593,10 @@ func (w *Worker) table(ref wire.BuildRef) (*wire.Table, error) {
 	t, ok := w.tables[key]
 	w.mu.Unlock()
 	if ok {
+		w.statTableHits.Add(1)
 		return t, nil
 	}
+	w.statTableMisses.Add(1)
 	var filter expr.Expr
 	if ref.Filter != nil {
 		var err error
@@ -300,9 +625,10 @@ func (w *Worker) table(ref wire.BuildRef) (*wire.Table, error) {
 	if cached, dup := w.tables[key]; dup {
 		t = cached
 	} else {
-		if len(w.tableOrder) >= maxCachedTables {
+		if len(w.tableOrder) >= w.cfg.TableCacheSize {
 			delete(w.tables, w.tableOrder[0])
 			w.tableOrder = w.tableOrder[1:]
+			w.statTableEvicts.Add(1)
 		}
 		w.tables[key] = t
 		w.tableOrder = append(w.tableOrder, key)

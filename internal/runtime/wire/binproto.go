@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 
@@ -20,6 +21,7 @@ var (
 	magicTaskBatch = []byte("DYT1")
 	magicRespBatch = []byte("DYR1")
 	magicBlock     = []byte("DYB1")
+	magicShuffle   = []byte("DYS1")
 )
 
 // Codec names negotiated at worker registration.
@@ -472,6 +474,17 @@ func (e *benc) writeTask(t *Task) error {
 	}
 	e.varint(int64(t.Partition))
 	e.writeKVs(t.Pairs)
+	e.bool(t.RetainShuffle)
+	e.str(t.ShuffleID)
+	e.f64(t.ByteScale)
+	e.uvarint(uint64(len(t.Fetches)))
+	for i := range t.Fetches {
+		ref := &t.Fetches[i]
+		e.str(ref.URL)
+		e.str(ref.ID)
+		e.varint(int64(ref.Part))
+		e.writeKVs(ref.Pairs)
+	}
 	return nil
 }
 
@@ -536,8 +549,45 @@ func (d *bdec) readTask() (*Task, error) {
 		return nil, err
 	}
 	t.Partition = int(idx)
-	t.Pairs, err = d.readKVs()
-	return t, err
+	if t.Pairs, err = d.readKVs(); err != nil {
+		return nil, err
+	}
+	if t.RetainShuffle, err = d.bool(); err != nil {
+		return nil, err
+	}
+	if t.ShuffleID, err = d.str(); err != nil {
+		return nil, err
+	}
+	if t.ByteScale, err = d.f64(); err != nil {
+		return nil, err
+	}
+	n, err = d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	if n > 0 {
+		t.Fetches = make([]ShuffleRef, n)
+		for i := range t.Fetches {
+			ref := &t.Fetches[i]
+			if ref.URL, err = d.str(); err != nil {
+				return nil, err
+			}
+			if ref.ID, err = d.str(); err != nil {
+				return nil, err
+			}
+			if idx, err = d.varint(); err != nil {
+				return nil, err
+			}
+			ref.Part = int(idx)
+			if ref.Pairs, err = d.readKVs(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
 }
 
 func (e *benc) writeResult(r *TaskResult) {
@@ -550,6 +600,13 @@ func (e *benc) writeResult(r *TaskResult) {
 	for _, pairs := range r.Pairs {
 		e.writeKVs(pairs)
 	}
+	e.uvarint(uint64(len(r.Parts)))
+	for _, p := range r.Parts {
+		e.varint(int64(p.Count))
+		e.varint(p.Bytes)
+	}
+	e.varint(r.PeerBytes)
+	e.varint(int64(r.PeerFetches))
 }
 
 func (d *bdec) readResult() (*TaskResult, error) {
@@ -585,6 +642,33 @@ func (d *bdec) readResult() (*TaskResult, error) {
 			}
 		}
 	}
+	if n, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if n > uint64(d.rem())+1 {
+		return nil, errShortFrame
+	}
+	if n > 0 {
+		r.Parts = make([]ShufflePart, n)
+		for i := range r.Parts {
+			c, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			r.Parts[i].Count = int(c)
+			if r.Parts[i].Bytes, err = d.varint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.PeerBytes, err = d.varint(); err != nil {
+		return nil, err
+	}
+	pf, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	r.PeerFetches = int(pf)
 	return r, nil
 }
 
@@ -688,4 +772,67 @@ func WriteBlockFileBin(path string, recs []data.Value) error {
 	f := EncodeBlock(recs)
 	defer f.Close()
 	return os.WriteFile(path, f.Bytes(), 0o644)
+}
+
+// EncodeShuffle encodes one shuffle partition's pairs as a DYS1 frame
+// (the body a peer worker serves from GET /shuffle). Close after use.
+func EncodeShuffle(pairs []KV) *Frame {
+	e := newBenc()
+	e.raw(magicShuffle)
+	e.writeKVs(pairs)
+	return &Frame{enc: e}
+}
+
+// DecodeShuffle decodes a DYS1 shuffle frame.
+func DecodeShuffle(b []byte) ([]KV, error) {
+	if !bytes.HasPrefix(b, magicShuffle) {
+		return nil, fmt.Errorf("wire: not a shuffle frame")
+	}
+	d := newBdec(b[len(magicShuffle):])
+	defer d.release()
+	return d.readKVs()
+}
+
+// IsShuffleFrame sniffs a fetched shuffle body for the binary magic;
+// anything else is the JSONL fallback served to capability-less
+// requesters.
+func IsShuffleFrame(b []byte) bool { return bytes.HasPrefix(b, magicShuffle) }
+
+// ShuffleWireBytes is the encoded size of a pair set in the given
+// codec: the bytes those pairs occupy when they cross the controller
+// (a standalone frame for bin, a KV-image array for json). It feeds
+// the controller-vs-peer shuffle byte split in the fleet's WireStats.
+func ShuffleWireBytes(codec string, pairs []KV) int64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	if codec == CodecBinary {
+		f := EncodeShuffle(pairs)
+		n := int64(len(f.Bytes()))
+		f.Close()
+		return n
+	}
+	b, err := json.Marshal(EncodeKVs(pairs))
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}
+
+// PeerFetchErr formats the deterministic error a reduce worker
+// returns when fetch segment idx could not be resolved from its peer.
+// The controller's executor parses it (ParsePeerFetchErr) to recover
+// exactly that segment through the mirror path and re-dispatch.
+func PeerFetchErr(idx int, url string, err error) string {
+	return fmt.Sprintf("peer-fetch #%d %s: %v", idx, url, err)
+}
+
+// ParsePeerFetchErr extracts the failed segment index from a
+// PeerFetchErr-formatted message; ok is false for any other error.
+func ParsePeerFetchErr(msg string) (idx int, ok bool) {
+	var url string
+	if n, err := fmt.Sscanf(msg, "peer-fetch #%d %s", &idx, &url); err != nil || n != 2 {
+		return 0, false
+	}
+	return idx, true
 }

@@ -155,9 +155,9 @@ func (g *gen) expr(depth int) expr.Expr {
 // identical rendering.
 func FuzzValueRoundTrip(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f, 0x00})           // large int
-	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0x80})                                // -0.0
-	f.Add([]byte{4, 5, 'a', 0x00, 'b', 0xc3, 0xa9})                            // NUL + UTF-8
+	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f, 0x00})          // large int
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0x80})                               // -0.0
+	f.Add([]byte{4, 5, 'a', 0x00, 'b', 0xc3, 0xa9})                           // NUL + UTF-8
 	f.Add([]byte{7, 3, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 4, 2, 0, 0, 6, 2, 0, 1}) // nested object
 	f.Add([]byte{6, 4, 2, 1, 1, 1, 1, 1, 1, 1, 1, 3, 1, 1, 1, 1, 1, 1, 1, 1}) // mixed array
 	f.Fuzz(func(t *testing.T, raw []byte) {

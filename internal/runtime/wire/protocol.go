@@ -26,6 +26,12 @@ type Caps struct {
 	Codecs []string `json:"codecs,omitempty"`
 	// Batch reports support for the batched /tasks endpoint.
 	Batch bool `json:"batch,omitempty"`
+	// PeerShuffle reports support for worker-to-worker shuffle: the
+	// worker can retain map outputs in its shuffle registry, serve
+	// them to peers from GET /shuffle, and assemble reduce inputs from
+	// Fetches refs (local registry first, then HTTP from the producing
+	// peer).
+	PeerShuffle bool `json:"peerShuffle,omitempty"`
 }
 
 // Supports reports whether the capability set includes a codec.
@@ -63,11 +69,21 @@ type RegisterResponse struct {
 	Codec string `json:"codec,omitempty"`
 	// Batch reports whether the controller will use /tasks.
 	Batch bool `json:"batch,omitempty"`
+	// Peer reports whether the controller negotiated worker-to-worker
+	// shuffle for this worker.
+	Peer bool `json:"peer,omitempty"`
 }
 
 // HeartbeatRequest keeps a registration alive.
 type HeartbeatRequest struct {
 	ID int `json:"id"`
+}
+
+// ShuffleGCRequest asks a worker to drop retained shuffle outputs by
+// ID (the controller broadcasts one per retired job, to every worker,
+// so hedged losers' orphaned registrations are collected too).
+type ShuffleGCRequest struct {
+	IDs []string `json:"ids"`
 }
 
 // KVImage is one shuffled pair in wire form.
@@ -103,6 +119,37 @@ func DecodeKVs(imgs []KVImage) ([]KV, error) {
 	return out, nil
 }
 
+// ShufflePart is a per-partition digest of retained map output: the
+// pair count and the summed virtual size of the partition's records.
+// The worker computes the virtual size with the controller's exact
+// per-record arithmetic (int64(float64(EncodedSize+1) * ByteScale),
+// summed as int64s), so the controller can account shuffle volume
+// without ever seeing the pairs.
+type ShufflePart struct {
+	Count int   `json:"count"`
+	Bytes int64 `json:"bytes"`
+}
+
+// ShuffleRef is one reduce-input segment, in map-output order. Either
+// ID is set — the segment lives in the registry of the worker at URL
+// under that shuffle ID (fetch partition Part) — or ID is empty and
+// the pairs travel inline (outputs of non-peer map workers, or
+// segments recovered through the controller after a peer died).
+type ShuffleRef struct {
+	URL   string
+	ID    string
+	Part  int
+	Pairs []KV
+}
+
+// ShuffleRefImage is the JSON wire form of a ShuffleRef.
+type ShuffleRefImage struct {
+	URL   string    `json:"url,omitempty"`
+	ID    string    `json:"id,omitempty"`
+	Part  int       `json:"part,omitempty"`
+	Pairs []KVImage `json:"pairs,omitempty"`
+}
+
 // BuildRef describes one broadcast build side for a task: rebuild
 // parameters plus the on-disk block files holding the (unfiltered)
 // build input.
@@ -132,9 +179,20 @@ type TaskRequest struct {
 	RunCombine  bool       `json:"runCombine,omitempty"`
 	Builds      []BuildRef `json:"builds,omitempty"`
 
+	// Peer shuffle (map tasks): retain the shuffle output worker-side
+	// under ShuffleID and answer with per-partition digests computed
+	// at ByteScale instead of shipping the pairs back.
+	RetainShuffle bool    `json:"retainShuffle,omitempty"`
+	ShuffleID     string  `json:"shuffleId,omitempty"`
+	ByteScale     float64 `json:"byteScale,omitempty"`
+
 	// Reduce tasks.
 	Partition int       `json:"partition,omitempty"`
 	Pairs     []KVImage `json:"pairs,omitempty"`
+	// Fetches, when present, replaces Pairs: the reduce input is the
+	// concatenation of the segments in order (peer fetches resolved
+	// first), sorted worker-side.
+	Fetches []ShuffleRefImage `json:"fetches,omitempty"`
 }
 
 // TaskResponse carries a task's output back to the controller.
@@ -145,6 +203,13 @@ type TaskResponse struct {
 	CPUTotal   float64     `json:"cpuTotal,omitempty"`
 	CPUSeconds float64     `json:"cpuSeconds,omitempty"`
 	Err        string      `json:"err,omitempty"`
+	// Parts answers a RetainShuffle map task: per-partition digests of
+	// the retained output.
+	Parts []ShufflePart `json:"parts,omitempty"`
+	// PeerBytes/PeerFetches report a reduce task's worker-to-worker
+	// traffic (local registry hits are free and not counted).
+	PeerBytes   int64 `json:"peerBytes,omitempty"`
+	PeerFetches int   `json:"peerFetches,omitempty"`
 }
 
 // TaskBatchRequest is the JSON form of a batched /tasks dispatch.
@@ -175,19 +240,32 @@ type Task struct {
 	RunCombine  bool
 	Builds      []BuildRef
 
+	// Peer shuffle (map tasks).
+	RetainShuffle bool
+	ShuffleID     string
+	ByteScale     float64
+
 	// Reduce tasks.
 	Partition int
 	Pairs     []KV
+	Fetches   []ShuffleRef
 }
 
 // TaskResult is the codec-neutral form of a task's output.
 type TaskResult struct {
-	Rows       []data.Value
-	Pairs      [][]KV
-	CPUMap     float64
-	CPUTotal   float64
-	CPUSeconds float64
-	Err        string
+	Rows        []data.Value
+	Pairs       [][]KV
+	CPUMap      float64
+	CPUTotal    float64
+	CPUSeconds  float64
+	Err         string
+	Parts       []ShufflePart
+	PeerBytes   int64
+	PeerFetches int
+	// Worker is stamped by the controller's dispatch loop with the URL
+	// of the worker that answered (the peer holding any retained
+	// shuffle output); it never travels on the wire.
+	Worker string `json:"-"`
 }
 
 // Request converts to the JSON wire form (byte-identical to the PR 8
@@ -206,12 +284,47 @@ func (t *Task) Request() *TaskRequest {
 		Builds:      t.Builds,
 		Partition:   t.Partition,
 		Pairs:       EncodeKVs(t.Pairs),
+
+		RetainShuffle: t.RetainShuffle,
+		ShuffleID:     t.ShuffleID,
+		ByteScale:     t.ByteScale,
+		Fetches:       encodeRefs(t.Fetches),
 	}
+}
+
+func encodeRefs(refs []ShuffleRef) []ShuffleRefImage {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]ShuffleRefImage, len(refs))
+	for i, r := range refs {
+		out[i] = ShuffleRefImage{URL: r.URL, ID: r.ID, Part: r.Part, Pairs: EncodeKVs(r.Pairs)}
+	}
+	return out
+}
+
+func decodeRefs(imgs []ShuffleRefImage) ([]ShuffleRef, error) {
+	if len(imgs) == 0 {
+		return nil, nil
+	}
+	out := make([]ShuffleRef, len(imgs))
+	for i, img := range imgs {
+		pairs, err := DecodeKVs(img.Pairs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ShuffleRef{URL: img.URL, ID: img.ID, Part: img.Part, Pairs: pairs}
+	}
+	return out, nil
 }
 
 // TaskFromRequest decodes the JSON wire form back to the neutral one.
 func TaskFromRequest(req *TaskRequest) (*Task, error) {
 	pairs, err := DecodeKVs(req.Pairs)
+	if err != nil {
+		return nil, err
+	}
+	fetches, err := decodeRefs(req.Fetches)
 	if err != nil {
 		return nil, err
 	}
@@ -228,12 +341,18 @@ func TaskFromRequest(req *TaskRequest) (*Task, error) {
 		Builds:      req.Builds,
 		Partition:   req.Partition,
 		Pairs:       pairs,
+
+		RetainShuffle: req.RetainShuffle,
+		ShuffleID:     req.ShuffleID,
+		ByteScale:     req.ByteScale,
+		Fetches:       fetches,
 	}, nil
 }
 
 // Response converts to the JSON wire form.
 func (r *TaskResult) Response() *TaskResponse {
-	resp := &TaskResponse{CPUMap: r.CPUMap, CPUTotal: r.CPUTotal, CPUSeconds: r.CPUSeconds, Err: r.Err}
+	resp := &TaskResponse{CPUMap: r.CPUMap, CPUTotal: r.CPUTotal, CPUSeconds: r.CPUSeconds, Err: r.Err,
+		Parts: r.Parts, PeerBytes: r.PeerBytes, PeerFetches: r.PeerFetches}
 	if len(r.Rows) > 0 {
 		resp.Rows = make([]any, len(r.Rows))
 		for i, row := range r.Rows {
@@ -251,7 +370,8 @@ func (r *TaskResult) Response() *TaskResponse {
 
 // ResultFromResponse decodes the JSON wire form back.
 func ResultFromResponse(resp *TaskResponse) (*TaskResult, error) {
-	r := &TaskResult{CPUMap: resp.CPUMap, CPUTotal: resp.CPUTotal, CPUSeconds: resp.CPUSeconds, Err: resp.Err}
+	r := &TaskResult{CPUMap: resp.CPUMap, CPUTotal: resp.CPUTotal, CPUSeconds: resp.CPUSeconds, Err: resp.Err,
+		Parts: resp.Parts, PeerBytes: resp.PeerBytes, PeerFetches: resp.PeerFetches}
 	if len(resp.Rows) > 0 {
 		r.Rows = make([]data.Value, len(resp.Rows))
 		for i, img := range resp.Rows {

@@ -3,8 +3,12 @@
 # (dynobench -exp procbench) and fails if the binary batched plane has
 # lost its committed edge over the JSON per-task baseline — >=3x fewer
 # dispatch bytes and >=2x fewer RPCs on the 2-worker TPC-H workload at
-# the default scale. Task counts must also agree across arms: the wire
-# plane must never change how much work runs, only how it travels.
+# the default scale — or if worker-to-worker shuffle has lost its edge
+# over controller-mirrored shuffle: the bin_peer arm must carry >=5x
+# fewer controller-side shuffle bytes than bin_batched and must move a
+# nonzero number of bytes worker-to-worker. Task counts must also
+# agree across arms: the wire plane must never change how much work
+# runs, only how it travels.
 #
 # Usage: scripts/check_procbytes.sh [BENCH_proc.json]
 set -euo pipefail
@@ -13,6 +17,7 @@ cd "$(dirname "$0")/.."
 report="${1:-BENCH_proc.json}"
 min_byte_reduction=3.0
 min_rpc_reduction=2.0
+min_ctl_shuffle_reduction=5.0
 
 if [[ ! -f "$report" ]]; then
     echo "check_procbytes: $report not found (run: go run ./cmd/dynobench -exp procbench -procbenchout $report)" >&2
@@ -21,6 +26,8 @@ fi
 
 bytes=$(jq -r '.byteReduction' "$report")
 rpcs=$(jq -r '.rpcReduction' "$report")
+ctl_shuffle=$(jq -r '.ctlShuffleReduction' "$report")
+peer_bytes=$(jq -r '.arms[] | select(.name == "bin_peer") | .peerShuffleBytes' "$report")
 distinct_tasks=$(jq -r '[.arms[].tasks] | unique | length' "$report")
 
 fail=0
@@ -40,6 +47,18 @@ if ! awk -v got="$rpcs" -v min="$min_rpc_reduction" 'BEGIN { exit !(got >= min) 
 else
     echo "check_procbytes: RPC reduction ${rpcs}x (floor ${min_rpc_reduction}x) ok"
 fi
+if ! awk -v got="$ctl_shuffle" -v min="$min_ctl_shuffle_reduction" 'BEGIN { exit !(got >= min) }'; then
+    echo "check_procbytes: controller shuffle-byte reduction ${ctl_shuffle}x is below the ${min_ctl_shuffle_reduction}x floor" >&2
+    fail=1
+else
+    echo "check_procbytes: controller shuffle-byte reduction ${ctl_shuffle}x (floor ${min_ctl_shuffle_reduction}x) ok"
+fi
+if [[ "$peer_bytes" == 0 || -z "$peer_bytes" ]]; then
+    echo "check_procbytes: bin_peer arm moved zero bytes worker-to-worker" >&2
+    fail=1
+else
+    echo "check_procbytes: bin_peer arm moved $peer_bytes shuffle bytes worker-to-worker ok"
+fi
 
-jq -r '.arms[] | "check_procbytes: arm \(.name): \(.rpcs) rpcs, \(.tasks) tasks, \(.bytesOut + .bytesIn) dispatch bytes (\(.bytesPerTask | floor) B/task)"' "$report"
+jq -r '.arms[] | "check_procbytes: arm \(.name): \(.rpcs) rpcs, \(.tasks) tasks, \(.bytesOut + .bytesIn) dispatch bytes (\(.bytesPerTask | floor) B/task), \(.ctlShuffleBytes) B ctl-shuffle, \(.peerShuffleBytes) B peer-shuffle"' "$report"
 exit $fail
